@@ -1,0 +1,201 @@
+(* Benchmark harness.
+
+   Two layers, both in this executable:
+
+   1. The paper-shaped experiment tables (one section per table/figure/
+      claim of the paper, via the Experiments library, quick mode):
+      regenerates the rows of Table 1, the H-tradeoff (Table 1 row 4 /
+      Section 5.2), Figures 1-2, Observation 2.2, the Ω(n²) worst case,
+      Theorem 2.1's nonuniformity, Propagate-Reset and the probabilistic
+      toolbox. `main.exe <name>` runs a single section; `main.exe --full`
+      uses the full-size sweeps.
+
+   2. Bechamel micro-benchmarks of the simulator and protocol hot paths
+      (one Test.make per table/figure artifact), reporting wall-clock per
+      run. *)
+
+open Bechamel
+open Toolkit
+
+let n_bench = 64
+
+let make_sim ~protocol ~init ~seed =
+  Engine.Sim.make ~protocol ~init ~rng:(Prng.create ~seed)
+
+(* Table 1 row 1: interaction throughput of Silent-n-state-SSR. *)
+let bench_silent_n_state () =
+  let n = n_bench in
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let rng = Prng.create ~seed:1 in
+  let sim = make_sim ~protocol ~init:(Core.Scenarios.silent_uniform rng ~n) ~seed:2 in
+  Test.make ~name:"table1/silent-n-state/1k-interactions"
+    (Staged.stage (fun () -> Engine.Sim.run sim 1000))
+
+(* Table 1 row 2: Optimal-Silent-SSR. *)
+let bench_optimal_silent () =
+  let n = n_bench in
+  let params = Core.Params.optimal_silent n in
+  let protocol = Core.Optimal_silent.protocol ~params ~n () in
+  let rng = Prng.create ~seed:3 in
+  let sim = make_sim ~protocol ~init:(Core.Scenarios.optimal_uniform rng ~params ~n) ~seed:4 in
+  Test.make ~name:"table1/optimal-silent/1k-interactions"
+    (Staged.stage (fun () -> Engine.Sim.run sim 1000))
+
+(* Table 1 rows 3-4: Sublinear-Time-SSR at H=1 and H=⌈log₂ n⌉. *)
+let bench_sublinear ~n ~h ~steps ~label =
+  let params = Core.Params.sublinear ~h n in
+  let protocol = Core.Sublinear.protocol ~params ~n ~h () in
+  let rng = Prng.create ~seed:5 in
+  let sim = make_sim ~protocol ~init:(Core.Scenarios.sublinear_fresh rng ~params ~n) ~seed:6 in
+  Test.make ~name:label (Staged.stage (fun () -> Engine.Sim.run sim steps))
+
+(* Figure 1: a complete leader-driven ranking phase. *)
+let bench_ranking_phase () =
+  let n = 32 in
+  let params = Core.Params.optimal_silent n in
+  let protocol = Core.Optimal_silent.protocol ~params ~n () in
+  let init =
+    Array.init n (fun i ->
+        if i = 0 then Core.Optimal_silent.settled ~rank:1 ~children:0
+        else Core.Optimal_silent.unsettled ~errorcount:params.Core.Params.e_max)
+  in
+  let seed = ref 0 in
+  Test.make ~name:"figure1/ranking-phase-n32"
+    (Staged.stage (fun () ->
+         incr seed;
+         let sim = make_sim ~protocol ~init ~seed:!seed in
+         let confirm = Engine.Runner.default_confirm ~n in
+         ignore
+           (Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+              ~max_interactions:(1000 * n) ~confirm_interactions:confirm sim)))
+
+(* Figure 2: history-tree merge and path enumeration. *)
+let bench_history_tree () =
+  let h = 3 in
+  let params = Core.Params.sublinear ~h 16 in
+  let rng = Prng.create ~seed:7 in
+  let names = Array.init 8 (fun i -> Core.Name.of_int ~bits:i ~len:params.Core.Params.name_bits) in
+  (* build moderately bushy trees by simulating a few meetings *)
+  let trees = Array.make 8 Core.History_tree.empty in
+  for round = 0 to 40 do
+    let i = round mod 8 and j = (round + 1 + (round mod 5)) mod 8 in
+    if i <> j then begin
+      let sync = 1 + Prng.int rng params.Core.Params.s_max in
+      let ti = trees.(i) and tj = trees.(j) in
+      trees.(i) <-
+        Core.History_tree.merge ~h ~own:names.(i) ~partner:names.(j) ~partner_tree:tj ~sync
+          ~timer:params.Core.Params.t_h ti;
+      trees.(j) <-
+        Core.History_tree.merge ~h ~own:names.(j) ~partner:names.(i) ~partner_tree:ti ~sync
+          ~timer:params.Core.Params.t_h tj
+    end
+  done;
+  Test.make ~name:"figure2/tree-merge-and-paths"
+    (Staged.stage (fun () ->
+         let t =
+           Core.History_tree.merge ~h ~own:names.(0) ~partner:names.(1) ~partner_tree:trees.(1)
+             ~sync:42 ~timer:params.Core.Params.t_h trees.(0)
+         in
+         ignore (Core.History_tree.fresh_paths_to ~name:names.(2) t)))
+
+(* Observation 2.2: the generic silence check used on every converged run. *)
+let bench_silence_check () =
+  let n = n_bench in
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let config = Core.Scenarios.silent_correct ~n in
+  Test.make ~name:"obs2.2/silence-check-n64"
+    (Staged.stage (fun () -> ignore (Engine.Silence.configuration_is_silent protocol config)))
+
+(* Probabilistic toolbox (Sections 1.1 & 2). *)
+let bench_epidemic () =
+  let rng = Prng.create ~seed:8 in
+  Test.make ~name:"toolbox/epidemic-n1024"
+    (Staged.stage (fun () -> ignore (Processes.Epidemic.run rng ~n:1024)))
+
+let bench_roll_call () =
+  let rng = Prng.create ~seed:9 in
+  Test.make ~name:"toolbox/roll-call-n256"
+    (Staged.stage (fun () -> ignore (Processes.Roll_call.run rng ~n:256)))
+
+(* Section 3: one Propagate-Reset step on a resetting pair. *)
+let bench_reset_step () =
+  let params = Core.Params.sublinear ~h:1 n_bench in
+  let n = n_bench and h = 1 in
+  let protocol = Core.Sublinear.protocol ~params ~n ~h () in
+  let rng = Prng.create ~seed:10 in
+  let a =
+    Core.Sublinear.resetting ~name:Core.Name.empty ~resetcount:params.Core.Params.r_max
+      ~delaytimer:params.Core.Params.d_max
+  in
+  let b = Core.Sublinear.fresh rng ~params in
+  Test.make ~name:"reset/propagate-step"
+    (Staged.stage (fun () -> ignore (protocol.Engine.Protocol.transition rng a b)))
+
+let micro_tests () =
+  Test.make_grouped ~name:"repro" ~fmt:"%s %s"
+    [
+      bench_silent_n_state ();
+      bench_optimal_silent ();
+      bench_sublinear ~n:32 ~h:1 ~steps:200 ~label:"table1/sublinear-h1/200-interactions";
+      bench_sublinear ~n:8 ~h:3 ~steps:200 ~label:"table1/sublinear-hlog/200-interactions";
+      bench_ranking_phase ();
+      bench_history_tree ();
+      bench_silence_check ();
+      bench_epidemic ();
+      bench_roll_call ();
+      bench_reset_step ();
+    ]
+
+let run_micro_benchmarks () =
+  print_endline "== Bechamel micro-benchmarks (wall clock per run) ==\n";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  let table = Stats.Table.create ~header:[ "benchmark"; "time per run" ] in
+  List.iter
+    (fun (name, est) ->
+      let cell =
+        match Analyze.OLS.estimates est with
+        | Some [ ns ] ->
+            if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+        | Some _ | None -> "n/a"
+      in
+      Stats.Table.add_row table [ name; cell ])
+    (List.sort compare rows);
+  Stats.Table.print table;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let micro_only = List.mem "--micro-only" args in
+  let names = List.filter (fun a -> a <> "--full" && a <> "--micro-only") args in
+  let mode = if full then Experiments.Exp_common.Full else Experiments.Exp_common.Quick in
+  let seed = 2024 in
+  if not micro_only then begin
+    let selected =
+      match names with
+      | [] -> Experiments.Report.all
+      | names ->
+          List.map
+            (fun n ->
+              match Experiments.Report.find n with
+              | Some e -> e
+              | None ->
+                  Printf.eprintf "unknown experiment '%s' (available: %s)\n" n
+                    (String.concat ", "
+                       (List.map (fun e -> e.Experiments.Report.name) Experiments.Report.all));
+                  exit 2)
+            names
+    in
+    List.iter
+      (fun e ->
+        print_string (e.Experiments.Report.run ~mode ~seed);
+        print_newline ())
+      selected
+  end;
+  if names = [] then run_micro_benchmarks ()

@@ -1,0 +1,77 @@
+(* experiments_main: regenerate the data behind EXPERIMENTS.md.
+
+     experiments_main                 run every experiment (quick mode)
+     experiments_main --full          full-size sweeps (slow)
+     experiments_main -e table1 ...   run selected experiments *)
+
+let main list_only full names seed out =
+  if list_only then begin
+    List.iter
+      (fun e ->
+        Printf.printf "%-14s %s\n" e.Experiments.Report.name e.Experiments.Report.description)
+      Experiments.Report.all;
+    exit 0
+  end;
+  let mode = if full then Experiments.Exp_common.Full else Experiments.Exp_common.Quick in
+  let selected =
+    match names with
+    | [] -> Experiments.Report.all
+    | names ->
+        List.map
+          (fun n ->
+            match Experiments.Report.find n with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment '%s' (available: %s)\n" n
+                  (String.concat ", "
+                     (List.map (fun e -> e.Experiments.Report.name) Experiments.Report.all));
+                exit 2)
+          names
+  in
+  let body =
+    String.concat "\n"
+      (List.map
+         (fun e ->
+           let t0 = Sys.time () in
+           let b = e.Experiments.Report.run ~mode ~seed in
+           Printf.sprintf "%s\n(experiment '%s' took %.1f s of CPU time)\n" b
+             e.Experiments.Report.name (Sys.time () -. t0))
+         selected)
+  in
+  (match out with
+  | None -> print_string body
+  | Some path ->
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  0
+
+open Cmdliner
+
+let list_arg =
+  let doc = "List the available experiments and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let full_arg =
+  let doc = "Full-size sweeps (slow); default is quick mode." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let names_arg =
+  let doc = "Experiment name (repeatable); default: all." in
+  Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed." in
+  Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let out_arg =
+  let doc = "Write the report to a file instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "regenerate the paper-reproduction experiment reports" in
+  let info = Cmd.info "experiments_main" ~version:"1.0" ~doc in
+  Cmd.v info Term.(const main $ list_arg $ full_arg $ names_arg $ seed_arg $ out_arg)
+
+let () = exit (Cmd.eval' cmd)

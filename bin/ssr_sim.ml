@@ -1,0 +1,183 @@
+(* ssr_sim: run one self-stabilizing ranking simulation from the command
+   line and print a timeline. Examples:
+
+     ssr_sim -p optimal -n 64 -s uniform --seed 7
+     ssr_sim -p sublinear -n 16 -H 4 -s name-collision -v
+     ssr_sim -p silent -n 32 -s worst-case
+     ssr_sim -p silent -n 2048 -s worst-case --count-engine
+     ssr_sim -p loose -n 32
+     ssr_sim -p optimal -n 24 -s duplicate-rank --topology ring *)
+
+let topology_of ~n = function
+  | "complete" -> None
+  | "ring" -> Some (Engine.Topology.ring ~n)
+  | "star" -> Some (Engine.Topology.star ~n)
+  | "regular4" -> Some (Engine.Topology.random_regular (Prng.create ~seed:99) ~n ~degree:4)
+  | other ->
+      Printf.eprintf "unknown topology '%s' (complete | ring | star | regular4)\n" other;
+      exit 2
+
+let run_generic (type s) ~(protocol : s Engine.Protocol.t) ~(init : s array) ~seed ~verbose
+    ~horizon_scale ~topology =
+  let n = protocol.Engine.Protocol.n in
+  let rng = Prng.create ~seed in
+  let sim =
+    match topology_of ~n topology with
+    | None -> Engine.Sim.make ~protocol ~init ~rng
+    | Some t -> Engine.Sim.make_with ~sampler:(Engine.Topology.sampler t) ~protocol ~init ~rng
+  in
+  let collector = Engine.Trace.collector ~interval:(max 1 (n / 2)) () in
+  let metric s =
+    ( Engine.Sim.leader_count s,
+      Engine.Sim.ranked_agents s,
+      if Engine.Sim.ranking_correct s then "RANKED" else "" )
+  in
+  let on_step s = Engine.Trace.hook collector metric s in
+  let outcome =
+    Engine.Runner.run_to_stability ~on_step ~task:Engine.Runner.Ranking
+      ~max_interactions:
+        (Engine.Runner.default_horizon ~n ~expected_time:(horizon_scale *. float_of_int n))
+      ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+      sim
+  in
+  if verbose then begin
+    Printf.printf "time       leaders  ranked  status\n";
+    List.iter
+      (fun (t, (leaders, ranked, status)) -> Printf.printf "%-10.2f %-8d %-7d %s\n" t leaders ranked status)
+      (Engine.Trace.series collector)
+  end;
+  Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
+  Printf.printf "population          : %d\n" n;
+  Printf.printf "converged           : %b\n" outcome.Engine.Runner.converged;
+  Printf.printf "stabilization time  : %.2f (parallel time units)\n"
+    outcome.Engine.Runner.convergence_time;
+  Printf.printf "interactions        : %d\n" outcome.Engine.Runner.total_interactions;
+  Printf.printf "correctness losses  : %d\n" outcome.Engine.Runner.violations;
+  if protocol.Engine.Protocol.deterministic && outcome.Engine.Runner.converged then
+    Printf.printf "final config silent : %b\n"
+      (Engine.Silence.configuration_is_silent protocol (Engine.Sim.snapshot sim));
+  if outcome.Engine.Runner.converged then 0 else 1
+
+let lookup_scenario ~kind catalogue scenario =
+  match List.assoc_opt scenario catalogue with
+  | Some gen -> gen
+  | None ->
+      let names = String.concat ", " (List.map fst catalogue) in
+      Printf.eprintf "unknown %s scenario '%s' (available: %s)\n" kind scenario names;
+      exit 2
+
+(* Exact run on the count-based engine (silent deterministic protocols). *)
+let run_count_engine (type s) ~(protocol : s Engine.Protocol.t) ~(init : s array) ~seed =
+  let rng = Prng.create ~seed in
+  let cs = Engine.Count_sim.make ~protocol ~init ~rng in
+  let o = Engine.Count_sim.run_to_silence cs in
+  Printf.printf "protocol            : %s (count-based engine)\n" protocol.Engine.Protocol.name;
+  Printf.printf "population          : %d\n" protocol.Engine.Protocol.n;
+  Printf.printf "silent              : %b\n" o.Engine.Count_sim.silent;
+  Printf.printf "ranking correct     : %b\n" o.Engine.Count_sim.correct;
+  Printf.printf "stabilization time  : %.2f (exact; parallel time units)\n"
+    o.Engine.Count_sim.stabilization_time;
+  Printf.printf "productive events   : %d of %d interactions\n" o.Engine.Count_sim.events
+    o.Engine.Count_sim.interactions;
+  if o.Engine.Count_sim.silent && o.Engine.Count_sim.correct then 0 else 1
+
+let run_loose ~n ~seed ~verbose =
+  let t_max = 4 * n in
+  let protocol = Core.Loose.protocol ~n ~t_max in
+  let rng = Prng.create ~seed in
+  let sim = Engine.Sim.make ~protocol ~init:(Core.Loose.uniform rng ~n ~t_max) ~rng in
+  let horizon = 100 * t_max * n in
+  while (not (Engine.Sim.leader_correct sim)) && Engine.Sim.interactions sim < horizon do
+    Engine.Sim.step sim
+  done;
+  Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
+  Printf.printf "population          : %d (rules only use t_max=%d)\n" n t_max;
+  Printf.printf "unique leader       : %b after %.2f time units\n"
+    (Engine.Sim.leader_correct sim) (Engine.Sim.parallel_time sim);
+  if verbose then begin
+    let start = Engine.Sim.interactions sim in
+    while Engine.Sim.leader_correct sim && Engine.Sim.interactions sim - start < 50_000 * n do
+      Engine.Sim.step sim
+    done;
+    if Engine.Sim.leader_correct sim then
+      Printf.printf "holding time        : > %.0f time units (budget exhausted)\n"
+        (float_of_int (Engine.Sim.interactions sim - start) /. float_of_int n)
+    else
+      Printf.printf "holding time        : %.0f time units (loose stabilization)\n"
+        (float_of_int (Engine.Sim.interactions sim - start) /. float_of_int n)
+  end;
+  if Engine.Sim.leader_correct sim || verbose then 0 else 1
+
+let main protocol_name n h scenario seed verbose topology count_engine =
+  let scen_rng = Prng.create ~seed:(seed + 1000) in
+  match protocol_name with
+  | "silent" ->
+      let protocol = Core.Silent_n_state.protocol ~n in
+      let gen = lookup_scenario ~kind:"silent" (Core.Scenarios.silent_catalogue ~n) scenario in
+      if count_engine then run_count_engine ~protocol ~init:(gen scen_rng) ~seed
+      else
+        run_generic ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:(float_of_int n)
+          ~topology
+  | "optimal" ->
+      let params = Core.Params.optimal_silent n in
+      let protocol = Core.Optimal_silent.protocol ~params ~n () in
+      let gen =
+        lookup_scenario ~kind:"optimal" (Core.Scenarios.optimal_catalogue ~params ~n) scenario
+      in
+      if count_engine then run_count_engine ~protocol ~init:(gen scen_rng) ~seed
+      else run_generic ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0 ~topology
+  | "sublinear" ->
+      let params = Core.Params.sublinear ~h n in
+      let protocol = Core.Sublinear.protocol ~params ~n ~h () in
+      let gen =
+        lookup_scenario ~kind:"sublinear" (Core.Scenarios.sublinear_catalogue ~params ~n) scenario
+      in
+      run_generic ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0 ~topology
+  | "loose" -> run_loose ~n ~seed ~verbose
+  | other ->
+      Printf.eprintf "unknown protocol '%s' (silent | optimal | sublinear | loose)\n" other;
+      2
+
+open Cmdliner
+
+let protocol_arg =
+  let doc = "Protocol: silent (Silent-n-state-SSR), optimal (Optimal-Silent-SSR), sublinear (Sublinear-Time-SSR) or loose (loosely-stabilizing LE)." in
+  Arg.(value & opt string "optimal" & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+
+let n_arg =
+  let doc = "Population size." in
+  Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc)
+
+let h_arg =
+  let doc = "History depth H for the sublinear protocol (0 = direct detection)." in
+  Arg.(value & opt int 2 & info [ "H"; "depth" ] ~docv:"H" ~doc)
+
+let scenario_arg =
+  let doc = "Initial-configuration scenario (use a bogus name to list the options)." in
+  Arg.(value & opt string "uniform" & info [ "s"; "scenario" ] ~docv:"SCENARIO" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let verbose_arg =
+  let doc = "Print the convergence timeline (for loose: also measure holding time)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let topology_arg =
+  let doc = "Interaction graph: complete, ring, star or regular4." in
+  Arg.(value & opt string "complete" & info [ "topology" ] ~docv:"GRAPH" ~doc)
+
+let count_engine_arg =
+  let doc = "Use the exact count-based engine (silent protocols; ignores --topology)." in
+  Arg.(value & flag & info [ "count-engine" ] ~doc)
+
+let cmd =
+  let doc = "simulate self-stabilizing ranking / leader election population protocols" in
+  let info = Cmd.info "ssr_sim" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      const main $ protocol_arg $ n_arg $ h_arg $ scenario_arg $ seed_arg $ verbose_arg
+      $ topology_arg $ count_engine_arg)
+
+let () = exit (Cmd.eval' cmd)

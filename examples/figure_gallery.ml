@@ -1,0 +1,15 @@
+(* Figure gallery: print the reproductions of the paper's two figures.
+
+   - Figure 1: the binary-tree rank assignment of Optimal-Silent-SSR at
+     n = 12 with 8 settled agents;
+   - Figure 2: the two example executions of Detect-Name-Collision's
+     history trees, with the caption's consistency checks.
+
+     dune exec examples/figure_gallery.exe *)
+
+let () =
+  print_endline "===== Figure 1: rank assignment in Optimal-Silent-SSR (n = 12) =====\n";
+  print_string (Experiments.Exp_figures.figure1_tree ~n:12 ~settled:8);
+  print_endline "";
+  print_endline "===== Figure 2: history trees in Detect-Name-Collision =====\n";
+  print_string (Experiments.Exp_figures.figure2_script ())

@@ -1,0 +1,41 @@
+(* Quickstart: elect a leader (and rank every agent) starting from a fully
+   adversarial configuration, using Optimal-Silent-SSR.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  let n = 32 in
+  let seed = 42 in
+  (* 1. Build the protocol. Protocols are strongly nonuniform (Theorem 2.1
+     of the paper): they are compiled for one exact population size. *)
+  let params = Core.Params.optimal_silent n in
+  let protocol = Core.Optimal_silent.protocol ~params ~n () in
+  (* 2. Pick an initial configuration. Self-stabilization means ANY
+     configuration works; take independently uniform adversarial states. *)
+  let rng = Prng.create ~seed in
+  let init = Core.Scenarios.optimal_uniform rng ~params ~n in
+  (* 3. Simulate until the ranking stabilizes. *)
+  let sim = Engine.Sim.make ~protocol ~init ~rng in
+  let outcome =
+    Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+      ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time:(float_of_int (20 * n)))
+      ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+      sim
+  in
+  Printf.printf "stabilized: %b after %.1f parallel time (%d interactions)\n"
+    outcome.Engine.Runner.converged outcome.Engine.Runner.convergence_time
+    outcome.Engine.Runner.total_interactions;
+  (* 4. Inspect the result: a unique leader and ranks 1..n. *)
+  let leaders = Core.Leader_election.leader_indices protocol (Engine.Sim.snapshot sim) in
+  Printf.printf "leader agent: %s\n"
+    (String.concat ", " (List.map string_of_int leaders));
+  Printf.printf "agent ranks : ";
+  for i = 0 to n - 1 do
+    match protocol.Engine.Protocol.rank (Engine.Sim.state sim i) with
+    | Some r -> Printf.printf "%d " r
+    | None -> Printf.printf "? "
+  done;
+  print_newline ();
+  (* 5. The final configuration is silent: no interaction changes it. *)
+  Printf.printf "final configuration silent: %b\n"
+    (Engine.Silence.configuration_is_silent protocol (Engine.Sim.snapshot sim))

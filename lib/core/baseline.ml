@@ -1,0 +1,26 @@
+type state = Leader | Follower
+
+let protocol ~n : state Engine.Protocol.t =
+  if n < 2 then invalid_arg "Baseline.protocol: n must be >= 2";
+  let transition _rng a b =
+    match (a, b) with
+    | Leader, Leader -> (Leader, Follower)
+    | Leader, Follower | Follower, Leader | Follower, Follower -> (a, b)
+  in
+  let rank = function Leader -> Some 1 | Follower -> None in
+  {
+    Engine.Protocol.name = "Initialized-LE";
+    n;
+    transition;
+    deterministic = true;
+    equal = ( = );
+    pp =
+      (fun fmt s ->
+        Format.pp_print_string fmt (match s with Leader -> "L" | Follower -> "F"));
+    rank;
+    is_leader = (fun s -> s = Leader);
+  }
+
+let all_leaders ~n = Array.make n Leader
+
+let all_followers ~n = Array.make n Follower

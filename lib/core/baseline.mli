@@ -1,0 +1,22 @@
+(** The classic {e initialized} (non-self-stabilizing) leader election.
+
+    One bit per agent and the single transition [ℓ,ℓ → ℓ,f]: from the
+    intended all-leaders initial configuration the leaders pairwise
+    annihilate down to one in Θ(n) time. The paper's introduction uses this
+    protocol to motivate self-stabilization: started from the all-followers
+    configuration it is stuck forever with zero leaders, because it can
+    only destroy leaders, never create them. The experiments demonstrate
+    both behaviours, and the all-leaders configuration also exhibits the
+    Ω(log n) lower bound for any SSLE protocol (Section 1.1: a coupon
+    collector argument over the n−1 leaders that must lose an
+    interaction). *)
+
+type state = Leader | Follower
+
+val protocol : n:int -> state Engine.Protocol.t
+(** Observations: [is_leader] is the bit; [rank] is [Some 1] for a leader
+    and [None] otherwise (the protocol does not rank — the paper notes it
+    has too few states for ranking to even be definable). *)
+
+val all_leaders : n:int -> state array
+val all_followers : n:int -> state array

@@ -1,0 +1,91 @@
+(** Interaction-history trees for Detect-Name-Collision (Protocols 7–8).
+
+    Each Collecting agent of Sublinear-Time-SSR stores a tree of depth at
+    most [H]. The root is the agent itself (implicit; a tree value is the
+    forest of depth-1 subtrees). Every node is labelled with a name; every
+    edge carries a [sync] value — a shared random number generated when the
+    corresponding pair of agents last interacted — and a freshness [timer]
+    that ticks down once per interaction of the owning agent. A root-to-node
+    path records a chain of recent interactions: the path
+    [me --3--> b --5--> c] means "when I last met [b] we drew sync 3, and
+    [b] then told me that when it had last met [c] they drew sync 5".
+
+    Name collisions are detected by confronting such a path ending at a
+    name with the agent actually carrying that name: the honest carrier
+    always holds a matching sync somewhere along the reversed path
+    (Figure 2), while an impostor with the same name misses all of them
+    with probability [1 - O(1/S_max)] per edge.
+
+    All values are immutable; operations return new trees. *)
+
+type node = {
+  name : Name.t;  (** label of the child node *)
+  sync : int;  (** sync value on the edge from the parent *)
+  timer : int;  (** freshness countdown; 0 = outdated (kept but ignored) *)
+  children : node list;
+}
+
+type t = node list
+(** Depth-1 subtrees of the implicit root, in no particular order. The
+    protocol maintains the invariant that sibling names are distinct. *)
+
+val empty : t
+
+val depth : t -> int
+(** Number of edges on the longest root-to-leaf path; [0] for {!empty}. *)
+
+val node_count : t -> int
+
+val decrement_timers : t -> t
+(** Tick every edge timer down (floored at 0) — Protocol 7, lines 13–14. *)
+
+val truncate : depth:int -> t -> t
+(** Keep only nodes within [depth] edges of the root; [depth <= 0] gives
+    {!empty}. *)
+
+val remove_named : name:Name.t -> t -> t
+(** Remove every subtree whose root node is labelled [name] — Protocol 7,
+    lines 11–12 (keeping the tree simply labelled). *)
+
+val find_child : name:Name.t -> t -> node option
+(** The depth-1 subtree labelled [name], if any. *)
+
+val merge :
+  h:int -> own:Name.t -> partner:Name.t -> partner_tree:t -> sync:int -> timer:int -> t -> t
+(** [merge ~h ~own ~partner ~partner_tree ~sync ~timer tree] performs the
+    tree update of Protocol 7, lines 7–12: replaces the depth-1 subtree
+    labelled [partner] with a fresh copy of [partner_tree] truncated to
+    depth [h-1], hangs it on an edge carrying [sync] and [timer], and
+    removes any node labelled [own]. [h <= 0] leaves the tree empty (the
+    direct-detection variant stores no history). *)
+
+val fresh_paths_to : name:Name.t -> t -> (Name.t * int) list list
+(** All root-to-node paths whose edges all have [timer > 0] and whose final
+    node is labelled [name]; each path is the list of [(node name, edge
+    sync)] pairs from depth 1 to the final node — Protocol 7, line 2. *)
+
+val consistent : tree:t -> origin:Name.t -> path:(Name.t * int) list -> bool
+(** Check-Path-Consistency (Protocol 8). [tree] belongs to the agent [j]
+    being confronted; [path] is a path from agent [origin]'s tree whose
+    final node carries [j]'s name. [j] walks its own tree along the
+    reversed path (ending at [origin]) as deep as it exists; the check
+    passes iff some edge along that walk carries the same sync as the
+    corresponding edge of [path]. Timers on [j]'s side are ignored, per the
+    protocol. Returns [false] ("Inconsistent") when no edge matches —
+    including when the walk cannot even start. *)
+
+val consistent_at : tree:t -> origin:Name.t -> path:(Name.t * int) list -> int option
+(** Like {!consistent} but returns the 1-based position (counting outward
+    from the confronted agent) of the first matching edge, or [None] when
+    inconsistent — used to reproduce Figure 2's captions ("returns True
+    after checking the first/second edge"). *)
+
+val simply_labelled : own:Name.t -> t -> bool
+(** [true] iff no root-to-node path repeats a name and [own] appears
+    nowhere — the invariant the protocol maintains for its own tree. *)
+
+val sibling_names_distinct : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering in the style of Figure 2: one node per line,
+    children indented, edges annotated with sync (and timer). *)

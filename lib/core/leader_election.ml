@@ -1,0 +1,14 @@
+let immobilize (p : 'a Engine.Protocol.t) : 'a Engine.Protocol.t =
+  let transition rng a b =
+    let a', b' = p.Engine.Protocol.transition rng a b in
+    let leader = p.Engine.Protocol.is_leader in
+    let migrated_to_b = leader a && (not (leader b)) && leader b' && not (leader a') in
+    let migrated_to_a = leader b && (not (leader a)) && leader a' && not (leader b') in
+    if migrated_to_b || migrated_to_a then (b', a') else (a', b')
+  in
+  { p with Engine.Protocol.name = p.Engine.Protocol.name ^ "+immobilized"; transition }
+
+let leader_indices (p : 'a Engine.Protocol.t) population =
+  let acc = ref [] in
+  Array.iteri (fun i s -> if p.Engine.Protocol.is_leader s then acc := i :: !acc) population;
+  List.rev !acc

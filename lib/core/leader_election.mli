@@ -1,0 +1,19 @@
+(** From ranking to leader election.
+
+    Any protocol solving self-stabilizing ranking also solves
+    self-stabilizing leader election by declaring the agent ranked 1 the
+    leader (Section 2); protocols built by this repository already observe
+    [is_leader] that way. This module adds the paper's footnote 7: the
+    leader {e bit} may hop between agents whenever a transition swaps the
+    rank-1 state to the other agent; [immobilize] rewrites such transitions
+    [(x, y) → (w, z)] with [x] a leader and [z] a leader into
+    [(x, y) → (z, w)], so that once a unique leader exists, the same agent
+    stays the leader forever — an equivalent protocol on the complete
+    interaction graph. *)
+
+val immobilize : 'a Engine.Protocol.t -> 'a Engine.Protocol.t
+(** [immobilize p] swaps transition outputs whenever the leader bit would
+    otherwise migrate from one agent of the pair to the other. *)
+
+val leader_indices : 'a Engine.Protocol.t -> 'a array -> int list
+(** Agents currently observing as leader. *)

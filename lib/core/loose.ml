@@ -1,0 +1,38 @@
+type state = { leader : bool; timer : int }
+
+let default_t_max ~upper_bound =
+  if upper_bound < 2 then invalid_arg "Loose.default_t_max: upper bound must be >= 2";
+  8 * upper_bound * Params.ceil_ln upper_bound
+
+let protocol ~n ~t_max : state Engine.Protocol.t =
+  if n < 2 then invalid_arg "Loose.protocol: n must be >= 2";
+  if t_max < 1 then invalid_arg "Loose.protocol: t_max must be >= 1";
+  let transition _rng a b =
+    (* the larger timer propagates, one tick poorer *)
+    let shared = max (max a.timer b.timer - 1) 0 in
+    let settle s =
+      if s.leader then { s with timer = t_max }
+      else if shared = 0 then { leader = true; timer = t_max } (* timeout: no leader heard *)
+      else { s with timer = shared }
+    in
+    let a' = settle a in
+    let b' = settle b in
+    (* surplus leaders annihilate pairwise *)
+    if a'.leader && b'.leader then (a', { b' with leader = false }) else (a', b')
+  in
+  let rank s = if s.leader then Some 1 else None in
+  {
+    Engine.Protocol.name = Printf.sprintf "Loose-LE(T_max=%d)" t_max;
+    n;
+    transition;
+    deterministic = true;
+    equal = ( = );
+    pp = (fun fmt s -> Format.fprintf fmt "%s(timer=%d)" (if s.leader then "L" else "F") s.timer);
+    rank;
+    is_leader = (fun s -> s.leader);
+  }
+
+let all_followers ~n ~t_max = Array.make n { leader = false; timer = t_max }
+
+let uniform rng ~n ~t_max =
+  Array.init n (fun _ -> { leader = Prng.bool rng; timer = Prng.int rng (t_max + 1) })

@@ -1,0 +1,42 @@
+(** Loosely-stabilizing leader election (the paper's Section 1 "Problem
+    variants"; protocol in the style of Sudo et al. [56]).
+
+    Self-stabilizing leader election requires agents to know the exact
+    population size (Theorem 2.1). Relaxing self-stabilization to
+    {e loose} stabilization — a unique leader must emerge from any
+    configuration and then persist only for a {e long} time, not forever —
+    removes that requirement: agents need only an upper bound [N >= n].
+
+    The protocol is timeout-based. Every agent carries a countdown timer;
+    leaders pump it back up to [T_max], the larger timer value spreads (one
+    tick poorer) on every interaction, so a living leader keeps the whole
+    population's timers high via epidemic. An agent whose timer reaches 0
+    concludes no leader exists and becomes one; surplus leaders annihilate
+    pairwise ([L,L → L,F]).
+
+    Convergence takes O(T_max) parallel time from any configuration; the
+    holding time of the elected leader grows rapidly with [T_max] (the
+    exponential-slack trade-off the paper cites), which the loose_le
+    experiment measures. Contrast both directions with the SSLE protocols:
+    those hold forever but hardcode [n]. *)
+
+type state = { leader : bool; timer : int }
+
+val protocol : n:int -> t_max:int -> state Engine.Protocol.t
+(** [protocol ~n ~t_max] builds the protocol. [n] is only the simulated
+    population size — the transition rules depend solely on [t_max], which
+    callers derive from an upper bound [N >= n] (e.g. [t_max = c·N·ln N]);
+    the same transition function works for every population up to [N],
+    which is exactly what Theorem 2.1 forbids for true SSLE.
+    Observations: [is_leader] is the leader bit; [rank] is [Some 1] for
+    leaders and [None] otherwise (the protocol does not rank). *)
+
+val default_t_max : upper_bound:int -> int
+(** [8·N·⌈ln N⌉] — enough slack for days-long holding at laptop scales. *)
+
+val all_followers : n:int -> t_max:int -> state array
+(** The configuration that defeats initialized leader election: no leader,
+    all timers maxed. Loose stabilization recovers from it. *)
+
+val uniform : Prng.t -> n:int -> t_max:int -> state array
+(** Uniformly random leader bits and timers. *)

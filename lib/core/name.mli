@@ -1,0 +1,51 @@
+(** Agent names for Sublinear-Time-SSR (Section 5.1).
+
+    A name is a bitstring of length at most [3·⌈log₂ n⌉]. Fresh names are
+    drawn uniformly at random bit-by-bit during the dormant phase of a reset
+    (Protocol 5, lines 14–15), so intermediate names are proper prefixes;
+    the empty name [ε] is the cleared state while a reset propagates.
+
+    Names are ordered lexicographically as bitstrings; completed names all
+    have the same length, where lexicographic order coincides with the
+    numeric order of the bit pattern. Agents' ranks are their names'
+    lexicographic positions in the collected roster. *)
+
+type t
+(** Immutable bitstring of length 0..62. *)
+
+val empty : t
+(** The cleared name [ε]. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val append_bit : t -> bool -> t
+(** [append_bit s b] extends [s] by one bit. Raises [Invalid_argument] past
+    62 bits. *)
+
+val is_complete : width:int -> t -> bool
+(** [is_complete ~width s] is [length s >= width]. *)
+
+val random : Prng.t -> width:int -> t
+(** A uniform random complete name of [width] bits. *)
+
+val of_int : bits:int -> len:int -> t
+(** [of_int ~bits ~len] builds the name whose [len]-bit big-endian pattern
+    is [bits]. Requires [0 <= bits < 2^len]. *)
+
+val to_int : t -> int
+(** The bit pattern as an integer (caller should know the length). *)
+
+val compare : t -> t -> int
+(** Lexicographic bitstring order; a proper prefix sorts first. *)
+
+val equal : t -> t -> bool
+
+val bit : t -> int -> bool
+(** [bit s i] is the [i]-th bit, [0] = most significant/first. *)
+
+val to_string : t -> string
+(** Bits as ['0']/['1'] characters; [ε] for the empty name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+type computing =
+  | Settled of { rank : int; children : int }
+  | Unsettled of { errorcount : int }
+
+type state = (computing, bool) Reset.role
+
+let settled ~rank ~children = Reset.Computing (Settled { rank; children })
+
+let unsettled ~errorcount = Reset.Computing (Unsettled { errorcount })
+
+let resetting ~leader ~resetcount ~delaytimer =
+  Reset.Resetting { Reset.resetcount; delaytimer; payload = leader }
+
+let equal_computing x y =
+  match (x, y) with
+  | Settled a, Settled b -> a.rank = b.rank && a.children = b.children
+  | Unsettled a, Unsettled b -> a.errorcount = b.errorcount
+  | Settled _, Unsettled _ | Unsettled _, Settled _ -> false
+
+let equal = Reset.equal_role equal_computing Bool.equal
+
+let pp_computing fmt = function
+  | Settled s -> Format.fprintf fmt "Settled(rank=%d, children=%d)" s.rank s.children
+  | Unsettled u -> Format.fprintf fmt "Unsettled(errorcount=%d)" u.errorcount
+
+let pp = Reset.pp_role pp_computing (fun fmt l -> Format.pp_print_string fmt (if l then "L" else "F"))
+
+let spec ~(params : Params.optimal_silent) : (computing, bool) Reset.spec =
+  {
+    Reset.r_max = params.Params.r_max;
+    d_max = params.Params.d_max;
+    (* Every agent enters the Resetting role as a leader candidate. *)
+    recruit_payload = (fun _rng -> true);
+    propagating_tick = (fun _rng leader -> leader);
+    dormant_tick = (fun _rng leader -> leader);
+    (* Slow leader election L,L -> L,F during the reset (Protocol 3, l. 3-4). *)
+    resetting_pair = (fun _rng la lb -> if la && lb then (true, false) else (la, lb));
+    (* Protocol 4: the leader settles at the tree root, followers wait. *)
+    awaken =
+      (fun _rng leader ->
+        if leader then Settled { rank = 1; children = 0 }
+        else Unsettled { errorcount = params.Params.e_max });
+  }
+
+let protocol ?params ~n () : state Engine.Protocol.t =
+  if n < 2 then invalid_arg "Optimal_silent.protocol: n must be >= 2";
+  let params = match params with Some p -> p | None -> Params.optimal_silent n in
+  let spec = spec ~params in
+  let trigger () = Reset.trigger ~spec true in
+  (* Recruitment (Protocol 3, lines 9-13): a Settled agent with a free slot
+     hands the next binary-tree rank (2r, then 2r+1, when <= n) to an
+     Unsettled partner. *)
+  let recruit i j =
+    match (i, j) with
+    | Settled s, Unsettled _ when s.children < 2 && (2 * s.rank) + s.children <= n ->
+        Some
+          ( Settled { s with children = s.children + 1 },
+            Settled { rank = (2 * s.rank) + s.children; children = 0 } )
+    | (Settled _ | Unsettled _), (Settled _ | Unsettled _) -> None
+  in
+  (* Starvation countdown (lines 14-20); returns the updated state and
+     whether the alarm fired. *)
+  let countdown = function
+    | Unsettled u ->
+        let errorcount = max (u.errorcount - 1) 0 in
+        (Unsettled { errorcount }, errorcount = 0)
+    | Settled _ as s -> (s, false)
+  in
+  let transition rng a b =
+    match (a, b) with
+    | Reset.Resetting _, _ | _, Reset.Resetting _ -> Reset.step ~spec rng a b
+    | Reset.Computing ca, Reset.Computing cb -> begin
+        match (ca, cb) with
+        | Settled sa, Settled sb when sa.rank = sb.rank ->
+            (* Rank collision (lines 5-8): both trigger a global reset. *)
+            (trigger (), trigger ())
+        | _ -> begin
+            let ca, cb =
+              match recruit ca cb with
+              | Some (ca, cb) -> (ca, cb)
+              | None -> ( match recruit cb ca with
+                  | Some (cb, ca) -> (ca, cb)
+                  | None -> (ca, cb) )
+            in
+            let ca, alarm_a = countdown ca in
+            let cb, alarm_b = countdown cb in
+            if alarm_a || alarm_b then (trigger (), trigger ())
+            else (Reset.Computing ca, Reset.Computing cb)
+          end
+      end
+  in
+  let rank = function
+    | Reset.Computing (Settled s) -> Some s.rank
+    | Reset.Computing (Unsettled _) | Reset.Resetting _ -> None
+  in
+  {
+    Engine.Protocol.name = "Optimal-Silent-SSR";
+    n;
+    transition;
+    deterministic = true;
+    equal;
+    pp;
+    rank;
+    is_leader = Engine.Protocol.leader_from_rank rank;
+  }
+
+let states ~(params : Params.optimal_silent) ~n =
+  (3 * n) + (params.Params.e_max + 1) + (2 * (params.Params.r_max + params.Params.d_max + 1))

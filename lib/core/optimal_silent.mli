@@ -1,0 +1,42 @@
+(** Optimal-Silent-SSR (Protocols 3–4, Section 4).
+
+    The paper's linear-time, linear-state, silent self-stabilizing ranking
+    protocol — time- and space-optimal in the class of silent protocols
+    (Observation 2.2). Agents are [Settled] (they hold a rank and recruit up
+    to two children), [Unsettled] (waiting for a rank, counting an
+    [errorcount] down as a starvation alarm) or [Resetting] (inside a
+    {!Reset} wave, carrying a leader bit).
+
+    Errors trigger a global reset: a rank collision between two Settled
+    agents, or an Unsettled agent starving for [E_max] of its interactions.
+    During the Θ(n)-long dormant phase of the reset the agents run the slow
+    leader election [L,L → L,F]; on awakening the surviving leader settles
+    with rank 1 and everyone else becomes Unsettled. Ranks then propagate
+    down a full binary tree: the agent ranked [r] hands out ranks [2r] and
+    [2r+1] (when ≤ n) to the first Unsettled agents it meets (Figure 1).
+
+    Θ(n) expected stabilization time, Θ(n log n) WHP, O(n) states
+    (Table 1, row 2). The protocol is deterministic, so the generic
+    {!Engine.Silence} check applies to its stable configurations. *)
+
+type computing =
+  | Settled of { rank : int; children : int }
+  | Unsettled of { errorcount : int }
+
+type state = (computing, bool) Reset.role
+(** The Resetting payload is the leader bit ([true] = L). *)
+
+val protocol : ?params:Params.optimal_silent -> n:int -> unit -> state Engine.Protocol.t
+(** [protocol ~n ()] builds the protocol for exactly [n] agents; [params]
+    defaults to [Params.optimal_silent ~n] (tuned preset). *)
+
+val settled : rank:int -> children:int -> state
+val unsettled : errorcount:int -> state
+val resetting : leader:bool -> resetcount:int -> delaytimer:int -> state
+
+val states : params:Params.optimal_silent -> n:int -> int
+(** Exact size of the state space: [3n] Settled + [E_max+1] Unsettled +
+    [2·(R_max + D_max + 1)] Resetting — O(n) (Table 1). *)
+
+val equal : state -> state -> bool
+val pp : Format.formatter -> state -> unit

@@ -1,0 +1,52 @@
+type preset = Paper | Tuned
+
+type optimal_silent = { r_max : int; d_max : int; e_max : int }
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Params.ceil_log2: n must be >= 1";
+  let rec loop p k = if p >= n then k else loop (p * 2) (k + 1) in
+  loop 1 0
+
+let ceil_ln n =
+  if n < 1 then invalid_arg "Params.ceil_ln: n must be >= 1";
+  int_of_float (Float.ceil (log (float_of_int n)))
+
+let h_log n = max 1 (ceil_log2 n)
+
+let check_n n = if n < 2 then invalid_arg "Params: population size must be >= 2"
+
+let optimal_silent ?(preset = Tuned) n =
+  check_n n;
+  match preset with
+  | Paper -> { r_max = max 2 (60 * ceil_ln n); d_max = 8 * n; e_max = 20 * n }
+  | Tuned -> { r_max = max 6 (4 * ceil_ln n); d_max = 6 * n; e_max = 12 * n }
+
+type sublinear = { r_max : int; d_max : int; t_h : int; s_max : int; name_bits : int; h : int }
+
+(* T_H tracks the bounded-epidemic time τ_{H+1} = Θ((H+1)·n^{1/(H+1)})
+   (Θ(log n) once H = Ω(log n)), doubled into own-interaction units. *)
+let t_h_value ~c_poly ~c_log ~n ~h =
+  if h = 0 then 0
+  else if h >= ceil_log2 n then max 4 (c_log * ceil_ln n)
+  else begin
+    let nf = float_of_int n in
+    let hf = float_of_int h in
+    max 4 (int_of_float (Float.ceil (c_poly *. (hf +. 1.0) *. (nf ** (1.0 /. (hf +. 1.0))))))
+  end
+
+let sublinear ?(preset = Tuned) ~h n =
+  check_n n;
+  if h < 0 then invalid_arg "Params.sublinear: H must be >= 0";
+  let name_bits = 3 * ceil_log2 n in
+  let r_max, d_max, t_h =
+    match preset with
+    | Paper ->
+        ( max 2 (60 * ceil_ln n),
+          name_bits + (8 * ceil_ln n),
+          t_h_value ~c_poly:8.0 ~c_log:16 ~n ~h )
+    | Tuned ->
+        ( max 6 (4 * ceil_ln n),
+          name_bits + (4 * ceil_ln n),
+          t_h_value ~c_poly:6.0 ~c_log:10 ~n ~h )
+  in
+  { r_max; d_max; t_h; s_max = n * n; name_bits; h }

@@ -1,0 +1,53 @@
+(** Protocol parameter presets.
+
+    The paper fixes parameters only up to Θ(·): [R_max = 60·ln n],
+    [D_max = Θ(n)] (Optimal-Silent-SSR) or [Θ(log n)] (Sublinear-Time-SSR),
+    [E_max = Θ(n)], [T_H = Θ(τ_{H+1})], [S_max = Θ(n²)]. Constants matter
+    for finite-size experiments, so two presets are provided:
+
+    - [Paper]: the paper's stated constants where given ([R_max = 60 ln n]),
+      generous choices elsewhere. Safe but slow at small [n].
+    - [Tuned]: smaller constants with the same asymptotics, calibrated so
+      that measured curves show the asymptotic shape at laptop-scale [n].
+      This is the default everywhere.
+
+    Counters ([delaytimer], [errorcount], edge timers) tick once per
+    interaction {e of the owning agent}; an agent takes part in about [2·t]
+    interactions during [t] parallel time, which is why the own-interaction
+    budgets below carry a factor ≈2 relative to parallel-time targets. *)
+
+type preset = Paper | Tuned
+
+type optimal_silent = {
+  r_max : int;  (** initial resetcount of a triggered agent, Θ(log n) *)
+  d_max : int;  (** dormant delay, Θ(n): must cover slow leader election *)
+  e_max : int;  (** Unsettled starvation budget, Θ(n): must cover ranking *)
+}
+
+val optimal_silent : ?preset:preset -> int -> optimal_silent
+(** [optimal_silent n] — parameters for population size [n]. *)
+
+type sublinear = {
+  r_max : int;  (** as above *)
+  d_max : int;
+      (** dormant delay, Θ(log n), at least [name_bits] so a fresh random
+          name completes before awakening *)
+  t_h : int;  (** history-tree edge timer, Θ(τ_{H+1}) own-interactions *)
+  s_max : int;  (** sync values drawn from [1..s_max], [n²] *)
+  name_bits : int;  (** 3·⌈log₂ n⌉ (Section 5.1) *)
+  h : int;  (** history-tree depth H *)
+}
+
+val sublinear : ?preset:preset -> h:int -> int -> sublinear
+(** [sublinear ~h n] — parameters for population size [n] and depth [h];
+    [h = 0] is the direct-collision (linear-time) variant ([t_h] = 0). *)
+
+val h_log : int -> int
+(** [h_log n = ⌈log₂ n⌉], the depth that makes Sublinear-Time-SSR run in
+    Θ(log n) time (Table 1 row 3). *)
+
+val ceil_log2 : int -> int
+(** [⌈log₂ n⌉] for [n >= 1]. *)
+
+val ceil_ln : int -> int
+(** [⌈ln n⌉] for [n >= 1]. *)

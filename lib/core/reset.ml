@@ -1,0 +1,106 @@
+type 'p resetting = { resetcount : int; delaytimer : int; payload : 'p }
+
+type ('c, 'p) role = Computing of 'c | Resetting of 'p resetting
+
+type ('c, 'p) spec = {
+  r_max : int;
+  d_max : int;
+  recruit_payload : Prng.t -> 'p;
+  propagating_tick : Prng.t -> 'p -> 'p;
+  dormant_tick : Prng.t -> 'p -> 'p;
+  resetting_pair : Prng.t -> 'p -> 'p -> 'p * 'p;
+  awaken : Prng.t -> 'p -> 'c;
+}
+
+let trigger ~spec payload =
+  Resetting { resetcount = spec.r_max; delaytimer = spec.d_max; payload }
+
+let is_propagating = function Resetting r -> r.resetcount > 0 | Computing _ -> false
+
+let is_resetting = function Resetting _ -> true | Computing _ -> false
+
+(* One side of the interaction, processed through lines 1–12 of Protocol 2.
+   [partner_propagating], [partner_was_computing] refer to the partner's
+   state at the start of the interaction. *)
+let step_side ~spec rng role ~partner_propagating ~partner_was_computing ~joint_count =
+  (* Lines 1–3: recruitment of a computing agent by a propagating one. *)
+  let role =
+    match role with
+    | Computing _ when partner_propagating ->
+        Resetting { resetcount = 0; delaytimer = spec.d_max; payload = spec.recruit_payload rng }
+    | Computing _ | Resetting _ -> role
+  in
+  match role with
+  | Computing _ -> role
+  | Resetting r -> begin
+      (* Lines 4–5: when both ends are Resetting, both resetcounts move to
+         max(a−1, b−1, 0), precomputed by the caller as [joint_count]. *)
+      let old_count = r.resetcount in
+      let r =
+        match joint_count with
+        | Some c -> { r with resetcount = c }
+        | None -> r
+      in
+      if r.resetcount > 0 then
+        Resetting { r with payload = spec.propagating_tick rng r.payload }
+      else begin
+        (* Lines 6–12: dormant bookkeeping and possible awakening. *)
+        let delaytimer =
+          if old_count > 0 then spec.d_max (* just became dormant *)
+          else max (r.delaytimer - 1) 0
+        in
+        if delaytimer = 0 || partner_was_computing then Computing (spec.awaken rng r.payload)
+        else Resetting { r with delaytimer; payload = spec.dormant_tick rng r.payload }
+      end
+    end
+
+let step ~spec rng ra rb =
+  match (ra, rb) with
+  | Computing _, Computing _ -> (ra, rb)
+  | _ -> begin
+      let a_propagating = is_propagating ra and b_propagating = is_propagating rb in
+      let a_was_computing = not (is_resetting ra) and b_was_computing = not (is_resetting rb) in
+      (* Both ends Resetting after recruitment ⇔ each end is Resetting or
+         has a propagating partner. *)
+      let both_resetting =
+        (is_resetting ra || b_propagating) && (is_resetting rb || a_propagating)
+      in
+      let joint_count =
+        if not both_resetting then None
+        else begin
+          let count = function
+            | Resetting r -> r.resetcount
+            | Computing _ -> 0 (* just recruited: resetcount 0 *)
+          in
+          Some (max (max (count ra - 1) (count rb - 1)) 0)
+        end
+      in
+      let ra' =
+        step_side ~spec rng ra ~partner_propagating:b_propagating
+          ~partner_was_computing:b_was_computing ~joint_count
+      in
+      let rb' =
+        step_side ~spec rng rb ~partner_propagating:a_propagating
+          ~partner_was_computing:a_was_computing ~joint_count
+      in
+      (* Pairwise payload interaction (e.g. L,L → L,F) when both ends are
+         still Resetting after any awakening, matching Protocol 3's order. *)
+      match (ra', rb') with
+      | Resetting x, Resetting y ->
+          let px, py = spec.resetting_pair rng x.payload y.payload in
+          (Resetting { x with payload = px }, Resetting { y with payload = py })
+      | _ -> (ra', rb')
+    end
+
+let equal_role eq_c eq_p x y =
+  match (x, y) with
+  | Computing a, Computing b -> eq_c a b
+  | Resetting a, Resetting b ->
+      a.resetcount = b.resetcount && a.delaytimer = b.delaytimer && eq_p a.payload b.payload
+  | Computing _, Resetting _ | Resetting _, Computing _ -> false
+
+let pp_role pp_c pp_p fmt = function
+  | Computing c -> Format.fprintf fmt "Computing(%a)" pp_c c
+  | Resetting r ->
+      Format.fprintf fmt "Resetting(count=%d, delay=%d, %a)" r.resetcount r.delaytimer pp_p
+        r.payload

@@ -1,0 +1,34 @@
+module Set = Stdlib.Set.Make (Name)
+
+type t = Set.t
+
+let empty = Set.empty
+
+let singleton = Set.singleton
+
+let of_list = Set.of_list
+
+let mem = Set.mem
+
+let add = Set.add
+
+let union = Set.union
+
+let cardinal = Set.cardinal
+
+let rank_of name roster =
+  if not (Set.mem name roster) then None
+  else begin
+    (* 1 + number of strictly smaller names. *)
+    let smaller, _, _ = Set.split name roster in
+    Some (Set.cardinal smaller + 1)
+  end
+
+let elements = Set.elements
+
+let equal = Set.equal
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") Name.pp)
+    (elements t)

@@ -1,0 +1,34 @@
+(** Rosters: sets of names collected by epidemic (Protocol 5).
+
+    Each Collecting agent holds the set of every name it has heard of.
+    Rosters merge by union on interaction; when a merged roster reaches
+    exactly [n] names the agents set their ranks to their own name's
+    position in it, and a merged roster exceeding [n] names proves a
+    {e ghost name} exists (pigeonhole), triggering a reset. *)
+
+type t
+
+val empty : t
+
+val singleton : Name.t -> t
+
+val of_list : Name.t list -> t
+
+val mem : Name.t -> t -> bool
+
+val add : Name.t -> t -> t
+
+val union : t -> t -> t
+
+val cardinal : t -> int
+
+val rank_of : Name.t -> t -> int option
+(** [rank_of name roster] is the 1-based lexicographic position of [name]
+    in [roster], or [None] when absent. *)
+
+val elements : t -> Name.t list
+(** In ascending lexicographic order. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,205 @@
+(* Silent-n-state-SSR *)
+
+let silent_uniform rng ~n = Array.init n (fun _ -> Silent_n_state.state_of_rank0 ~n (Prng.int rng n))
+
+let silent_all_zero ~n = Array.make n (Silent_n_state.state_of_rank0 ~n 0)
+
+let silent_correct ~n = Array.init n (fun i -> Silent_n_state.state_of_rank0 ~n i)
+
+let silent_worst_case ~n =
+  if n < 3 then invalid_arg "Scenarios.silent_worst_case: need n >= 3";
+  (* Two agents at rank 0, one at each rank 1..n-2, rank n-1 empty. *)
+  Array.init n (fun i ->
+      Silent_n_state.state_of_rank0 ~n (if i = n - 1 then 0 else i mod (n - 1)))
+
+(* Optimal-Silent-SSR *)
+
+(* Children count of rank r in the completed full binary tree on n nodes. *)
+let tree_children ~n r = (if 2 * r <= n then 1 else 0) + if (2 * r) + 1 <= n then 1 else 0
+
+let optimal_correct ~n =
+  Array.init n (fun i -> Optimal_silent.settled ~rank:(i + 1) ~children:(tree_children ~n (i + 1)))
+
+let optimal_duplicate_rank rng ~n =
+  let config = optimal_correct ~n in
+  (* Copy one agent's rank onto another: one duplicate, one hole. *)
+  let victim, source = Prng.distinct_pair rng n in
+  config.(victim) <- Optimal_silent.settled ~rank:(source + 1) ~children:(tree_children ~n (source + 1));
+  config
+
+let optimal_all_rank1 ~n = Array.init n (fun _ -> Optimal_silent.settled ~rank:1 ~children:0)
+
+let optimal_starved ~n = Array.init n (fun _ -> Optimal_silent.unsettled ~errorcount:0)
+
+let optimal_all_dormant_followers ~(params : Params.optimal_silent) ~n =
+  Array.init n (fun _ ->
+      Optimal_silent.resetting ~leader:false ~resetcount:0 ~delaytimer:params.Params.d_max)
+
+let optimal_random_state rng ~(params : Params.optimal_silent) ~n =
+  match Prng.int rng 4 with
+  | 0 -> Optimal_silent.settled ~rank:(1 + Prng.int rng n) ~children:(Prng.int rng 3)
+  | 1 -> Optimal_silent.unsettled ~errorcount:(Prng.int rng (params.Params.e_max + 1))
+  | 2 ->
+      Optimal_silent.resetting ~leader:(Prng.bool rng)
+        ~resetcount:(1 + Prng.int rng params.Params.r_max)
+        ~delaytimer:(Prng.int rng (params.Params.d_max + 1))
+  | _ ->
+      Optimal_silent.resetting ~leader:(Prng.bool rng) ~resetcount:0
+        ~delaytimer:(Prng.int rng (params.Params.d_max + 1))
+
+let optimal_uniform rng ~params ~n = Array.init n (fun _ -> optimal_random_state rng ~params ~n)
+
+let optimal_mid_reset rng ~(params : Params.optimal_silent) ~n =
+  Array.init n (fun _ ->
+      if Prng.bool rng then
+        Optimal_silent.resetting ~leader:(Prng.bool rng)
+          ~resetcount:(Prng.int rng (params.Params.r_max + 1))
+          ~delaytimer:(Prng.int rng (params.Params.d_max + 1))
+      else optimal_random_state rng ~params ~n)
+
+(* Sublinear-Time-SSR *)
+
+let distinct_names rng ~(params : Params.sublinear) count =
+  let width = params.Params.name_bits in
+  let rec draw acc k =
+    if k = 0 then acc
+    else begin
+      let name = Name.random rng ~width in
+      if List.exists (Name.equal name) acc then draw acc k else draw (name :: acc) (k - 1)
+    end
+  in
+  Array.of_list (draw [] count)
+
+let collecting_of ~names ~roster i =
+  let name = names.(i) in
+  let rank = match Roster.rank_of name roster with Some r -> r | None -> 1 in
+  Sublinear.collecting { Sublinear.name; rank; roster; tree = History_tree.empty }
+
+let sublinear_fresh rng ~params ~n = Array.init n (fun _ -> Sublinear.fresh rng ~params)
+
+let sublinear_correct rng ~params ~n =
+  let names = distinct_names rng ~params n in
+  let roster = Roster.of_list (Array.to_list names) in
+  Array.init n (collecting_of ~names ~roster)
+
+let sublinear_name_collision rng ~params ~n =
+  let names = distinct_names rng ~params (n - 1) in
+  let roster = Roster.of_list (Array.to_list names) in
+  (* Agent n-1 duplicates agent 0's name; every roster holds the n-1
+     distinct names, so only Detect-Name-Collision can expose the clash. *)
+  let names = Array.append names [| names.(0) |] in
+  Array.init n (collecting_of ~names ~roster)
+
+let sublinear_ghost rng ~params ~n =
+  let names = distinct_names rng ~params (n + 1) in
+  let ghost = names.(n) in
+  Array.init n (fun i ->
+      let roster = Roster.of_list [ names.(i); ghost ] in
+      collecting_of ~names ~roster i)
+
+let random_tree rng ~(params : Params.sublinear) ~name_pool ~own =
+  let pick_name () = Prng.pick rng name_pool in
+  let rec build depth =
+    if depth = 0 then []
+    else begin
+      let branches = Prng.int rng 3 in
+      let rec grow acc k =
+        if k = 0 then acc
+        else begin
+          let name = pick_name () in
+          if Name.equal name own || List.exists (fun nd -> Name.equal nd.History_tree.name name) acc
+          then grow acc (k - 1)
+          else begin
+            let node =
+              {
+                History_tree.name;
+                sync = 1 + Prng.int rng params.Params.s_max;
+                timer = Prng.int rng (params.Params.t_h + 1);
+                children = build (depth - 1);
+              }
+            in
+            grow (node :: acc) (k - 1)
+          end
+        end
+      in
+      grow [] branches
+    end
+  in
+  build params.Params.h
+
+let sublinear_forged_trees rng ~params ~n =
+  let names = distinct_names rng ~params (n + 2) in
+  let name_pool = names in
+  let roster = Roster.of_list (Array.to_list (Array.sub names 0 n)) in
+  Array.init n (fun i ->
+      let own = names.(i) in
+      let tree = random_tree rng ~params ~name_pool ~own in
+      let rank = match Roster.rank_of own roster with Some r -> r | None -> 1 in
+      Sublinear.collecting { Sublinear.name = own; rank; roster; tree })
+
+let sublinear_mid_reset rng ~(params : Params.sublinear) ~n =
+  Array.init n (fun _ ->
+      match Prng.int rng 3 with
+      | 0 ->
+          Sublinear.resetting ~name:Name.empty
+            ~resetcount:(1 + Prng.int rng params.Params.r_max)
+            ~delaytimer:(Prng.int rng (params.Params.d_max + 1))
+      | 1 ->
+          let partial_bits = Prng.int rng (params.Params.name_bits + 1) in
+          let name = Name.random rng ~width:partial_bits in
+          Sublinear.resetting ~name ~resetcount:0
+            ~delaytimer:(1 + Prng.int rng params.Params.d_max)
+      | _ -> Sublinear.fresh rng ~params)
+
+let sublinear_uniform rng ~(params : Params.sublinear) ~n =
+  let pool = distinct_names rng ~params (2 * n) in
+  Array.init n (fun _ ->
+      if Prng.int rng 4 = 0 then begin
+        let partial_bits = Prng.int rng (params.Params.name_bits + 1) in
+        Sublinear.resetting
+          ~name:(Name.random rng ~width:partial_bits)
+          ~resetcount:(Prng.int rng (params.Params.r_max + 1))
+          ~delaytimer:(Prng.int rng (params.Params.d_max + 1))
+      end
+      else begin
+        let own = Prng.pick rng pool in
+        let roster_size = 1 + Prng.int rng n in
+        let roster =
+          Roster.of_list (own :: List.init roster_size (fun _ -> Prng.pick rng pool))
+        in
+        let tree = random_tree rng ~params ~name_pool:pool ~own in
+        Sublinear.collecting
+          { Sublinear.name = own; rank = 1 + Prng.int rng n; roster; tree }
+      end)
+
+(* Catalogues *)
+
+let silent_catalogue ~n =
+  [
+    ("uniform", fun rng -> silent_uniform rng ~n);
+    ("all-zero", fun _ -> silent_all_zero ~n);
+    ("correct", fun _ -> silent_correct ~n);
+    ("worst-case", fun _ -> silent_worst_case ~n);
+  ]
+
+let optimal_catalogue ~params ~n =
+  [
+    ("uniform", fun rng -> optimal_uniform rng ~params ~n);
+    ("correct", fun _ -> optimal_correct ~n);
+    ("duplicate-rank", fun rng -> optimal_duplicate_rank rng ~n);
+    ("all-rank1", fun _ -> optimal_all_rank1 ~n);
+    ("starved", fun _ -> optimal_starved ~n);
+    ("dormant-followers", fun _ -> optimal_all_dormant_followers ~params ~n);
+    ("mid-reset", fun rng -> optimal_mid_reset rng ~params ~n);
+  ]
+
+let sublinear_catalogue ~params ~n =
+  [
+    ("fresh", fun rng -> sublinear_fresh rng ~params ~n);
+    ("correct", fun rng -> sublinear_correct rng ~params ~n);
+    ("name-collision", fun rng -> sublinear_name_collision rng ~params ~n);
+    ("ghost", fun rng -> sublinear_ghost rng ~params ~n);
+    ("forged-trees", fun rng -> sublinear_forged_trees rng ~params ~n);
+    ("mid-reset", fun rng -> sublinear_mid_reset rng ~params ~n);
+    ("uniform", fun rng -> sublinear_uniform rng ~params ~n);
+  ]

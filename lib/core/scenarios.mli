@@ -1,0 +1,94 @@
+(** Adversarial initial configurations.
+
+    Self-stabilization quantifies over {e every} configuration, so the
+    experiments and tests start the protocols from a battery of scenarios:
+    clean states, already-correct states (stability must hold), and
+    adversarially corrupted states targeting each protocol's weak points —
+    duplicated ranks, starved counters, half-finished resets, planted ghost
+    names, forged history trees. Every generator is deterministic given the
+    {!Prng.t}. *)
+
+(** {1 Silent-n-state-SSR} *)
+
+val silent_uniform : Prng.t -> n:int -> Silent_n_state.state array
+(** Every agent at an independently uniform rank. *)
+
+val silent_all_zero : n:int -> Silent_n_state.state array
+
+val silent_correct : n:int -> Silent_n_state.state array
+(** The (unique up to agent identity) silent correct configuration. *)
+
+val silent_worst_case : n:int -> Silent_n_state.state array
+(** The Ω(n²) barrier configuration of Section 2: two agents at rank 0,
+    one at each rank 1..n−2, none at rank n−1. Requires [n >= 3]. *)
+
+(** {1 Optimal-Silent-SSR} *)
+
+val optimal_uniform :
+  Prng.t -> params:Params.optimal_silent -> n:int -> Optimal_silent.state array
+(** Independent uniform role and fields (the all-out adversary). *)
+
+val optimal_correct : n:int -> Optimal_silent.state array
+(** Settled agents ranked 1..n with binary-tree-consistent children
+    counts — the silent stable configuration. *)
+
+val optimal_duplicate_rank : Prng.t -> n:int -> Optimal_silent.state array
+(** Correct except that one rank is duplicated and another is missing. *)
+
+val optimal_all_rank1 : n:int -> Optimal_silent.state array
+(** Every agent Settled with rank 1 — maximal rank collision. *)
+
+val optimal_starved : n:int -> Optimal_silent.state array
+(** Every agent Unsettled with [errorcount = 0]: the starvation alarm
+    fires on the very first interactions. *)
+
+val optimal_all_dormant_followers : params:Params.optimal_silent -> n:int -> Optimal_silent.state array
+(** Every agent dormant with [leader = F]: the reset wave must complete
+    and leaderless awakening must trigger a second, proper reset. *)
+
+val optimal_mid_reset : Prng.t -> params:Params.optimal_silent -> n:int -> Optimal_silent.state array
+(** Random mixture of propagating/dormant/computing agents. *)
+
+(** {1 Sublinear-Time-SSR} *)
+
+val sublinear_fresh : Prng.t -> params:Params.sublinear -> n:int -> Sublinear.state array
+(** Clean random restart: distinct behaviour only WHP — names are drawn
+    independently, so collisions occur with probability O(1/n). *)
+
+val sublinear_correct : Prng.t -> params:Params.sublinear -> n:int -> Sublinear.state array
+(** Distinct names, full rosters, consistent ranks, empty trees: a correct
+    configuration the protocol must never destroy. *)
+
+val sublinear_name_collision : Prng.t -> params:Params.sublinear -> n:int -> Sublinear.state array
+(** Distinct names except two agents sharing one; rosters full of the n−1
+    distinct names — undetectable by roster size, only by
+    Detect-Name-Collision. *)
+
+val sublinear_ghost : Prng.t -> params:Params.sublinear -> n:int -> Sublinear.state array
+(** Distinct names, but every roster contains an extra ghost name that
+    belongs to no agent. *)
+
+val sublinear_forged_trees : Prng.t -> params:Params.sublinear -> n:int -> Sublinear.state array
+(** Distinct names with random forged history trees and sync values:
+    the adversary tries to provoke false collision alarms forever. *)
+
+val sublinear_mid_reset : Prng.t -> params:Params.sublinear -> n:int -> Sublinear.state array
+(** Random mixture of propagating, dormant (with partial names) and
+    collecting agents. *)
+
+val sublinear_uniform : Prng.t -> params:Params.sublinear -> n:int -> Sublinear.state array
+(** Independent uniform roles, names, rosters and shallow random trees. *)
+
+(** {1 Named catalogues (for sweeps over all scenarios)} *)
+
+val optimal_catalogue :
+  params:Params.optimal_silent ->
+  n:int ->
+  (string * (Prng.t -> Optimal_silent.state array)) list
+
+val sublinear_catalogue :
+  params:Params.sublinear ->
+  n:int ->
+  (string * (Prng.t -> Sublinear.state array)) list
+
+val silent_catalogue : n:int -> (string * (Prng.t -> Silent_n_state.state array)) list

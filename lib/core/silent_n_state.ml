@@ -1,0 +1,22 @@
+type state = int
+
+let state_of_rank0 ~n r =
+  if r < 0 || r >= n then invalid_arg "Silent_n_state.state_of_rank0: rank out of range";
+  r
+
+let protocol ~n : state Engine.Protocol.t =
+  if n < 2 then invalid_arg "Silent_n_state.protocol: n must be >= 2";
+  let transition _rng a b = if a = b then (a, (b + 1) mod n) else (a, b) in
+  let rank s = Some (s + 1) in
+  {
+    Engine.Protocol.name = "Silent-n-state-SSR";
+    n;
+    transition;
+    deterministic = true;
+    equal = Int.equal;
+    pp = Format.pp_print_int;
+    rank;
+    is_leader = Engine.Protocol.leader_from_rank rank;
+  }
+
+let states ~n = n

@@ -1,0 +1,26 @@
+(** Silent-n-state-SSR (Protocol 1; Cai, Izumi & Wada [22]).
+
+    The baseline self-stabilizing ranking protocol: each agent holds
+    [rank ∈ {0, …, n−1}]; when two agents with equal ranks meet, the
+    responder advances to [(rank + 1) mod n]. It uses exactly [n] states —
+    optimal by Theorem 2.1 — is silent, and stabilizes in Θ(n²) parallel
+    time both in expectation and WHP (Table 1, row 1). The Ω(n²) worst case
+    starts with two agents at rank 0, one at each of ranks 1..n−2 and none
+    at rank n−1: the gap must be pushed up through n−1 consecutive
+    bottleneck meetings of same-ranked pairs (Section 2).
+
+    Exposed ranks are shifted to the paper's output convention [1..n]. *)
+
+type state = private int
+(** The internal 0-based rank. *)
+
+val state_of_rank0 : n:int -> int -> state
+(** [state_of_rank0 ~n r] injects a 0-based rank; requires
+    [0 <= r < n]. *)
+
+val protocol : n:int -> state Engine.Protocol.t
+(** The protocol for exactly [n] agents (strongly nonuniform). The observed
+    rank of internal state [r] is [r + 1]; the leader is rank 1. *)
+
+val states : n:int -> int
+(** Size of the state space: exactly [n]. *)

@@ -1,0 +1,33 @@
+type row = { protocol : string; exact : int option; log2 : float }
+
+let log2f x = log x /. log 2.0
+
+let silent_n_state ~n =
+  { protocol = "Silent-n-state-SSR"; exact = Some n; log2 = log2f (float_of_int n) }
+
+let optimal_silent ?preset n =
+  let params = Params.optimal_silent ?preset n in
+  let count = Optimal_silent.states ~params ~n in
+  { protocol = "Optimal-Silent-SSR"; exact = Some count; log2 = log2f (float_of_int count) }
+
+let sublinear ?preset ~h n =
+  let params = Params.sublinear ?preset ~h n in
+  {
+    protocol = Printf.sprintf "Sublinear-Time-SSR(H=%d)" h;
+    exact = None;
+    log2 = Sublinear.log2_states ~params ~n;
+  }
+
+let table1_rows ~n =
+  [
+    silent_n_state ~n;
+    optimal_silent n;
+    sublinear ~h:(Params.h_log n) n;
+    sublinear ~h:1 n;
+  ]
+
+let count_distinct_visited ~equal ~snapshots =
+  let distinct = ref [] in
+  let see s = if not (List.exists (equal s) !distinct) then distinct := s :: !distinct in
+  List.iter (fun snap -> Array.iter see snap) snapshots;
+  List.length !distinct

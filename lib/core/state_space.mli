@@ -1,0 +1,31 @@
+(** The "states" column of Table 1.
+
+    State-space sizes of the three protocols, both as closed-form counts
+    (exact for the two linear-state protocols, a dominant-term estimate in
+    log₂ for Sublinear-Time-SSR whose state space is quasi-exponential) and
+    as empirically counted distinct states visited during a run — a lower
+    bound witnessing that the protocols really use Θ(n) states, as
+    Theorem 2.1 requires. *)
+
+type row = {
+  protocol : string;
+  exact : int option;  (** exact state count when it fits an [int] *)
+  log2 : float;  (** log₂ of the state count (exact or estimated) *)
+}
+
+val silent_n_state : n:int -> row
+
+val optimal_silent : ?preset:Params.preset -> int -> row
+(** [optimal_silent n]. *)
+
+val sublinear : ?preset:Params.preset -> h:int -> int -> row
+(** [sublinear ~h n]. *)
+
+val table1_rows : n:int -> row list
+(** The four rows of Table 1 for a given [n] (Sublinear-Time-SSR appears
+    with [H = ⌈log₂ n⌉] and with [H = 1]). *)
+
+val count_distinct_visited :
+  equal:('a -> 'a -> bool) -> snapshots:'a array list -> int
+(** Number of pairwise-distinct states across the given configuration
+    snapshots (quadratic; intended for small populations). *)

@@ -1,0 +1,147 @@
+type collecting = {
+  name : Name.t;
+  rank : int;
+  roster : Roster.t;
+  tree : History_tree.t;
+}
+
+type state = (collecting, Name.t) Reset.role
+
+let collecting c = Reset.Computing c
+
+let resetting ~name ~resetcount ~delaytimer =
+  Reset.Resetting { Reset.resetcount; delaytimer; payload = name }
+
+let equal_collecting x y =
+  Name.equal x.name y.name && x.rank = y.rank
+  && Roster.equal x.roster y.roster
+  && x.tree = y.tree
+
+let equal = Reset.equal_role equal_collecting Name.equal
+
+let pp_collecting fmt c =
+  Format.fprintf fmt "Collecting(name=%a, rank=%d, |roster|=%d, tree=%d nodes)" Name.pp c.name
+    c.rank (Roster.cardinal c.roster)
+    (History_tree.node_count c.tree)
+
+let pp = Reset.pp_role pp_collecting Name.pp
+
+let spec ~(params : Params.sublinear) : (collecting, Name.t) Reset.spec =
+  {
+    Reset.r_max = params.Params.r_max;
+    d_max = params.Params.d_max;
+    (* Names are cleared while the reset propagates (Protocol 5, l. 12-13)
+       and regenerated bit by bit during dormancy (l. 14-15). *)
+    recruit_payload = (fun _rng -> Name.empty);
+    propagating_tick = (fun _rng _name -> Name.empty);
+    dormant_tick =
+      (fun rng name ->
+        if Name.length name < params.Params.name_bits then Name.append_bit name (Prng.bool rng)
+        else name);
+    resetting_pair = (fun _rng na nb -> (na, nb));
+    (* Protocol 6: resume collecting with a singleton roster. *)
+    awaken =
+      (fun _rng name ->
+        { name; rank = 1; roster = Roster.singleton name; tree = History_tree.empty });
+  }
+
+let fresh rng ~params =
+  let name = Name.random rng ~width:params.Params.name_bits in
+  collecting { name; rank = 1; roster = Roster.singleton name; tree = History_tree.empty }
+
+let detect_name_collision ~(params : Params.sublinear) ca cb =
+  (* Two agents meeting with equal names is itself a collision (the H = 0
+     rule); deeper histories catch collisions indirectly. *)
+  Name.equal ca.name cb.name
+  ||
+  (params.Params.h > 0
+  &&
+  let confront i j =
+    let paths = History_tree.fresh_paths_to ~name:j.name i.tree in
+    List.exists
+      (fun path -> not (History_tree.consistent ~tree:j.tree ~origin:i.name ~path))
+      paths
+  in
+  confront ca cb || confront cb ca)
+
+let protocol ?params ~n ~h () : state Engine.Protocol.t =
+  if n < 2 then invalid_arg "Sublinear.protocol: n must be >= 2";
+  let params = match params with Some p -> p | None -> Params.sublinear ~h n in
+  if params.Params.h <> h then invalid_arg "Sublinear.protocol: params.h differs from h";
+  let spec = spec ~params in
+  let trigger () = Reset.trigger ~spec Name.empty in
+  let update_trees rng ca cb =
+    if h = 0 then (ca, cb)
+    else begin
+      (* Protocol 7, lines 5-14: one shared sync value, symmetric merge of
+         the partner's pre-interaction tree, then age every edge. *)
+      let sync = 1 + Prng.int rng params.Params.s_max in
+      let timer = params.Params.t_h in
+      let tree_a =
+        History_tree.merge ~h ~own:ca.name ~partner:cb.name ~partner_tree:cb.tree ~sync ~timer
+          ca.tree
+      in
+      let tree_b =
+        History_tree.merge ~h ~own:cb.name ~partner:ca.name ~partner_tree:ca.tree ~sync ~timer
+          cb.tree
+      in
+      ( { ca with tree = History_tree.decrement_timers tree_a },
+        { cb with tree = History_tree.decrement_timers tree_b } )
+    end
+  in
+  let transition rng a b =
+    match (a, b) with
+    | Reset.Resetting _, _ | _, Reset.Resetting _ -> Reset.step ~spec rng a b
+    | Reset.Computing ca, Reset.Computing cb -> begin
+        (* Own names always count as heard-of: this closes the adversarial
+           hole of a roster planted without its owner's name (see
+           DESIGN.md) and matches Reset's roster = {name} invariant. *)
+        let union =
+          Roster.add ca.name (Roster.add cb.name (Roster.union ca.roster cb.roster))
+        in
+        if detect_name_collision ~params ca cb || Roster.cardinal union > n then
+          (trigger (), trigger ())
+        else begin
+          let rank_of c =
+            if Roster.cardinal union = n then
+              match Roster.rank_of c.name union with Some r -> r | None -> c.rank
+            else c.rank
+          in
+          let ca = { ca with roster = union; rank = rank_of ca } in
+          let cb = { cb with roster = union; rank = rank_of cb } in
+          let ca, cb = update_trees rng ca cb in
+          (Reset.Computing ca, Reset.Computing cb)
+        end
+      end
+  in
+  let rank = function
+    | Reset.Computing c -> Some c.rank
+    | Reset.Resetting _ -> None
+  in
+  {
+    Engine.Protocol.name = Printf.sprintf "Sublinear-Time-SSR(H=%d)" h;
+    n;
+    transition;
+    (* With H = 0 no sync values are ever drawn and no name bits are
+       regenerated outside resets... names ARE regenerated with random
+       bits during dormancy, so the protocol is randomized for every H. *)
+    deterministic = false;
+    equal;
+    pp;
+    rank;
+    is_leader = Engine.Protocol.leader_from_rank rank;
+  }
+
+let log2_states ~(params : Params.sublinear) ~n =
+  (* Dominant terms of log2 |S|: rosters contribute ≈ n·name_bits bits,
+     trees ≈ (number of node slots ≈ n^H) · (bits per node). The paper
+     states exp(O(n^H)·log n); this estimate reproduces that shape. *)
+  let nf = float_of_int n in
+  let nb = float_of_int params.Params.name_bits in
+  let bits_per_node =
+    nb
+    +. (log (float_of_int params.Params.s_max) /. log 2.0)
+    +. (log (float_of_int (params.Params.t_h + 1)) /. log 2.0)
+  in
+  let tree_slots = if params.Params.h = 0 then 0.0 else nf ** float_of_int params.Params.h in
+  (nf *. nb) +. nb +. (log nf /. log 2.0) +. (tree_slots *. bits_per_node)

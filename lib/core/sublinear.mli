@@ -1,0 +1,59 @@
+(** Sublinear-Time-SSR (Protocols 5–8, Section 5).
+
+    The paper's fast self-stabilizing ranking protocol. Each agent holds a
+    random name of [3·⌈log₂ n⌉] bits, collects every name it hears of in a
+    [roster] propagated by epidemic, and — once the roster holds exactly
+    [n] names — takes as rank its own name's lexicographic position in it.
+    Two error conditions trigger a {!Reset} (with a Θ(log n) dormant delay
+    during which fresh random names are drawn bit by bit):
+
+    - a merged roster exceeding [n] names proves a {e ghost name};
+    - Detect-Name-Collision (Protocol 7) establishes a {e name collision}
+      through the {!History_tree} mechanism: agents exchange depth-[H]
+      trees of recent interactions tagged with shared random sync values,
+      and an agent confronted with a fresh history path ending at its own
+      name must exhibit a matching sync along the reversed path
+      (Check-Path-Consistency, Protocol 8) — an impostor fails WHP. Two
+      agents directly meeting with equal names is the [H = 0] special case
+      of the same check.
+
+    Parameterized by the tree depth [H]: expected stabilization time
+    Θ(H·n^{1/(H+1)}) for constant [H], and Θ(log n) — asymptotically
+    optimal — for [H = Θ(log n)], at the price of a state space that is
+    exponential (rosters) to quasi-exponential (trees): Table 1, rows 3–4.
+    Non-silent: stabilized agents keep exchanging sync values forever, as
+    Observation 2.2 forces for any sublinear-time protocol. *)
+
+type collecting = {
+  name : Name.t;
+  rank : int;  (** write-only output; meaningful once the roster is full *)
+  roster : Roster.t;
+  tree : History_tree.t;
+}
+
+type state = (collecting, Name.t) Reset.role
+(** The Resetting payload is the (partial) name being regenerated. *)
+
+val protocol : ?params:Params.sublinear -> n:int -> h:int -> unit -> state Engine.Protocol.t
+(** [protocol ~n ~h ()] builds the protocol for exactly [n] agents with
+    history depth [h]; [params] defaults to [Params.sublinear ~n ~h]. *)
+
+val collecting : collecting -> state
+val resetting : name:Name.t -> resetcount:int -> delaytimer:int -> state
+
+val fresh : Prng.t -> params:Params.sublinear -> state
+(** A post-reset agent: a fresh complete random name, singleton roster,
+    empty tree, rank 1. *)
+
+val detect_name_collision :
+  params:Params.sublinear -> collecting -> collecting -> bool
+(** The read-only part of Protocol 7 (lines 1–4 plus the direct name
+    check): [true] iff the pair's histories reveal a name collision. *)
+
+val log2_states : params:Params.sublinear -> n:int -> float
+(** Base-2 logarithm of the state-space size (the paper's
+    exp(O(n^H)·log n) — far too large to hold in an [int]); see
+    {!State_space} for the derivation. *)
+
+val equal : state -> state -> bool
+val pp : Format.formatter -> state -> unit

@@ -1,0 +1,263 @@
+(* Configuration as counts of distinct states, with exact null-interaction
+   skipping.
+
+   States are discovered and interned on the fly (the protocol only
+   provides equality, so interning is a linear scan over the d distinct
+   states seen so far — fine for the O(n)-state protocols this engine
+   targets). Every interned state is probed once against every other in
+   both orders; the productive ordered pairs form an adjacency structure,
+   and the total productive weight
+
+     W = Σ_{(i,j) productive} c_i · (c_j − [i = j])
+
+   is maintained incrementally: an event changes at most four counts, and
+   each count change only touches that state's productive partners. The
+   next productive interaction is then geometric with success probability
+   W / (n·(n−1)), sampled exactly. *)
+
+type 'a t = {
+  protocol : 'a Protocol.t;
+  rng : Prng.t;
+  n : int;
+  mutable states : 'a array;  (* interned distinct states, prefix [0, d) *)
+  mutable counts : int array;
+  mutable outgoing : int list array;  (* j such that (k, j) is productive *)
+  mutable incoming : int list array;  (* i such that (i, k) is productive, i <> k *)
+  mutable d : int;
+  buckets : (int, int list) Hashtbl.t;  (* Hashtbl.hash state -> indices *)
+  mutable probed : int;  (* states [0, probed) are pairwise probed *)
+  results : (int, int * int) Hashtbl.t;  (* productive (i,j) -> (i', j') *)
+  mutable weight : int;  (* W *)
+  mutable interactions : int;
+  mutable events : int;
+  (* ranking/leader monitoring over counts *)
+  rank_counts : int array;
+  mutable singletons : int;
+  mutable leaders : int;
+}
+
+let n t = t.n
+
+let interactions t = t.interactions
+
+let parallel_time t = float_of_int t.interactions /. float_of_int t.n
+
+let events t = t.events
+
+let leader_count t = t.leaders
+
+let leader_correct t = t.leaders = 1
+
+let ranking_correct t = t.singletons = t.n
+
+let is_silent t = t.weight = 0
+
+let observe t state delta =
+  (match t.protocol.Protocol.rank state with
+  | Some r when r >= 1 && r <= t.n ->
+      let c = t.rank_counts.(r) + delta in
+      t.rank_counts.(r) <- c;
+      if delta > 0 then begin
+        if c = 1 then t.singletons <- t.singletons + 1
+        else if c = 2 then t.singletons <- t.singletons - 1
+      end
+      else begin
+        if c = 1 then t.singletons <- t.singletons + 1
+        else if c = 0 then t.singletons <- t.singletons - 1
+      end
+  | Some _ | None -> ());
+  if t.protocol.Protocol.is_leader state then t.leaders <- t.leaders + delta
+
+let stride = 1 lsl 20
+
+let pair_key i j = (i * stride) + j
+
+let grow t =
+  let cap = Array.length t.states in
+  if t.d = cap then begin
+    let new_cap = max 16 (2 * cap) in
+    let states = Array.make new_cap t.states.(0) in
+    Array.blit t.states 0 states 0 t.d;
+    let counts = Array.make new_cap 0 in
+    Array.blit t.counts 0 counts 0 t.d;
+    let outgoing = Array.make new_cap [] in
+    Array.blit t.outgoing 0 outgoing 0 t.d;
+    let incoming = Array.make new_cap [] in
+    Array.blit t.incoming 0 incoming 0 t.d;
+    t.states <- states;
+    t.counts <- counts;
+    t.outgoing <- outgoing;
+    t.incoming <- incoming
+  end
+
+(* Interning is bucketed by the polymorphic hash: the engine requires that
+   the protocol's [equal] coincides with structural equality (true for the
+   plain-data states of the deterministic protocols it targets). *)
+let intern t state =
+  let equal = t.protocol.Protocol.equal in
+  let h = Hashtbl.hash state in
+  let bucket = match Hashtbl.find_opt t.buckets h with Some b -> b | None -> [] in
+  match List.find_opt (fun i -> equal t.states.(i) state) bucket with
+  | Some i -> i
+  | None ->
+      grow t;
+      let i = t.d in
+      t.states.(i) <- state;
+      t.counts.(i) <- 0;
+      t.d <- t.d + 1;
+      Hashtbl.replace t.buckets h (i :: bucket);
+      i
+
+(* Directed productive weight of pair (i, j) under current counts. *)
+let pair_weight t i j =
+  if i = j then t.counts.(i) * (t.counts.(i) - 1) else t.counts.(i) * t.counts.(j)
+
+(* Sum of W-contributions of all productive pairs touching state k. *)
+let contribution t k =
+  let acc = ref 0 in
+  List.iter (fun j -> acc := !acc + pair_weight t k j) t.outgoing.(k);
+  List.iter (fun i -> acc := !acc + pair_weight t i k) t.incoming.(k);
+  !acc
+
+let change_count t k delta =
+  t.weight <- t.weight - contribution t k;
+  t.counts.(k) <- t.counts.(k) + delta;
+  t.weight <- t.weight + contribution t k;
+  observe t t.states.(k) delta
+
+(* Probe one ordered pair; record productivity. Interning of the result
+   states may grow [d]; [ensure_probed] loops until a fixpoint, visiting
+   each ordered pair exactly once — at the turn of its larger index. *)
+let probe t i j =
+  let si = t.states.(i) and sj = t.states.(j) in
+  let si', sj' = t.protocol.Protocol.transition t.rng si sj in
+  let equal = t.protocol.Protocol.equal in
+  if not (equal si si' && equal sj sj') then begin
+    let i' = intern t si' and j' = intern t sj' in
+    Hashtbl.replace t.results (pair_key i j) (i', j');
+    t.outgoing.(i) <- j :: t.outgoing.(i);
+    if i <> j then t.incoming.(j) <- i :: t.incoming.(j);
+    (* the pair may already carry weight (both counts positive) *)
+    t.weight <- t.weight + pair_weight t i j
+  end
+
+let ensure_probed t =
+  while t.probed < t.d do
+    let p = t.probed in
+    (* all pairs whose larger index is p *)
+    for q = 0 to p do
+      probe t p q;
+      if q < p then probe t q p
+    done;
+    t.probed <- p + 1
+  done
+
+let make ~protocol ~init ~rng =
+  Protocol.validate protocol;
+  if not protocol.Protocol.deterministic then
+    invalid_arg "Count_sim.make: protocol is randomized";
+  if Array.length init <> protocol.Protocol.n then
+    invalid_arg "Count_sim.make: initial configuration size differs from protocol.n";
+  let t =
+    {
+      protocol;
+      rng;
+      n = protocol.Protocol.n;
+      states = Array.make 16 init.(0);
+      counts = Array.make 16 0;
+      outgoing = Array.make 16 [];
+      incoming = Array.make 16 [];
+      d = 0;
+      buckets = Hashtbl.create 1024;
+      probed = 0;
+      results = Hashtbl.create 256;
+      weight = 0;
+      interactions = 0;
+      events = 0;
+      rank_counts = Array.make (protocol.Protocol.n + 1) 0;
+      singletons = 0;
+      leaders = 0;
+    }
+  in
+  Array.iter
+    (fun s ->
+      let i = intern t s in
+      change_count t i 1)
+    init;
+  ensure_probed t;
+  t
+
+let apply_event t i j =
+  match Hashtbl.find_opt t.results (pair_key i j) with
+  | None -> invalid_arg "Count_sim.apply_event: null pair"
+  | Some (i', j') ->
+      change_count t i (-1);
+      change_count t j (-1);
+      change_count t i' 1;
+      change_count t j' 1;
+      ensure_probed t;
+      t.events <- t.events + 1
+
+let step_event t =
+  if t.weight > 0 then begin
+    (* Null interactions before the next productive one: geometric with
+       success probability W / (n·(n−1)). *)
+    let pairs = float_of_int (t.n * (t.n - 1)) in
+    let p = float_of_int t.weight /. pairs in
+    let skip =
+      if p >= 1.0 then 0
+      else begin
+        let u = Prng.float t.rng in
+        int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
+      end
+    in
+    t.interactions <- t.interactions + skip + 1;
+    (* Select the productive ordered state pair proportionally to weight. *)
+    let target = Prng.int t.rng t.weight in
+    let exception Found of int * int in
+    try
+      let acc = ref 0 in
+      for i = 0 to t.d - 1 do
+        if t.counts.(i) > 0 then
+          List.iter
+            (fun j ->
+              let w = pair_weight t i j in
+              if w > 0 then begin
+                acc := !acc + w;
+                if !acc > target then raise (Found (i, j))
+              end)
+            t.outgoing.(i)
+      done;
+      invalid_arg "Count_sim.step_event: weight accounting broke"
+    with Found (i, j) -> apply_event t i j
+  end
+
+type outcome = {
+  silent : bool;
+  correct : bool;
+  stabilization_time : float;
+  events : int;
+  interactions : int;
+}
+
+let run_to_silence ?max_events t =
+  let max_events = match max_events with Some m -> m | None -> 100 * t.n * t.n in
+  let budget = ref max_events in
+  while (not (is_silent t)) && !budget > 0 do
+    step_event t;
+    decr budget
+  done;
+  {
+    silent = is_silent t;
+    correct = ranking_correct t;
+    stabilization_time = parallel_time t;
+    events = t.events;
+    interactions = t.interactions;
+  }
+
+let distinct_states t =
+  let acc = ref [] in
+  for i = t.d - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (t.states.(i), t.counts.(i)) :: !acc
+  done;
+  !acc

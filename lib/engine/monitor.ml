@@ -1,0 +1,70 @@
+type 'a t = {
+  n : int;
+  rank : 'a -> int option;
+  is_leader : 'a -> bool;
+  counts : int array;  (* counts.(r) = agents observing rank r, r in 1..n *)
+  mutable singletons : int;  (* ranks in 1..n with count exactly 1 *)
+  mutable ranked : int;  (* agents observing any rank *)
+  mutable leaders : int;
+}
+
+(* Out-of-range ranks are counted as unranked: a protocol bug or adversarial
+   state cannot crash the monitor, only keep it incorrect. *)
+let in_range t r = r >= 1 && r <= t.n
+
+let add_rank t = function
+  | None -> ()
+  | Some r ->
+      if in_range t r then begin
+        t.ranked <- t.ranked + 1;
+        let c = t.counts.(r) + 1 in
+        t.counts.(r) <- c;
+        if c = 1 then t.singletons <- t.singletons + 1
+        else if c = 2 then t.singletons <- t.singletons - 1
+      end
+
+let remove_rank t = function
+  | None -> ()
+  | Some r ->
+      if in_range t r then begin
+        t.ranked <- t.ranked - 1;
+        let c = t.counts.(r) - 1 in
+        t.counts.(r) <- c;
+        if c = 1 then t.singletons <- t.singletons + 1
+        else if c = 0 then t.singletons <- t.singletons - 1
+      end
+
+let create (protocol : 'a Protocol.t) population =
+  let t =
+    {
+      n = protocol.Protocol.n;
+      rank = protocol.Protocol.rank;
+      is_leader = protocol.Protocol.is_leader;
+      counts = Array.make (protocol.Protocol.n + 1) 0;
+      singletons = 0;
+      ranked = 0;
+      leaders = 0;
+    }
+  in
+  Array.iter
+    (fun s ->
+      add_rank t (t.rank s);
+      if t.is_leader s then t.leaders <- t.leaders + 1)
+    population;
+  t
+
+let update t ~old_state ~new_state =
+  remove_rank t (t.rank old_state);
+  add_rank t (t.rank new_state);
+  if t.is_leader old_state then t.leaders <- t.leaders - 1;
+  if t.is_leader new_state then t.leaders <- t.leaders + 1
+
+let ranking_correct t = t.singletons = t.n
+
+let leader_correct t = t.leaders = 1
+
+let leader_count t = t.leaders
+
+let ranked_agents t = t.ranked
+
+let distinct_singleton_ranks t = t.singletons

@@ -1,0 +1,16 @@
+type 'a t = {
+  name : string;
+  n : int;
+  transition : Prng.t -> 'a -> 'a -> 'a * 'a;
+  deterministic : bool;
+  equal : 'a -> 'a -> bool;
+  pp : Format.formatter -> 'a -> unit;
+  rank : 'a -> int option;
+  is_leader : 'a -> bool;
+}
+
+let leader_from_rank rank state = rank state = Some 1
+
+let validate t =
+  if t.n < 2 then invalid_arg "Protocol.validate: population size must be >= 2";
+  if String.length t.name = 0 then invalid_arg "Protocol.validate: empty name"

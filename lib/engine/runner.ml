@@ -1,0 +1,55 @@
+type task = Ranking | Leader
+
+type outcome = {
+  converged : bool;
+  convergence_interactions : int;
+  convergence_time : float;
+  total_interactions : int;
+  violations : int;
+}
+
+let is_correct ~task sim =
+  match task with Ranking -> Sim.ranking_correct sim | Leader -> Sim.leader_correct sim
+
+let ceil_log2 n =
+  let rec loop p k = if p >= n then k else loop (p * 2) (k + 1) in
+  loop 1 0
+
+let default_confirm ~n = max (8 * n) (4 * n * max 1 (ceil_log2 n))
+
+let default_horizon ~n ~expected_time =
+  let budget = int_of_float (20.0 *. expected_time *. float_of_int n) in
+  max (1000 * n) (budget + default_confirm ~n)
+
+let run_to_stability ?on_step ~task ~max_interactions ~confirm_interactions sim =
+  let n = Sim.n sim in
+  let entered_at = ref (if is_correct ~task sim then Some (Sim.interactions sim) else None) in
+  let violations = ref 0 in
+  let finished () =
+    match !entered_at with
+    | None -> false
+    | Some t0 -> Sim.interactions sim - t0 >= confirm_interactions
+  in
+  let step_once () =
+    Sim.step sim;
+    (match on_step with Some f -> f sim | None -> ());
+    let correct = is_correct ~task sim in
+    match (!entered_at, correct) with
+    | None, true -> entered_at := Some (Sim.interactions sim)
+    | Some _, false ->
+        entered_at := None;
+        incr violations
+    | None, false | Some _, true -> ()
+  in
+  while (not (finished ())) && Sim.interactions sim < max_interactions do
+    step_once ()
+  done;
+  let converged = finished () in
+  let convergence_interactions = match !entered_at with Some t0 when converged -> t0 | Some t0 -> t0 | None -> 0 in
+  {
+    converged;
+    convergence_interactions;
+    convergence_time = float_of_int convergence_interactions /. float_of_int n;
+    total_interactions = Sim.interactions sim;
+    violations = !violations;
+  }

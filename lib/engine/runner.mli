@@ -1,0 +1,49 @@
+(** Convergence and stabilization measurement policies.
+
+    The paper measures {e stabilization}: the time after which every
+    reachable configuration stays correct. A simulation cannot enumerate
+    reachable configurations, but for the protocols in this paper
+    convergence and stabilization coincide (footnote 2 of the paper), so the
+    runner measures the last interaction at which the execution {e entered}
+    correctness and then keeps simulating for a confirmation window,
+    restarting the clock if correctness is ever lost. An execution that ends
+    its confirmation window unscathed is reported as converged at the entry
+    point, not at the end of the window. *)
+
+type task = Ranking | Leader
+
+type outcome = {
+  converged : bool;
+      (** [true] iff correctness held for the whole confirmation window *)
+  convergence_interactions : int;
+      (** interaction index at the final entry into correctness (0 when the
+          initial configuration is already correct); meaningful only when
+          [converged] *)
+  convergence_time : float;  (** [convergence_interactions / n] *)
+  total_interactions : int;  (** interactions actually simulated *)
+  violations : int;
+      (** number of times a previously-correct execution became incorrect
+          again (counts adversarial recoveries and protocol re-resets) *)
+}
+
+val default_confirm : n:int -> int
+(** Confirmation window: [max (8n, 4·n·⌈log₂ n⌉)] interactions — several
+    epidemic times, enough for any pending reset wave to surface. *)
+
+val default_horizon : n:int -> expected_time:float -> int
+(** Interaction budget: [20 × expected_time × n + confirm], clamped to at
+    least [1000·n]; generous relative to the predicted scaling so that WHP
+    tails fit. *)
+
+val run_to_stability :
+  ?on_step:('a Sim.t -> unit) ->
+  task:task ->
+  max_interactions:int ->
+  confirm_interactions:int ->
+  'a Sim.t ->
+  outcome
+(** Steps the simulation until correctness has held for
+    [confirm_interactions] consecutive interactions, or until
+    [max_interactions] total. [on_step] runs after every interaction. *)
+
+val is_correct : task:task -> 'a Sim.t -> bool

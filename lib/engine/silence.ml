@@ -1,0 +1,31 @@
+let distinct_states equal config =
+  let add acc s =
+    let rec bump = function
+      | [] -> [ (s, 1) ]
+      | (s', c) :: rest -> if equal s s' then (s', c + 1) :: rest else (s', c) :: bump rest
+    in
+    bump acc
+  in
+  Array.fold_left add [] config
+
+let configuration_is_silent (protocol : 'a Protocol.t) config =
+  if not protocol.Protocol.deterministic then
+    invalid_arg "Silence.configuration_is_silent: protocol is randomized";
+  let equal = protocol.Protocol.equal in
+  (* The transition promises not to consult the generator; pass a fixed one
+     so a violation of that promise is at least deterministic. *)
+  let rng = Prng.create ~seed:0 in
+  let states = distinct_states equal config in
+  let pair_applicable (s1, c1) (s2, c2) =
+    if equal s1 s2 then c1 >= 2 else c1 >= 1 && c2 >= 1
+  in
+  let null_transition s1 s2 =
+    let s1', s2' = protocol.Protocol.transition rng s1 s2 in
+    equal s1 s1' && equal s2 s2'
+  in
+  List.for_all
+    (fun (s1, c1) ->
+      List.for_all
+        (fun (s2, c2) -> (not (pair_applicable (s1, c1) (s2, c2))) || null_transition s1 s2)
+        states)
+    states

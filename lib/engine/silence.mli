@@ -1,0 +1,19 @@
+(** Silence checking.
+
+    A configuration is {e silent} when no applicable transition changes it —
+    every ordered pair of present states maps to itself (paper, Section 2).
+    For deterministic protocols this is decidable by enumerating the distinct
+    states present and applying the transition to every ordered pair whose
+    multiplicities allow it. Observation 2.2 builds on this notion: any
+    silent SSLE protocol needs Ω(n) expected time. *)
+
+val configuration_is_silent : 'a Protocol.t -> 'a array -> bool
+(** [configuration_is_silent protocol config] decides silence of [config].
+    Requires [protocol.deterministic]; raises [Invalid_argument] otherwise
+    (a randomized transition has no well-defined single successor).
+
+    Cost: O(n·d + d²) transition applications for [d] distinct states. *)
+
+val distinct_states : ('a -> 'a -> bool) -> 'a array -> ('a * int) list
+(** [distinct_states equal config] lists the distinct states present with
+    their multiplicities, in first-occurrence order. *)

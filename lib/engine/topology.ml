@@ -1,0 +1,83 @@
+type t = {
+  name : string;
+  n : int;
+  edges : (int * int) array;  (* undirected, i < j, no duplicates *)
+  adjacency : int list array;
+}
+
+let build ~name ~n edges =
+  let adjacency = Array.make n [] in
+  Array.iter
+    (fun (i, j) ->
+      adjacency.(i) <- j :: adjacency.(i);
+      adjacency.(j) <- i :: adjacency.(j))
+    edges;
+  { name; n; edges; adjacency }
+
+let complete ~n =
+  if n < 2 then invalid_arg "Topology.complete: n must be >= 2";
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  build ~name:"complete" ~n (Array.of_list !edges)
+
+let ring ~n =
+  if n < 3 then invalid_arg "Topology.ring: n must be >= 3";
+  let edges = Array.init n (fun i -> (min i ((i + 1) mod n), max i ((i + 1) mod n))) in
+  build ~name:"ring" ~n edges
+
+let star ~n =
+  if n < 2 then invalid_arg "Topology.star: n must be >= 2";
+  build ~name:"star" ~n (Array.init (n - 1) (fun i -> (0, i + 1)))
+
+let random_regular rng ~n ~degree =
+  if degree < 2 || degree mod 2 <> 0 then
+    invalid_arg "Topology.random_regular: degree must be even and >= 2";
+  if n < degree + 1 then invalid_arg "Topology.random_regular: n must exceed the degree";
+  let canonical i j = (min i j, max i j) in
+  let rec attempt tries =
+    if tries = 0 then failwith "Topology.random_regular: could not build a simple graph";
+    let seen = Hashtbl.create (n * degree) in
+    let edges = ref [] in
+    let ok = ref true in
+    for _ = 1 to degree / 2 do
+      let cycle = Prng.permutation rng n in
+      for k = 0 to n - 1 do
+        let e = canonical cycle.(k) cycle.((k + 1) mod n) in
+        if fst e = snd e || Hashtbl.mem seen e then ok := false
+        else begin
+          Hashtbl.replace seen e ();
+          edges := e :: !edges
+        end
+      done
+    done;
+    if !ok then build ~name:(Printf.sprintf "random-%d-regular" degree) ~n (Array.of_list !edges)
+    else attempt (tries - 1)
+  in
+  attempt 1000
+
+let size t = t.n
+
+let edge_count t = Array.length t.edges
+
+let degree t i = List.length t.adjacency.(i)
+
+let is_connected t =
+  let visited = Array.make t.n false in
+  let rec walk i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter walk t.adjacency.(i)
+    end
+  in
+  walk 0;
+  Array.for_all Fun.id visited
+
+let sampler t rng =
+  let i, j = t.edges.(Prng.int rng (Array.length t.edges)) in
+  if Prng.bool rng then (i, j) else (j, i)
+
+let name t = t.name

@@ -1,0 +1,42 @@
+(** Interaction-graph topologies.
+
+    The paper studies the complete interaction graph (any pair may
+    interact) and notes it is the hardest case for self-stabilizing leader
+    election, while non-complete topologies are studied in related work
+    ([10, 25, 26, 57, 60]). This module provides interaction graphs and a
+    scheduler sampler — a uniformly random {e edge} with a uniformly random
+    orientation — to plug into {!Sim}, so the protocols built for the
+    complete graph can be observed on rings, stars and random regular
+    graphs (where direct-collision detection genuinely breaks, motivating
+    the paper's assumption). *)
+
+type t
+
+val complete : n:int -> t
+
+val ring : n:int -> t
+(** Cycle 0–1–…–(n−1)–0. Requires [n >= 3]. *)
+
+val star : n:int -> t
+(** Hub agent 0 connected to everyone else. *)
+
+val random_regular : Prng.t -> n:int -> degree:int -> t
+(** A connected [degree]-regular graph, built as the union of [degree/2]
+    uniformly random Hamiltonian cycles (hence [degree] must be even,
+    ≥ 2); resampled until simple. Requires [n >= degree + 1]. *)
+
+val size : t -> int
+(** Number of agents. *)
+
+val edge_count : t -> int
+
+val degree : t -> int -> int
+
+val is_connected : t -> bool
+
+val sampler : t -> Prng.t -> int * int
+(** Uniform random edge, uniform random orientation — the scheduler for
+    {!Sim.make}'s [sampler] argument. On {!complete} this coincides with
+    the paper's uniform ordered-pair scheduler. *)
+
+val name : t -> string

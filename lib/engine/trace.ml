@@ -1,0 +1,21 @@
+type 'b t = {
+  interval : int;
+  mutable next_at : int;
+  mutable samples : (float * 'b) list;  (* reversed *)
+}
+
+let collector ~interval () =
+  if interval <= 0 then invalid_arg "Trace.collector: interval must be positive";
+  { interval; next_at = 0; samples = [] }
+
+let record t time value = t.samples <- (time, value) :: t.samples
+
+let hook t metric sim =
+  if Sim.interactions sim >= t.next_at then begin
+    record t (Sim.parallel_time sim) (metric sim);
+    t.next_at <- Sim.interactions sim + t.interval
+  end
+
+let series t = List.rev t.samples
+
+let mark t sim value = record t (Sim.parallel_time sim) value

@@ -1,0 +1,22 @@
+(** Time-series collection from running simulations.
+
+    A collector samples a user metric every fixed number of interactions;
+    plug its [hook] into {!Runner.run_to_stability}'s [on_step] (or call it
+    manually) and read the accumulated [(parallel_time, value)] series
+    afterwards. Used by the examples to show recovery timelines. *)
+
+type 'b t
+
+val collector : interval:int -> unit -> 'b t
+(** [collector ~interval ()] samples every [interval] interactions
+    (and once at interaction 0 on the first hook call). *)
+
+val hook : 'b t -> ('a Sim.t -> 'b) -> 'a Sim.t -> unit
+(** [hook c metric sim] records [metric sim] if the sampling interval has
+    elapsed. *)
+
+val series : 'b t -> (float * 'b) list
+(** Chronological [(parallel_time, value)] samples. *)
+
+val mark : 'b t -> 'a Sim.t -> 'b -> unit
+(** Force-record a sample now (e.g. right after a fault injection). *)

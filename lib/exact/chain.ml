@@ -1,0 +1,187 @@
+type 'a codec = { size : int; index : 'a -> int; state : int -> 'a }
+
+let silent_n_state_codec ~n =
+  {
+    size = n;
+    index = (fun (s : Core.Silent_n_state.state) -> (s :> int));
+    state = (fun i -> Core.Silent_n_state.state_of_rank0 ~n i);
+  }
+
+type 'a analysis = {
+  protocol : 'a Engine.Protocol.t;
+  codec : 'a codec;
+  n : int;
+  configs : int array array;
+  config_index : (int array, int) Hashtbl.t;
+  absorbing_flags : bool array;
+  correct_flags : bool array;
+  expected_interactions : float array;  (* 0 on absorbing configurations *)
+}
+
+(* All count vectors of length [size] summing to [n]. *)
+let enumerate_configs ~size ~n =
+  let acc = ref [] in
+  let v = Array.make size 0 in
+  let rec fill pos remaining =
+    if pos = size - 1 then begin
+      v.(pos) <- remaining;
+      acc := Array.copy v :: !acc
+    end
+    else
+      for c = 0 to remaining do
+        v.(pos) <- c;
+        fill (pos + 1) (remaining - c)
+      done
+  in
+  if size = 0 then invalid_arg "Chain: empty state space";
+  fill 0 n;
+  Array.of_list (List.rev !acc)
+
+(* Deterministic transition table over state indices; None = null pair. *)
+let transition_table ~(protocol : 'a Engine.Protocol.t) ~codec =
+  let rng = Prng.create ~seed:0 in
+  Array.init codec.size (fun i ->
+      Array.init codec.size (fun j ->
+          let si = codec.state i and sj = codec.state j in
+          let si', sj' = protocol.Engine.Protocol.transition rng si sj in
+          if protocol.Engine.Protocol.equal si si' && protocol.Engine.Protocol.equal sj sj' then
+            None
+          else Some (codec.index si', codec.index sj')))
+
+let config_is_correct ~(protocol : 'a Engine.Protocol.t) ~codec config =
+  let n = protocol.Engine.Protocol.n in
+  let rank_counts = Array.make (n + 1) 0 in
+  let ok = ref true in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        match protocol.Engine.Protocol.rank (codec.state i) with
+        | Some r when r >= 1 && r <= n -> rank_counts.(r) <- rank_counts.(r) + c
+        | Some _ | None -> ok := false)
+    config;
+  !ok
+  &&
+  let rec all r = r > n || (rank_counts.(r) = 1 && all (r + 1)) in
+  all 1
+
+let analyze ~protocol ~codec =
+  if not protocol.Engine.Protocol.deterministic then
+    invalid_arg "Chain.analyze: protocol is randomized";
+  let n = protocol.Engine.Protocol.n in
+  let table = transition_table ~protocol ~codec in
+  let configs = enumerate_configs ~size:codec.size ~n in
+  let count = Array.length configs in
+  let config_index = Hashtbl.create (2 * count) in
+  Array.iteri (fun idx v -> Hashtbl.replace config_index v idx) configs;
+  (* Productive outgoing transitions of one configuration, as
+     (destination index, weight); total weight of ordered pairs is
+     n·(n−1). *)
+  let outgoing v =
+    let dests = ref [] in
+    Array.iteri
+      (fun i ci ->
+        if ci > 0 then
+          Array.iteri
+            (fun j cj ->
+              let w = if i = j then ci * (ci - 1) else ci * cj in
+              if w > 0 then
+                match table.(i).(j) with
+                | None -> ()
+                | Some (i', j') ->
+                    let v' = Array.copy v in
+                    v'.(i) <- v'.(i) - 1;
+                    v'.(j) <- v'.(j) - 1;
+                    v'.(i') <- v'.(i') + 1;
+                    v'.(j') <- v'.(j') + 1;
+                    dests := (Hashtbl.find config_index v', w) :: !dests)
+            v)
+      v;
+    !dests
+  in
+  let transitions = Array.map outgoing configs in
+  let absorbing_flags = Array.map (fun dests -> dests = []) transitions in
+  let correct_flags = Array.map (config_is_correct ~protocol ~codec) configs in
+  (* Expected interactions to absorption: for transient c,
+       x_c = 1 + P(c→c)·x_c + Σ_{c'} P(c→c')·x_{c'}
+     with x = 0 on absorbing configurations. Solve (I − Q)·x = 1. *)
+  let transient = ref [] in
+  Array.iteri (fun idx a -> if not absorbing_flags.(idx) then transient := (idx, a) :: !transient) absorbing_flags;
+  let transient = Array.of_list (List.rev_map fst !transient) in
+  let row_of = Hashtbl.create (Array.length transient) in
+  Array.iteri (fun row idx -> Hashtbl.replace row_of idx row) transient;
+  let t_count = Array.length transient in
+  let expected_interactions = Array.make count 0.0 in
+  if t_count > 0 then begin
+    let total_weight = float_of_int (n * (n - 1)) in
+    let a = Array.make_matrix t_count t_count 0.0 in
+    let b = Array.make t_count 1.0 in
+    Array.iteri
+      (fun row idx ->
+        a.(row).(row) <- 1.0;
+        let productive = ref 0 in
+        List.iter
+          (fun (dest, w) ->
+            productive := !productive + w;
+            match Hashtbl.find_opt row_of dest with
+            | Some col -> a.(row).(col) <- a.(row).(col) -. (float_of_int w /. total_weight)
+            | None -> () (* absorbing destination: x = 0 *))
+          transitions.(idx);
+        (* self-loop from the null interactions *)
+        let null = total_weight -. float_of_int !productive in
+        (match Hashtbl.find_opt row_of idx with
+        | Some col when col = row -> a.(row).(row) <- a.(row).(row) -. (null /. total_weight)
+        | Some _ | None -> assert false))
+      transient;
+    let x =
+      try Linear.solve a b
+      with Failure _ -> failwith "Chain.analyze: non-absorbing recurrent class"
+    in
+    Array.iteri (fun row idx -> expected_interactions.(idx) <- x.(row)) transient
+  end;
+  { protocol; codec; n; configs; config_index; absorbing_flags; correct_flags; expected_interactions }
+
+let configurations t = Array.length t.configs
+
+let absorbing t = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.absorbing_flags
+
+let all_absorbing_correct t =
+  let ok = ref true in
+  Array.iteri (fun idx a -> if a && not t.correct_flags.(idx) then ok := false) t.absorbing_flags;
+  !ok
+
+let counts_of_config t config =
+  if Array.length config <> t.n then invalid_arg "Chain.expected_time: configuration size differs from n";
+  let v = Array.make t.codec.size 0 in
+  Array.iter
+    (fun s ->
+      let i = t.codec.index s in
+      v.(i) <- v.(i) + 1)
+    config;
+  v
+
+let expected_time t config =
+  let v = counts_of_config t config in
+  match Hashtbl.find_opt t.config_index v with
+  | Some idx -> t.expected_interactions.(idx) /. float_of_int t.n
+  | None -> invalid_arg "Chain.expected_time: unknown configuration"
+
+let worst_expected_time t =
+  let worst = ref 0 in
+  Array.iteri
+    (fun idx _ ->
+      if t.expected_interactions.(idx) > t.expected_interactions.(!worst) then worst := idx)
+    t.configs;
+  let v = t.configs.(!worst) in
+  (* materialize a configuration array from the count vector *)
+  let agents = ref [] in
+  Array.iteri
+    (fun i c ->
+      for _ = 1 to c do
+        agents := t.codec.state i :: !agents
+      done)
+    v;
+  (t.expected_interactions.(!worst) /. float_of_int t.n, Array.of_list (List.rev !agents))
+
+let mean_expected_time t =
+  let acc = Array.fold_left ( +. ) 0.0 t.expected_interactions in
+  acc /. float_of_int (Array.length t.configs) /. float_of_int t.n

@@ -1,0 +1,55 @@
+(** Exact analysis of a population protocol as a finite Markov chain.
+
+    For a deterministic protocol over a small enumerable state space, the
+    population's configuration — the multiset of agent states, i.e. a count
+    vector — evolves as a finite Markov chain whose transition
+    probabilities are fully determined by the uniform-random-pair
+    scheduler: from configuration [v], the ordered state pair [(i, j)] is
+    drawn with probability [v_i·(v_j − [i=j]) / (n·(n−1))]. This module
+    enumerates the entire configuration space, identifies the silent
+    (absorbing) configurations, and solves the linear system for the exact
+    expected number of interactions to absorption from every configuration.
+
+    Exhaustive enumeration is exponential — C(n+S−1, S−1) configurations
+    for [S] states — so this is a {e validation} tool for small [n]
+    (Silent-n-state-SSR is tractable up to n ≈ 7): the simulators' measured
+    means are checked against these exact values, and self-stabilization
+    is {e model-checked}: every absorbing configuration is verified
+    correct, and every configuration is verified to reach absorption. *)
+
+type 'a codec = {
+  size : int;  (** number of protocol states *)
+  index : 'a -> int;  (** injection into [0, size) *)
+  state : int -> 'a;
+}
+
+val silent_n_state_codec : n:int -> Core.Silent_n_state.state codec
+(** Codec for the n-state baseline protocol. *)
+
+type 'a analysis
+
+val analyze : protocol:'a Engine.Protocol.t -> codec:'a codec -> 'a analysis
+(** Builds the full chain. Requires [protocol.deterministic]. Raises
+    [Failure "Chain.analyze: non-absorbing recurrent class"] if some
+    configuration cannot reach a silent configuration (which would
+    disprove self-stabilization for that protocol and size). *)
+
+val configurations : 'a analysis -> int
+(** Total number of configurations. *)
+
+val absorbing : 'a analysis -> int
+(** Number of silent configurations. *)
+
+val all_absorbing_correct : 'a analysis -> bool
+(** [true] iff every silent configuration is a correct ranking — the
+    safety half of self-stabilization, checked exhaustively. *)
+
+val expected_time : 'a analysis -> 'a array -> float
+(** [expected_time a config] is the exact expected {e parallel time} to
+    absorption from the given configuration. *)
+
+val worst_expected_time : 'a analysis -> float * 'a array
+(** The maximum over all configurations, with a witness configuration. *)
+
+val mean_expected_time : 'a analysis -> float
+(** Average over all configurations (uniform over configuration space). *)

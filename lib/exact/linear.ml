@@ -1,0 +1,57 @@
+let solve a b =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Linear.solve: empty system";
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "Linear.solve: non-square matrix") a;
+  if Array.length b <> n then invalid_arg "Linear.solve: dimension mismatch";
+  let b = Array.copy b in
+  (* forward elimination with partial pivoting *)
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-12 then failwith "Linear.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    let inv = 1.0 /. a.(col).(col) in
+    for row = col + 1 to n - 1 do
+      let factor = a.(row).(col) *. inv in
+      if factor <> 0.0 then begin
+        a.(row).(col) <- 0.0;
+        for k = col + 1 to n - 1 do
+          a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+        done;
+        b.(row) <- b.(row) -. (factor *. b.(col))
+      end
+    done
+  done;
+  (* back substitution *)
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let acc = ref b.(row) in
+    for k = row + 1 to n - 1 do
+      acc := !acc -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !acc /. a.(row).(row)
+  done;
+  x
+
+let mat_vec a x =
+  Array.map
+    (fun row ->
+      let acc = ref 0.0 in
+      Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) row;
+      !acc)
+    a
+
+let max_abs_residual a x b =
+  let ax = mat_vec a x in
+  let worst = ref 0.0 in
+  Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. b.(i)))) ax;
+  !worst

@@ -1,0 +1,18 @@
+(** Dense linear algebra for the exact Markov-chain analysis.
+
+    Only what {!Chain} needs: solving [A·x = b] by Gaussian elimination
+    with partial pivoting. Suitable for the few-thousand-unknown systems
+    arising from exhaustive configuration spaces at small populations. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] returns [x] with [a·x = b]. [a] is square, indexed
+    [a.(row).(col)], and is consumed (mutated) by the elimination; pass a
+    copy to keep it. Raises [Failure] on a (numerically) singular matrix
+    and [Invalid_argument] on dimension mismatch. *)
+
+val mat_vec : float array array -> float array -> float array
+(** [mat_vec a x] is [a·x] (no mutation); used to verify residuals in
+    tests. *)
+
+val max_abs_residual : float array array -> float array -> float array -> float
+(** [max_abs_residual a x b] is [max_i |(a·x − b)_i|]. *)

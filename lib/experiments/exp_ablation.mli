@@ -1,0 +1,25 @@
+(** Experiment AB: ablation of the protocols' Θ-constants.
+
+    The paper fixes parameters only asymptotically; this experiment sweeps
+    the constants to show why the defaults of {!Core.Params} sit where they
+    do, measuring stabilization time and the number of global reset waves
+    per run:
+
+    - [D_max = c·n] (Optimal-Silent-SSR): the dormant window must cover the
+      slow leader election; small [c] leaves several leaders alive, so
+      rank collisions force extra reset epochs (the paper's "constant
+      probability the slow leader election fails" trade-off made visible);
+    - [E_max = c·n]: the starvation alarm must outlast the ranking phase;
+      small [c] fires false alarms that restart an otherwise healthy run;
+    - [R_max = c·ln n]: the reset wave must outlive the epidemic depth;
+      too-small [c] lets waves die out half-propagated, and recovery then
+      needs several waves;
+    - [T_H] (Sublinear-Time-SSR): short timers expire history before it
+      reaches the impostor and detection degrades toward direct meetings;
+      the sweep shows detection latency against the timer budget.
+
+    Also compares the [Paper] and [Tuned] presets head to head. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

@@ -1,0 +1,88 @@
+type mode = Quick | Full
+
+type measurement = {
+  label : string;
+  n : int;
+  times : float array;
+  failures : int;
+  violations : int;
+  silent_checked : int;
+  silent_ok : int;
+}
+
+let measure ~label ~protocol ~init ~task ~expected_time ?check_silence ~trials ~seed () =
+  let n = protocol.Engine.Protocol.n in
+  let check_silence =
+    match check_silence with Some b -> b | None -> protocol.Engine.Protocol.deterministic
+  in
+  let root = Prng.create ~seed in
+  let times = ref [] in
+  let failures = ref 0 in
+  let violations = ref 0 in
+  let silent_checked = ref 0 in
+  let silent_ok = ref 0 in
+  for _ = 1 to trials do
+    let rng = Prng.split root in
+    let config = init rng in
+    let sim = Engine.Sim.make ~protocol ~init:config ~rng in
+    let outcome =
+      Engine.Runner.run_to_stability ~task
+        ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time)
+        ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+        sim
+    in
+    violations := !violations + outcome.Engine.Runner.violations;
+    if outcome.Engine.Runner.converged then begin
+      times := outcome.Engine.Runner.convergence_time :: !times;
+      if check_silence then begin
+        incr silent_checked;
+        if Engine.Silence.configuration_is_silent protocol (Engine.Sim.snapshot sim) then
+          incr silent_ok
+      end
+    end
+    else incr failures
+  done;
+  {
+    label;
+    n;
+    times = Array.of_list (List.rev !times);
+    failures = !failures;
+    violations = !violations;
+    silent_checked = !silent_checked;
+    silent_ok = !silent_ok;
+  }
+
+let summary m = Stats.Summary.of_array m.times
+
+let mean_time m = Stats.Summary.mean m.times
+
+let scaling_fit points =
+  Stats.Regression.log_log
+    (List.map (fun (n, m) -> (float_of_int n, mean_time m)) points)
+
+let semilog_fit points =
+  Stats.Regression.semilog_x
+    (List.map (fun (n, m) -> (float_of_int n, mean_time m)) points)
+
+let time_header = [ "n"; "trials"; "mean"; "±95%"; "median"; "p95"; "max"; "fail"; "viol" ]
+
+let time_row m =
+  if Array.length m.times = 0 then
+    [ string_of_int m.n; "0"; "-"; "-"; "-"; "-"; "-"; string_of_int m.failures;
+      string_of_int m.violations ]
+  else begin
+    let s = summary m in
+    [
+      string_of_int m.n;
+      string_of_int s.Stats.Summary.count;
+      Stats.Table.cell_float s.Stats.Summary.mean;
+      Stats.Table.cell_float (Stats.Summary.ci95_halfwidth m.times);
+      Stats.Table.cell_float s.Stats.Summary.median;
+      Stats.Table.cell_float s.Stats.Summary.p95;
+      Stats.Table.cell_float s.Stats.Summary.max;
+      string_of_int m.failures;
+      string_of_int m.violations;
+    ]
+  end
+
+let trials_of_mode mode ~base = match mode with Full -> base | Quick -> max 5 (base / 3)

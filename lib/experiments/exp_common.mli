@@ -1,0 +1,59 @@
+(** Shared machinery for the paper-reproduction experiments.
+
+    Each experiment module ([Exp_table1], [Exp_silent_lb], …) measures one
+    table, figure or claim of the paper and renders paper-shaped text
+    tables. This module provides the trial runner (seeded, with convergence
+    confirmation and optional silence checking) and the sweep helpers. *)
+
+type mode = Quick | Full
+(** [Quick] keeps every experiment under roughly a minute (used by the
+    default bench run); [Full] uses larger populations and more trials
+    (used to regenerate EXPERIMENTS.md). *)
+
+type measurement = {
+  label : string;
+  n : int;
+  times : float array;  (** convergence parallel times of converged trials *)
+  failures : int;  (** trials that missed the interaction horizon *)
+  violations : int;  (** total correctness losses after first entry *)
+  silent_checked : int;  (** converged trials whose final config was checked *)
+  silent_ok : int;  (** …of which were silent *)
+}
+
+val measure :
+  label:string ->
+  protocol:'a Engine.Protocol.t ->
+  init:(Prng.t -> 'a array) ->
+  task:Engine.Runner.task ->
+  expected_time:float ->
+  ?check_silence:bool ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  measurement
+(** Runs [trials] independent simulations (child generators split from
+    [seed]), each until stability or until the horizon
+    [Engine.Runner.default_horizon ~n ~expected_time]. When
+    [check_silence] (default: the protocol's [deterministic] flag) the
+    final configuration of each converged trial is tested for silence. *)
+
+val summary : measurement -> Stats.Summary.t
+(** Summary of the convergence times; raises if no trial converged. *)
+
+val mean_time : measurement -> float
+
+val scaling_fit : (int * measurement) list -> Stats.Regression.fit
+(** Log-log fit of mean convergence time against [n]. *)
+
+val semilog_fit : (int * measurement) list -> Stats.Regression.fit
+(** Fit of mean time against [ln n] (for Θ(log n) claims). *)
+
+val time_row : measurement -> string list
+(** Table cells: n, trials, mean, ±95% CI, median, p95, max, failures,
+    violations (correctness losses after first entry, summed over
+    trials — convergence ≠ stabilization shows up here). *)
+
+val time_header : string list
+
+val trials_of_mode : mode -> base:int -> int
+(** [Full] keeps [base] trials, [Quick] divides by 3 (min 5). *)

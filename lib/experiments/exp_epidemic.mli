@@ -1,0 +1,11 @@
+(** Experiment EP: the probabilistic toolbox (Sections 1.1 and 2).
+
+    Three measurements backing the paper's analysis machinery:
+    - two-way epidemic completion ≈ ln n + Θ(1) parallel time;
+    - bounded epidemic hitting times E[τ_k] = O(k·n^{1/k}) — the curve
+      behind Sublinear-Time-SSR's detection latency (τ_{H+1});
+    - roll call completion ≈ 1.5× the epidemic time. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

@@ -1,0 +1,23 @@
+(** Experiments F1 and F2: the paper's two figures.
+
+    - Figure 1: the binary-tree rank assignment of Optimal-Silent-SSR at
+      n = 12 with 8 settled agents — rendered exactly, plus a measurement
+      that the leader-driven ranking phase alone (one Settled root, n−1
+      Unsettled) completes in Θ(n) parallel time.
+    - Figure 2: the two example executions building history trees in four
+      agents, with the caption's consistency checks: after the plain
+      a-b, b-c, c-d history, agent [d]'s path checks out against [a] at
+      the {e first} edge; after the variant with a second a-b interaction
+      (sync 7), it checks out at the {e second} edge. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string
+
+val figure1_tree : n:int -> settled:int -> string
+(** ASCII rendering of the rank tree with settled/unsettled marking
+    (Figure 1 uses [n = 12], [settled = 8]). *)
+
+val figure2_script : unit -> string
+(** The four-agent scripted executions with tree printouts and the two
+    consistency checks. *)

@@ -1,0 +1,19 @@
+(** Experiment LS: loose stabilization (the paper's "Problem variants").
+
+    The timeout-based loosely-stabilizing protocol ({!Core.Loose}) needs
+    only an upper bound N ≥ n, so — unlike every SSLE protocol, by
+    Theorem 2.1 — one transition table serves several population sizes.
+    The experiment demonstrates the trade the paper describes:
+
+    - {e convergence}: a unique leader emerges from the all-followers
+      configuration (fatal to initialized leader election) and from random
+      configurations, in O(T_max) time, with the same [t_max] reused
+      across different [n];
+    - {e holding time}: the leader is only held for a finite time — a
+      false timeout eventually mints a second leader — and the measured
+      holding time blows up rapidly as [T_max] grows (the
+      polynomial-vs-exponential slack trade-off cited from [56, 41]). *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

@@ -1,0 +1,16 @@
+(** Experiment TH2.1: strong nonuniformity is necessary (Theorem 2.1).
+
+    Any SSLE protocol must hardcode the exact population size: if the
+    transitions compiled for n₁ are run inside a larger population n₂ > n₁
+    that currently has a unique leader, sufficiently many interactions
+    produce a second leader, so no single-leader configuration can be
+    stable. Demonstrated on Silent-n-state-SSR(n₁): n₂ agents whose ranks
+    are within {0..n₁−1} with exactly one at rank 0 (= leader). Duplicated
+    ranks collide, increments wrap around mod n₁, and extra leaders appear
+    and reappear forever; the experiment measures the time to the first
+    excess leader and the long-run fraction of time spent with exactly one
+    leader (which stays bounded away from 1). *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

@@ -1,0 +1,12 @@
+(** Experiment Q: the Ω(n²) worst case of Silent-n-state-SSR (Section 2).
+
+    From the barrier configuration — two agents at rank 0, one at each of
+    ranks 1..n−2, rank n−1 vacant — stabilization requires n−1 consecutive
+    bottleneck events, each a direct meeting of the two same-ranked agents
+    at expected Θ(n) time, for ≈ (n−1)²/2 parallel time total. The
+    experiment measures stabilization from this configuration against the
+    analytic curve and checks the log-log slope ≈ 2. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

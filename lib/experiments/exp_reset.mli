@@ -1,0 +1,12 @@
+(** Experiment RS: Propagate-Reset completes in O(log n) (Section 3).
+
+    Runs the {!Core.Reset} component in isolation (trivial computing
+    states, Θ(log n) delay) from a configuration with a single triggered
+    agent, and from fully-adversarial Resetting states, measuring the
+    parallel time until the whole population computes again and the number
+    of times each agent executed [Reset] (exactly once per wave, WHP).
+    The fit of completion time against ln n checks the Θ(log n) claim. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

@@ -1,0 +1,13 @@
+(** Experiment SC: Table 1 row 1 at scale, with exact stabilization times.
+
+    The count-based engine ({!Engine.Count_sim}) skips null interactions in
+    bulk and observes silence exactly, so Silent-n-state-SSR's Θ(n²)
+    stabilization can be measured up to populations of several thousands —
+    far beyond the per-interaction engine — and compared against the
+    analytic worst-case curve (n−1)²/2. The worst case performs exactly
+    n−1 productive interactions (the duplicate token climbs the barrier one
+    bottleneck meeting at a time), which the engine also verifies. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

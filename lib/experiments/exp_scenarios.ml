@@ -1,0 +1,73 @@
+let name = "scenarios"
+
+let description = "Per-adversary fingerprint: every scenario of the catalogue, per protocol"
+
+let scenario_header = [ "scenario"; "trials"; "mean"; "p95"; "max"; "fail"; "viol" ]
+
+let row_of_measurement scenario (m : Exp_common.measurement) trials =
+  if Array.length m.Exp_common.times = 0 then
+    [ scenario; string_of_int trials; "-"; "-"; "-"; string_of_int m.Exp_common.failures;
+      string_of_int m.Exp_common.violations ]
+  else begin
+    let s = Exp_common.summary m in
+    [
+      scenario;
+      string_of_int s.Stats.Summary.count;
+      Stats.Table.cell_float s.Stats.Summary.mean;
+      Stats.Table.cell_float s.Stats.Summary.p95;
+      Stats.Table.cell_float s.Stats.Summary.max;
+      string_of_int m.Exp_common.failures;
+      string_of_int m.Exp_common.violations;
+    ]
+  end
+
+let sweep buf ~title ~protocol ~catalogue ~expected_time ~trials ~seed =
+  let table = Stats.Table.create ~header:scenario_header in
+  List.iter
+    (fun (scenario, gen) ->
+      let m =
+        Exp_common.measure ~label:scenario ~protocol ~init:gen ~task:Engine.Runner.Ranking
+          ~expected_time ~trials ~seed ()
+      in
+      Stats.Table.add_row table (row_of_measurement scenario m trials))
+    catalogue;
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (Stats.Table.render table);
+  Buffer.add_string buf "\n\n"
+
+let run ~mode ~seed =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "== Experiment SN: adversary catalogue ==\n\n";
+  let trials = Exp_common.trials_of_mode mode ~base:20 in
+  let n_silent = match mode with Exp_common.Quick -> 16 | Full -> 32 in
+  sweep buf
+    ~title:(Printf.sprintf "Silent-n-state-SSR, n=%d" n_silent)
+    ~protocol:(Core.Silent_n_state.protocol ~n:n_silent)
+    ~catalogue:(Core.Scenarios.silent_catalogue ~n:n_silent)
+    ~expected_time:(float_of_int (n_silent * n_silent))
+    ~trials ~seed;
+  let n_opt = match mode with Exp_common.Quick -> 16 | Full -> 48 in
+  let params = Core.Params.optimal_silent n_opt in
+  sweep buf
+    ~title:(Printf.sprintf "Optimal-Silent-SSR, n=%d" n_opt)
+    ~protocol:(Core.Optimal_silent.protocol ~params ~n:n_opt ())
+    ~catalogue:(Core.Scenarios.optimal_catalogue ~params ~n:n_opt)
+    ~expected_time:(float_of_int (30 * n_opt))
+    ~trials ~seed:(seed + 1);
+  List.iter
+    (fun h ->
+      let n_sub = match mode with Exp_common.Quick -> 8 | Full -> 16 in
+      let params = Core.Params.sublinear ~h n_sub in
+      sweep buf
+        ~title:(Printf.sprintf "Sublinear-Time-SSR, n=%d, H=%d" n_sub h)
+        ~protocol:(Core.Sublinear.protocol ~params ~n:n_sub ~h ())
+        ~catalogue:(Core.Scenarios.sublinear_catalogue ~params ~n:n_sub)
+        ~expected_time:
+          (float_of_int (params.Core.Params.d_max + (8 * params.Core.Params.t_h) + (8 * n_sub)))
+        ~trials ~seed:(seed + 2 + h))
+    (match mode with Exp_common.Quick -> [ 1 ] | Full -> [ 0; 1; 2 ]);
+  Buffer.add_string buf
+    "(viol counts runs that re-entered incorrectness after first looking correct:\n\
+     planted ranks or forged trees can make the monitor see a transiently\n\
+     'correct' configuration that the protocol then justifiedly tears down)\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Experiment SN: the adversary catalogue, protocol by protocol.
+
+    Self-stabilization quantifies over all configurations; this experiment
+    sweeps every named adversarial scenario of {!Core.Scenarios} for each
+    protocol at a fixed population size and reports stabilization time,
+    failures and correctness violations (runs that looked correct and were
+    then broken again — e.g. forged history trees provoking a justified
+    reset after ranks already matched). One table per protocol: the per-
+    adversary fingerprint of each algorithm. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

@@ -1,0 +1,15 @@
+(** Experiment O2.2: the Ω(n) lower bound for silent protocols.
+
+    Observation 2.2: take a silent correct configuration, duplicate the
+    leader's state onto another agent; the only applicable transition is a
+    direct meeting of the two copies, a geometric event of mean C(n,2)
+    interactions ≈ (n−1)/2 parallel time, with the heavy tail
+    P[time ≥ α·n·ln n] ≥ ½·n^{−3α}.
+
+    Measured here on both silent protocols (duplicated rank planted into
+    the stable configuration) plus the analytic tail, which is compared
+    against exact geometric meeting-time samples. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

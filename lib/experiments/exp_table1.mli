@@ -1,0 +1,21 @@
+(** Experiment T1: reproduce Table 1 of the paper.
+
+    For each protocol row, sweeps the population size over adversarial
+    initial configurations, measures stabilization parallel time
+    (expectation = mean, WHP = p95 over trials), fits the scaling exponent,
+    verifies silence of the final configurations for the silent protocols,
+    and reports the state-space column.
+
+    Paper shapes this experiment must reproduce:
+    - Silent-n-state-SSR: time ∝ n² (log-log slope ≈ 2), n states, silent;
+    - Optimal-Silent-SSR: time ∝ n (slope ≈ 1), O(n) states, silent;
+    - Sublinear-Time-SSR, H = ⌈log₂ n⌉: time ∝ log n (log-log slope ≪ 1),
+      quasi-exponential states, not silent;
+    - Sublinear-Time-SSR, fixed H: time ∝ n^{1/(H+1)} (slope ≈ 1/(H+1)). *)
+
+val name : string
+val description : string
+
+val run : mode:Exp_common.mode -> seed:int -> string
+(** Rendered report: one measurement table per protocol row, the states
+    table, and the scaling fits with their paper-predicted exponents. *)

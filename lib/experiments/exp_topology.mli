@@ -1,0 +1,19 @@
+(** Experiment TP: why the complete graph is the relevant (hardest) case.
+
+    The paper's protocols assume the complete interaction graph; related
+    work needs bespoke protocols for rings and other sparse topologies.
+    This experiment runs the complete-graph machinery on other graphs:
+
+    - the epidemic process completes in Θ(log n) on the complete graph and
+      on random regular graphs, but needs Θ(n²)-ish time on the ring
+      (information travels one hop per direct meeting) — the propagation
+      primitive behind every fast bound degrades;
+    - Optimal-Silent-SSR, whose rank-collision detection relies on the two
+      colliding agents meeting directly, stops working when they are not
+      adjacent: started with a planted duplicate placed on non-adjacent
+      ring agents, the error is never detected and the run never recovers,
+      while the complete graph always recovers. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

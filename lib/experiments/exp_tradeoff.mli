@@ -1,0 +1,10 @@
+(** Experiment T1.4: the time/space tradeoff of Sublinear-Time-SSR.
+
+    Sweeping the history depth H at fixed n shows stabilization time
+    falling as Θ(H·n^{1/(H+1)}) while the state estimate explodes; sweeping
+    n at fixed H recovers the per-H scaling exponents 1/(H+1) of Table 1's
+    last row. H = 0 is the direct-detection linear-time variant. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> string

@@ -1,0 +1,15 @@
+(** Registry of all experiments and the EXPERIMENTS.md generator. *)
+
+type experiment = {
+  name : string;
+  description : string;
+  run : mode:Exp_common.mode -> seed:int -> string;
+}
+
+val all : experiment list
+(** Every experiment, in the order of DESIGN.md's experiment index. *)
+
+val find : string -> experiment option
+
+val run_all : mode:Exp_common.mode -> seed:int -> string
+(** Concatenated reports of every experiment. *)

@@ -1,0 +1,103 @@
+(* xoshiro256** 1.0 (Blackman & Vigna, public domain reference
+   implementation), ported to OCaml Int64. State must never be all zero;
+   splitmix64 seeding guarantees that. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64: used only to expand a seed into four state words. *)
+let splitmix_next state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed64 seed64 =
+  let state = ref seed64 in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let create ~seed = of_seed64 (Int64.of_int seed)
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let bits64 g =
+  let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g = of_seed64 (bits64 g)
+
+let split_many g k = Array.init k (fun _ -> split g)
+
+(* Uniform int in [0, bound) by rejection on the top 62 bits (non-negative
+   OCaml int range). *)
+let int g bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical Int64.minus_one 2 in
+  (* 62 bits *)
+  let rec loop () =
+    let r = Int64.to_int (Int64.logand (bits64 g) mask) in
+    (* r is uniform on [0, 2^62). Reject the tail to avoid modulo bias. *)
+    let limit = (max_int / bound) * bound in
+    if r < limit then r mod bound else loop ()
+  in
+  loop ()
+
+let int_in g lo hi =
+  assert (lo <= hi);
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.compare (Int64.logand (bits64 g) 1L) 0L <> 0
+
+let float g =
+  (* 53 random bits into [0,1). *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  r *. 0x1p-53
+
+let bernoulli g ~p = float g < p
+
+let distinct_pair g n =
+  assert (n >= 2);
+  let i = int g n in
+  let j = int g (n - 1) in
+  let j = if j >= i then j + 1 else j in
+  (i, j)
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle g a;
+  a
+
+let pick g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let bits g ~width =
+  assert (width >= 0 && width <= 62);
+  if width = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (bits64 g) (64 - width))

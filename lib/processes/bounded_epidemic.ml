@@ -1,0 +1,52 @@
+type result = { tau : float array; completion : float }
+
+let infinity_level = max_int
+
+(* Core loop; stops once the target's level is <= [stop_level] and the
+   completion time has been recorded. *)
+let simulate rng ~n ~levels ~stop_level =
+  if n < 2 then invalid_arg "Bounded_epidemic: n must be >= 2";
+  if levels < 1 then invalid_arg "Bounded_epidemic: levels must be >= 1";
+  if stop_level < 1 || stop_level > levels then invalid_arg "Bounded_epidemic: bad stop level";
+  let level = Array.make n infinity_level in
+  level.(0) <- 0;
+  (* Agent n-1 is the designated target (any fixed agent ≠ source works). *)
+  let target = n - 1 in
+  let tau = Array.make levels nan in
+  let finite = ref 1 in
+  let completion = ref nan in
+  let interactions = ref 0 in
+  let time () = float_of_int !interactions /. float_of_int n in
+  let record_target () =
+    let v = level.(target) in
+    for k = max v 1 to levels do
+      if Float.is_nan tau.(k - 1) then tau.(k - 1) <- time ()
+    done
+  in
+  let finished () = level.(target) <= stop_level && not (Float.is_nan !completion) in
+  while not (finished ()) do
+    let i, j = Prng.distinct_pair rng n in
+    incr interactions;
+    let li = level.(i) and lj = level.(j) in
+    (* The rule i, j -> i, i+1 for i < j: the better-informed end upgrades
+       the other to one hop further from the source. *)
+    if li < lj - 1 then begin
+      if lj = infinity_level then incr finite;
+      level.(j) <- li + 1;
+      if j = target then record_target ()
+    end
+    else if lj < li - 1 then begin
+      if li = infinity_level then incr finite;
+      level.(i) <- lj + 1;
+      if i = target then record_target ()
+    end;
+    if !finite = n && Float.is_nan !completion then completion := time ()
+  done;
+  { tau; completion = !completion }
+
+let run rng ~n ~levels = simulate rng ~n ~levels ~stop_level:1
+
+let tau_samples rng ~n ~k ~trials =
+  Array.init trials (fun _ ->
+      let r = simulate rng ~n ~levels:k ~stop_level:k in
+      r.tau.(k - 1))

@@ -1,0 +1,26 @@
+(** The bounded epidemic process (Section 1.1).
+
+    The source agent starts at level 0, everyone else at ∞; on an
+    interaction, [i, j → i, i+1] whenever [i < j]. An agent at level [k]
+    has heard from the source along an interaction path of length at most
+    [k]. The paper's key quantities are the hitting times
+    [τ_k] — the first (parallel) time some fixed target agent reaches
+    level ≤ [k] — with [E[τ_1] = O(n)], [E[τ_2] = O(√n)] and in general
+    [E[τ_k] = O(k·n^{1/k})], reaching [O(log n)] at [k = Θ(log n)]. These
+    drive Sublinear-Time-SSR's collision-detection latency: a collision is
+    noticed through a path of length [H+1], i.e. around time [τ_{H+1}]. *)
+
+type result = {
+  tau : float array;
+      (** [tau.(k)] = parallel time when the target first had level ≤ k+1
+          (index 0 is τ₁); length [levels] *)
+  completion : float;  (** parallel time when every agent had finite level *)
+}
+
+val run : Prng.t -> n:int -> levels:int -> result
+(** Full agent-level simulation with a designated source and target.
+    [levels] bounds the τ indices reported; the simulation stops once the
+    target reaches level 1 or every level is hit. *)
+
+val tau_samples : Prng.t -> n:int -> k:int -> trials:int -> float array
+(** Independent samples of τ_k. *)

@@ -1,0 +1,34 @@
+let participation_time rng ~n =
+  if n < 2 then invalid_arg "Coupon.participation_time: n must be >= 2";
+  let seen = Array.make n false in
+  let remaining = ref n in
+  let interactions = ref 0 in
+  while !remaining > 0 do
+    let i, j = Prng.distinct_pair rng n in
+    incr interactions;
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      decr remaining
+    end;
+    if not seen.(j) then begin
+      seen.(j) <- true;
+      decr remaining
+    end
+  done;
+  float_of_int !interactions /. float_of_int n
+
+let participation_times rng ~n ~trials =
+  Array.init trials (fun _ -> participation_time rng ~n)
+
+(* The waiting time for the fixed pair {0,1} is geometric with success
+   probability 2/(n(n−1)); sample it directly. *)
+let meeting_time rng ~n =
+  if n < 2 then invalid_arg "Coupon.meeting_time: n must be >= 2";
+  let p = 2.0 /. float_of_int (n * (n - 1)) in
+  let u = Prng.float rng in
+  let interactions = 1 + int_of_float (Float.floor (log1p (-.u) /. log1p (-.p))) in
+  float_of_int interactions /. float_of_int n
+
+let meeting_times rng ~n ~trials = Array.init trials (fun _ -> meeting_time rng ~n)
+
+let expected_meeting_time n = float_of_int (n - 1) /. 2.0

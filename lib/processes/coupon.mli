@@ -1,0 +1,23 @@
+(** Coupon-collector-style processes used in the paper's lower bounds.
+
+    - {e Participation}: the parallel time until every agent has taken part
+      in at least one interaction — Θ(log n), the reason any SSLE protocol
+      needs Ω(log n) time from the all-leaders configuration (Section 1.1):
+      n−1 of the n leaders must each lose at least one interaction.
+    - {e Meeting time}: the parallel time until two {e specific} agents
+      interact directly — expectation (n−1)/2, the bottleneck behind
+      Observation 2.2 (silent protocols need Ω(n)) and behind every
+      "direct collision" step of the silent protocols. *)
+
+val participation_time : Prng.t -> n:int -> float
+(** One sample of the all-agents-participated parallel time. *)
+
+val participation_times : Prng.t -> n:int -> trials:int -> float array
+
+val meeting_time : Prng.t -> n:int -> float
+(** One sample of the direct-meeting parallel time of two fixed agents. *)
+
+val meeting_times : Prng.t -> n:int -> trials:int -> float array
+
+val expected_meeting_time : int -> float
+(** Exact expectation: C(n,2)/1 interactions = (n−1)/2 parallel time. *)

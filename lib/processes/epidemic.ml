@@ -1,0 +1,46 @@
+type result = { completion_time : float; half_time : float; interactions : int }
+
+(* Simulation tracks only the infected count k: an interaction increases it
+   iff it pairs an infected with a susceptible agent, which happens with
+   probability 2k(n−k)/(n(n−1)) (two-way) or k(n−k)/(n(n−1)) (one-way);
+   sampling the geometric waiting time per growth step makes a run O(n)
+   rather than O(n log n). *)
+let run ?(one_way = false) rng ~n =
+  if n < 2 then invalid_arg "Epidemic.run: n must be >= 2";
+  let pairs = float_of_int (n * (n - 1)) in
+  let interactions = ref 0 in
+  let half_interactions = ref 0 in
+  for k = 1 to n - 1 do
+    let kf = float_of_int k in
+    let nf = float_of_int n in
+    let numer = kf *. (nf -. kf) *. if one_way then 1.0 else 2.0 in
+    let p = numer /. pairs in
+    (* Geometric sample: number of interactions until the next infection. *)
+    let u = Prng.float rng in
+    let wait = 1 + int_of_float (Float.floor (log1p (-.u) /. log1p (-.p))) in
+    interactions := !interactions + wait;
+    if k + 1 = (n + 1) / 2 then half_interactions := !interactions
+  done;
+  {
+    completion_time = float_of_int !interactions /. float_of_int n;
+    half_time = float_of_int !half_interactions /. float_of_int n;
+    interactions = !interactions;
+  }
+
+let completion_times ?one_way rng ~n ~trials =
+  Array.init trials (fun _ -> (run ?one_way rng ~n).completion_time)
+
+let infection_curve rng ~n =
+  if n < 2 then invalid_arg "Epidemic.infection_curve: n must be >= 2";
+  let pairs = float_of_int (n * (n - 1)) in
+  let interactions = ref 0 in
+  let points = ref [ (0.0, 1) ] in
+  for k = 1 to n - 1 do
+    let kf = float_of_int k and nf = float_of_int n in
+    let p = 2.0 *. kf *. (nf -. kf) /. pairs in
+    let u = Prng.float rng in
+    let wait = 1 + int_of_float (Float.floor (log1p (-.u) /. log1p (-.p))) in
+    interactions := !interactions + wait;
+    points := (float_of_int !interactions /. float_of_int n, k + 1) :: !points
+  done;
+  List.rev !points

@@ -1,0 +1,26 @@
+(** The two-way epidemic process (Section 2, "Probabilistic tools").
+
+    One agent starts {e infected}; whenever an interaction involves at
+    least one infected agent, both ends become infected. The completion
+    time — all [n] agents infected — is Θ(log n) parallel time and
+    concentrates sharply; the paper uses it as the universal clock for
+    information propagation (rosters, reset waves, awakening). The one-way
+    variant (only the initiator infects the responder) is also provided,
+    running exactly twice as slow in expectation per transmission
+    opportunity. *)
+
+type result = {
+  completion_time : float;  (** parallel time until all agents infected *)
+  half_time : float;  (** parallel time until n/2 agents infected *)
+  interactions : int;
+}
+
+val run : ?one_way:bool -> Prng.t -> n:int -> result
+(** Simulate one epidemic on [n] agents from a single random source. *)
+
+val completion_times : ?one_way:bool -> Prng.t -> n:int -> trials:int -> float array
+(** Completion parallel times over independent trials. *)
+
+val infection_curve : Prng.t -> n:int -> (float * int) list
+(** One trajectory: [(parallel time, infected count)] at each growth
+    step. *)

@@ -1,0 +1,67 @@
+type result = { completion_time : float; first_full_time : float; interactions : int }
+
+(* Per-agent knowledge as a Bytes-backed bitset of the n names. *)
+let words n = (n + 7) / 8
+
+let make_knowledge n i =
+  let b = Bytes.make (words n) '\000' in
+  Bytes.set b (i / 8) (Char.chr (1 lsl (i mod 8)));
+  b
+
+let merge_into dst src =
+  let changed = ref false in
+  for w = 0 to Bytes.length dst - 1 do
+    let d = Char.code (Bytes.get dst w) and s = Char.code (Bytes.get src w) in
+    let m = d lor s in
+    if m <> d then begin
+      changed := true;
+      Bytes.set dst w (Char.chr m)
+    end
+  done;
+  !changed
+
+let popcount_byte =
+  let table = Array.init 256 (fun b ->
+      let rec count b acc = if b = 0 then acc else count (b lsr 1) (acc + (b land 1)) in
+      count b 0)
+  in
+  fun c -> table.(Char.code c)
+
+let card b =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte c) b;
+  !acc
+
+let run rng ~n =
+  if n < 2 then invalid_arg "Roll_call.run: n must be >= 2";
+  let knowledge = Array.init n (make_knowledge n) in
+  let counts = Array.make n 1 in
+  let full = ref 0 in
+  let first_full = ref nan in
+  let interactions = ref 0 in
+  let time () = float_of_int !interactions /. float_of_int n in
+  while !full < n do
+    let i, j = Prng.distinct_pair rng n in
+    incr interactions;
+    let update dst src =
+      if counts.(dst) < n && merge_into knowledge.(dst) knowledge.(src) then begin
+        counts.(dst) <- card knowledge.(dst);
+        if counts.(dst) = n then begin
+          incr full;
+          if Float.is_nan !first_full then first_full := time ()
+        end
+      end
+    in
+    (* Exchange both ways; merge j's pre-interaction knowledge into i by
+       merging before i changes (dst i uses src j first). *)
+    update i j;
+    update j i
+  done;
+  { completion_time = time (); first_full_time = !first_full; interactions = !interactions }
+
+let completion_times rng ~n ~trials = Array.init trials (fun _ -> (run rng ~n).completion_time)
+
+let ratio_to_epidemic rng ~n ~trials =
+  let roll = completion_times rng ~n ~trials in
+  let epi = Epidemic.completion_times rng ~n ~trials in
+  Stats.Summary.mean roll /. Stats.Summary.mean epi

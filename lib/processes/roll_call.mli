@@ -1,0 +1,26 @@
+(** The roll call process (Section 2).
+
+    Every agent starts with a unique piece of information (its name); on
+    every interaction both ends learn everything the other knows. The
+    process completes when every agent knows every name — an upper bound
+    for any parallel information propagation, and the engine behind
+    Sublinear-Time-SSR's roster collection. The paper (building on
+    Mocquard et al. [48]) shows completion takes only ≈1.5× the two-way
+    epidemic time.
+
+    Knowledge is represented as bitsets, so a run costs O(n²/word-size)
+    memory words and the simulation handles thousands of agents. *)
+
+type result = {
+  completion_time : float;  (** parallel time until everyone knows all names *)
+  first_full_time : float;  (** parallel time until some agent knows all *)
+  interactions : int;
+}
+
+val run : Prng.t -> n:int -> result
+
+val completion_times : Prng.t -> n:int -> trials:int -> float array
+
+val ratio_to_epidemic : Prng.t -> n:int -> trials:int -> float
+(** Mean roll-call completion divided by mean epidemic completion over
+    [trials] paired runs — the paper's ≈1.5 constant. *)

@@ -1,0 +1,36 @@
+type result = { samples : int; bias : float; serial_correlation : float }
+
+(* Coins as parities of interaction counts: flipping on every interaction
+   means coin_i = (number of interactions agent i took part in) mod 2. *)
+let harvest rng ~n ~warmup ~count =
+  if n < 2 then invalid_arg "Synthetic_coin.harvest: n must be >= 2";
+  if warmup < 0 || count < 0 then invalid_arg "Synthetic_coin.harvest: negative amount";
+  let coin = Array.make n false in
+  let interact () =
+    let i, j = Prng.distinct_pair rng n in
+    let observed = coin.(j) in
+    coin.(i) <- not coin.(i);
+    coin.(j) <- not coin.(j);
+    observed
+  in
+  for _ = 1 to warmup do
+    ignore (interact ())
+  done;
+  Array.init count (fun _ -> interact ())
+
+let measure rng ~n ~warmup ~samples =
+  let bits = harvest rng ~n ~warmup ~count:samples in
+  let count = Array.length bits in
+  if count < 2 then invalid_arg "Synthetic_coin.measure: need at least two samples";
+  let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits in
+  let mean = float_of_int ones /. float_of_int count in
+  let bias = Float.abs (mean -. 0.5) in
+  (* lag-1 autocorrelation *)
+  let num = ref 0.0 and den = ref 0.0 in
+  let v b = (if b then 1.0 else 0.0) -. mean in
+  for k = 0 to count - 2 do
+    num := !num +. (v bits.(k) *. v bits.(k + 1))
+  done;
+  Array.iter (fun b -> den := !den +. (v b *. v b)) bits;
+  let serial_correlation = if !den = 0.0 then 0.0 else !num /. !den in
+  { samples = count; bias; serial_correlation }

@@ -1,0 +1,31 @@
+(** Synthetic coins (paper footnotes 5–6).
+
+    The paper's randomized transitions "can be made deterministic by
+    standard synthetic coin techniques without changing time or space
+    bounds": each agent carries one extra bit that it flips
+    {e deterministically} on every interaction. Because the scheduler
+    already supplies randomness (which pair meets, and when), the coin bit
+    an agent observes in its partner is a nearly fair, nearly independent
+    coin — the parity of the partner's interaction count — and can replace
+    the transition function's explicit coin flips.
+
+    This module simulates the coin population and measures the quality of
+    the harvested bits: the bias |P[1] − ½| and the lag-1 serial
+    correlation of consecutively harvested bits, both of which vanish
+    within a few parallel-time units of warm-up even from the fully
+    correlated all-zeros start. *)
+
+type result = {
+  samples : int;
+  bias : float;  (** |empirical P(bit = 1) − 0.5| *)
+  serial_correlation : float;  (** lag-1 autocorrelation of the bit stream *)
+}
+
+val measure : Prng.t -> n:int -> warmup:int -> samples:int -> result
+(** [measure rng ~n ~warmup ~samples] starts all coins at 0, runs
+    [warmup] interactions, then harvests one bit per interaction for
+    [samples] further interactions (the responder's pre-interaction coin,
+    as seen by the initiator). *)
+
+val harvest : Prng.t -> n:int -> warmup:int -> count:int -> bool array
+(** The harvested bit stream itself, for downstream statistical tests. *)

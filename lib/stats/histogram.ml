@@ -1,0 +1,66 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable samples : float list;  (* retained for exact tail queries *)
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: lo must be < hi";
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  { lo; hi; bins = Array.make bins 0; under = 0; over = 0; samples = []; total = 0 }
+
+let nbins t = Array.length t.bins
+
+let add t x =
+  t.total <- t.total + 1;
+  t.samples <- x :: t.samples;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let w = (t.hi -. t.lo) /. float_of_int (nbins t) in
+    let i = int_of_float ((x -. t.lo) /. w) in
+    let i = min i (nbins t - 1) in
+    t.bins.(i) <- t.bins.(i) + 1
+  end
+
+let of_samples ~lo ~hi ~bins xs =
+  let t = create ~lo ~hi ~bins in
+  Array.iter (add t) xs;
+  t
+
+let count t = t.total
+
+let bin_count t i =
+  if i < 0 || i >= nbins t then invalid_arg "Histogram.bin_count: bin index out of range";
+  t.bins.(i)
+
+let underflow t = t.under
+let overflow t = t.over
+
+let bin_bounds t i =
+  if i < 0 || i >= nbins t then invalid_arg "Histogram.bin_bounds: bin index out of range";
+  let w = (t.hi -. t.lo) /. float_of_int (nbins t) in
+  (t.lo +. (w *. float_of_int i), t.lo +. (w *. float_of_int (i + 1)))
+
+let fraction_at_least t x =
+  if t.total = 0 then 0.0
+  else begin
+    let hits = List.fold_left (fun acc s -> if s >= x then acc + 1 else acc) 0 t.samples in
+    float_of_int hits /. float_of_int t.total
+  end
+
+let render ?(width = 50) t =
+  let maxc = Array.fold_left max 1 t.bins in
+  let buf = Buffer.create 512 in
+  for i = 0 to nbins t - 1 do
+    let lo, hi = bin_bounds t i in
+    let bar_len = t.bins.(i) * width / maxc in
+    Buffer.add_string buf (Printf.sprintf "[%8.2f, %8.2f) %6d %s\n" lo hi t.bins.(i) (String.make bar_len '#'))
+  done;
+  if t.under > 0 then Buffer.add_string buf (Printf.sprintf "underflow %d\n" t.under);
+  if t.over > 0 then Buffer.add_string buf (Printf.sprintf "overflow  %d\n" t.over);
+  Buffer.contents buf

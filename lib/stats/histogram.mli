@@ -1,0 +1,31 @@
+(** Fixed-width histograms, used to look at stabilization-time distributions
+    (e.g. the heavy tail predicted by Observation 2.2 for silent protocols). *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [lo, hi) with [bins] equal-width bins plus
+    an underflow and an overflow bin. Requires [lo < hi] and [bins > 0]. *)
+
+val add : t -> float -> unit
+
+val of_samples : lo:float -> hi:float -> bins:int -> float array -> t
+
+val count : t -> int
+(** Total number of samples added (including under/overflow). *)
+
+val bin_count : t -> int -> int
+(** [bin_count t i] for [i] in [0, bins). *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** [bin_bounds t i] is the half-open interval covered by bin [i]. *)
+
+val fraction_at_least : t -> float -> float
+(** [fraction_at_least t x] is the empirical fraction of samples >= [x]
+    (computed from exact samples retained internally, not from bins). *)
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one line per bin. *)

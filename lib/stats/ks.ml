@@ -1,0 +1,35 @@
+let statistic xs ys =
+  let n1 = Array.length xs and n2 = Array.length ys in
+  if n1 = 0 || n2 = 0 then invalid_arg "Ks.statistic: empty sample";
+  let xs = Array.copy xs and ys = Array.copy ys in
+  Array.sort compare xs;
+  Array.sort compare ys;
+  (* Sweep the merged order; the CDF gap can only change at sample points. *)
+  let rec sweep i j best =
+    if i >= n1 || j >= n2 then begin
+      (* the remaining tail pins one CDF at its current value vs 1.0 *)
+      let fi = float_of_int i /. float_of_int n1 in
+      let fj = float_of_int j /. float_of_int n2 in
+      Float.max best (Float.abs (fi -. fj))
+    end
+    else begin
+      let i' = if xs.(i) <= ys.(j) then i + 1 else i in
+      let j' = if ys.(j) <= xs.(i) then j + 1 else j in
+      let fi = float_of_int i' /. float_of_int n1 in
+      let fj = float_of_int j' /. float_of_int n2 in
+      sweep i' j' (Float.max best (Float.abs (fi -. fj)))
+    end
+  in
+  sweep 0 0 0.0
+
+type alpha = P10 | P05 | P01
+
+let coefficient = function P10 -> 1.224 | P05 -> 1.358 | P01 -> 1.628
+
+let critical_value ~alpha ~n1 ~n2 =
+  if n1 <= 0 || n2 <= 0 then invalid_arg "Ks.critical_value: non-positive sample size";
+  let n1 = float_of_int n1 and n2 = float_of_int n2 in
+  coefficient alpha *. sqrt ((n1 +. n2) /. (n1 *. n2))
+
+let same_distribution ?(alpha = P01) xs ys =
+  statistic xs ys < critical_value ~alpha ~n1:(Array.length xs) ~n2:(Array.length ys)

@@ -1,0 +1,21 @@
+(** Two-sample Kolmogorov–Smirnov test.
+
+    Used to check that two samples come from the same distribution — the
+    repository's strongest cross-validation: the count-based engine's
+    stabilization times must match the per-interaction engine's not just in
+    mean but {e in law}, since both sample the same Markov chain. *)
+
+val statistic : float array -> float array -> float
+(** [statistic xs ys] is D = sup over t of |F_xs(t) − F_ys(t)|, the maximum
+    distance between the two empirical CDFs. Both samples must be
+    non-empty. Inputs are not mutated. *)
+
+type alpha = P10 | P05 | P01
+
+val critical_value : alpha:alpha -> n1:int -> n2:int -> float
+(** Asymptotic rejection threshold c(α)·√((n1+n2)/(n1·n2)) with
+    c(0.10) = 1.224, c(0.05) = 1.358, c(0.01) = 1.628. *)
+
+val same_distribution : ?alpha:alpha -> float array -> float array -> bool
+(** [same_distribution xs ys] is [true] when the KS test does {e not}
+    reject equality of distributions at level [alpha] (default {!P01}). *)

@@ -1,0 +1,71 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p95 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.variance: empty sample";
+  if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.quantile: empty sample";
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Summary.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = pos -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+let sem xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.sem: empty sample";
+  stddev xs /. sqrt (float_of_int n)
+
+let ci95_halfwidth xs = 1.96 *. sem xs
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  {
+    count = n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = quantile xs 0.5;
+    p90 = quantile xs 0.9;
+    p95 = quantile xs 0.95;
+  }
+
+let of_list xs = of_array (Array.of_list xs)
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.3f sd=%.3f med=%.3f p95=%.3f [%.3f, %.3f]"
+    t.count t.mean t.stddev t.median t.p95 t.min t.max

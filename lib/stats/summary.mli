@@ -1,0 +1,41 @@
+(** Descriptive statistics over samples of floats.
+
+    Used by the experiment harness to summarize per-trial stabilization times
+    into the "expected time" and "WHP time" columns of the paper's Table 1
+    (mean and upper quantiles respectively). *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;  (** 90th percentile *)
+  p95 : float;  (** 95th percentile *)
+}
+
+val of_array : float array -> t
+(** [of_array xs] summarizes a non-empty sample. Raises
+    [Invalid_argument] on an empty array. *)
+
+val of_list : float list -> t
+
+val mean : float array -> float
+val variance : float array -> float
+(** Sample variance (n-1 denominator); 0 for singleton samples. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [0,1], linear interpolation between order
+    statistics. Does not mutate [xs]. *)
+
+val sem : float array -> float
+(** Standard error of the mean. *)
+
+val ci95_halfwidth : float array -> float
+(** Half-width of a normal-approximation 95% confidence interval for the
+    mean (1.96 standard errors). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type row = Cells of string list | Separator
+
+type t = { header : string list; mutable rows : row list (* reversed *) }
+
+let create ~header = { header; rows = [] }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let width_of_rows header rows =
+  let ncols =
+    List.fold_left
+      (fun acc row -> match row with Cells cs -> max acc (List.length cs) | Separator -> acc)
+      (List.length header) rows
+  in
+  let widths = Array.make ncols 0 in
+  let account cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  account header;
+  List.iter (function Cells cs -> account cs | Separator -> ()) rows;
+  widths
+
+let render_cells widths cells =
+  let buf = Buffer.create 128 in
+  Array.iteri
+    (fun i w ->
+      let cell = match List.nth_opt cells i with Some c -> c | None -> "" in
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf cell;
+      Buffer.add_string buf (String.make (w - String.length cell) ' '))
+    widths;
+  (* Trim trailing spaces. *)
+  let s = Buffer.contents buf in
+  let len = ref (String.length s) in
+  while !len > 0 && s.[!len - 1] = ' ' do
+    decr len
+  done;
+  String.sub s 0 !len
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = width_of_rows t.header rows in
+  let total = Array.fold_left ( + ) 0 widths + (2 * (Array.length widths - 1)) in
+  let rule = String.make (max total 1) '-' in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (render_cells widths t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      match row with
+      | Cells cs -> Buffer.add_string buf (render_cells widths cs)
+      | Separator -> Buffer.add_string buf rule)
+    rows;
+  Buffer.contents buf
+
+let print t = print_endline (render t)
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_int n = string_of_int n

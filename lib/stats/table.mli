@@ -1,0 +1,27 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints paper-shaped tables (rows per population
+    size, columns per statistic); this module handles column alignment. *)
+
+type t
+
+val create : header:string list -> t
+(** [create ~header] starts a table with the given column names. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row. Rows shorter than the header are padded
+    with empty cells; longer rows extend the table width. *)
+
+val add_separator : t -> unit
+(** Appends a horizontal rule row. *)
+
+val render : t -> string
+(** Render with aligned columns and a rule under the header. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to standard output followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float cell, default 2 decimals. *)
+
+val cell_int : int -> string

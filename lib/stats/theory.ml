@@ -1,0 +1,40 @@
+let harmonic k =
+  let rec loop i acc = if i > k then acc else loop (i + 1) (acc +. (1.0 /. float_of_int i)) in
+  loop 1 0.0
+
+let log2 x = log x /. log 2.0
+
+let name_bits n =
+  if n < 2 then invalid_arg "Theory.name_bits: need n >= 2";
+  3 * int_of_float (Float.ceil (log2 (float_of_int n)))
+
+let coupon_collector_time n =
+  (* Each interaction involves 2 of n agents; expected interactions until all
+     have appeared is (n/2)·H_n; parallel time divides by n. *)
+  harmonic n /. 2.0
+
+let epidemic_time n =
+  let nf = float_of_int n in
+  nf /. (nf -. 1.0) *. harmonic (n - 1)
+
+let bounded_epidemic_bound ~n ~k =
+  let nf = float_of_int n in
+  float_of_int k *. (nf ** (1.0 /. float_of_int k))
+
+let slow_leader_election_time n =
+  let nf = float_of_int n in
+  let pairs_total = nf *. (nf -. 1.0) /. 2.0 in
+  let rec loop k acc =
+    if k > n then acc
+    else begin
+      let kf = float_of_int k in
+      loop (k + 1) (acc +. (pairs_total /. (kf *. (kf -. 1.0) /. 2.0)))
+    end
+  in
+  loop 2 0.0 /. nf
+
+let silent_lb_tail ~n ~alpha = 0.5 *. (float_of_int n ** (-3.0 *. alpha))
+
+let quadratic_barrier_time n =
+  let nf = float_of_int n in
+  (nf -. 1.0) *. (nf -. 1.0) /. 2.0

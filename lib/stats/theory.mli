@@ -1,0 +1,37 @@
+(** Closed-form quantities from the paper, used as reference curves next to
+    measured values in the experiment reports. *)
+
+val harmonic : int -> float
+(** [harmonic k] is H_k = sum_{i=1}^{k} 1/i; [harmonic 0 = 0]. *)
+
+val log2 : float -> float
+
+val name_bits : int -> int
+(** [name_bits n] is the paper's name length 3·⌈log₂ n⌉ (Section 5.1). *)
+
+val coupon_collector_time : int -> float
+(** Expected parallel time for every one of [n] agents to take part in at
+    least one interaction ≈ coupon collector: (n·H_n)/(2n) interactions per
+    agent pair convention used in the paper; returned in parallel time. *)
+
+val epidemic_time : int -> float
+(** Expected parallel time of the two-way epidemic process on [n] agents:
+    ≈ ln n (more precisely, (n/(n-1))·H_{n-1} ≈ ln n + γ). *)
+
+val bounded_epidemic_bound : n:int -> k:int -> float
+(** The paper's bound shape E[τ_k] = O(k·n^{1/k}); this returns k·n^{1/k}
+    itself (constant 1), for shape comparison. *)
+
+val slow_leader_election_time : int -> float
+(** Expected parallel time for the one-transition leader election
+    L,L → L,F to go from n leaders to 1:
+    sum_{k=2}^{n} C(n,2)/C(k,2) interactions, divided by n. *)
+
+val silent_lb_tail : n:int -> alpha:float -> float
+(** Observation 2.2: lower bound (1/2)·n^{-3α} on the probability that a
+    silent protocol needs at least α·n·ln n parallel time. *)
+
+val quadratic_barrier_time : int -> float
+(** Reference curve for the Ω(n²) worst case of Silent-n-state-SSR:
+    (n-1) bottleneck meetings of a specific pair, each needing expected
+    C(n,2) interactions ⇒ ≈ (n-1)·(n-1)/2 parallel time. *)

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("engine", Test_engine.suite);
+      ("count_sim", Test_count_sim.suite);
+      ("exact", Test_exact.suite);
+      ("topology", Test_topology.suite);
+      ("loose", Test_loose.suite);
+      ("processes", Test_processes.suite);
+      ("core", Test_core.suite);
+      ("recovery", Test_recovery.suite);
+      ("experiments", Test_experiments.suite);
+    ]

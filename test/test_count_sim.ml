@@ -1,0 +1,180 @@
+(* Tests for the count-based (null-skipping) engine. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_rejects_randomized () =
+  let p = Core.Sublinear.protocol ~n:4 ~h:0 () in
+  let rng = Prng.create ~seed:1 in
+  let init = Core.Scenarios.sublinear_fresh rng ~params:(Core.Params.sublinear ~h:0 4) ~n:4 in
+  Alcotest.check_raises "randomized rejected"
+    (Invalid_argument "Count_sim.make: protocol is randomized") (fun () ->
+      ignore (Engine.Count_sim.make ~protocol:p ~init ~rng))
+
+let test_rejects_size_mismatch () =
+  let p = Core.Silent_n_state.protocol ~n:4 in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Count_sim.make: initial configuration size differs from protocol.n")
+    (fun () ->
+      ignore
+        (Engine.Count_sim.make ~protocol:p
+           ~init:[| Core.Silent_n_state.state_of_rank0 ~n:4 0 |]
+           ~rng:(Prng.create ~seed:1)))
+
+let test_correct_config_is_silent () =
+  let n = 8 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let cs =
+    Engine.Count_sim.make ~protocol:p ~init:(Core.Scenarios.silent_correct ~n)
+      ~rng:(Prng.create ~seed:2)
+  in
+  check_bool "silent" true (Engine.Count_sim.is_silent cs);
+  check_bool "correct" true (Engine.Count_sim.ranking_correct cs);
+  check_int "no interactions consumed" 0 (Engine.Count_sim.interactions cs);
+  (* stepping a silent configuration is a no-op *)
+  Engine.Count_sim.step_event cs;
+  check_int "still no events" 0 (Engine.Count_sim.events cs)
+
+let test_worst_case_event_count () =
+  (* The barrier configuration resolves in exactly n-1 productive events:
+     the duplicate climbs one rank per bottleneck meeting. *)
+  let n = 32 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let cs =
+    Engine.Count_sim.make ~protocol:p ~init:(Core.Scenarios.silent_worst_case ~n)
+      ~rng:(Prng.create ~seed:3)
+  in
+  let o = Engine.Count_sim.run_to_silence cs in
+  check_bool "silent" true o.Engine.Count_sim.silent;
+  check_bool "correct" true o.Engine.Count_sim.correct;
+  check_int "exactly n-1 events" (n - 1) o.Engine.Count_sim.events;
+  check_bool "time is Θ(n²)-scale" true
+    (o.Engine.Count_sim.stabilization_time > float_of_int (n * n) /. 8.0)
+
+let test_agrees_with_array_engine () =
+  (* Same process, different engines: means over many trials must agree. *)
+  let n = 12 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let trials = 120 in
+  let array_mean =
+    let acc = ref 0.0 in
+    for k = 1 to trials do
+      let rng = Prng.create ~seed:(9000 + k) in
+      let init = Core.Scenarios.silent_uniform rng ~n in
+      let sim = Engine.Sim.make ~protocol:p ~init ~rng in
+      let o =
+        Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+          ~max_interactions:(100 * n * n * n)
+          ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+          sim
+      in
+      acc := !acc +. o.Engine.Runner.convergence_time
+    done;
+    !acc /. float_of_int trials
+  in
+  let count_mean =
+    let acc = ref 0.0 in
+    for k = 1 to trials do
+      let rng = Prng.create ~seed:(9000 + k) in
+      let init = Core.Scenarios.silent_uniform rng ~n in
+      let cs = Engine.Count_sim.make ~protocol:p ~init ~rng in
+      let o = Engine.Count_sim.run_to_silence cs in
+      acc := !acc +. o.Engine.Count_sim.stabilization_time
+    done;
+    !acc /. float_of_int trials
+  in
+  check_bool
+    (Printf.sprintf "means agree within 15%% (array %.1f vs count %.1f)" array_mean count_mean)
+    true
+    (Float.abs (array_mean -. count_mean) /. array_mean < 0.15)
+
+let test_distribution_matches_array_engine () =
+  (* Beyond means: the two engines sample the same law, checked by a
+     two-sample Kolmogorov-Smirnov test at alpha = 0.01. *)
+  let n = 10 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let trials = 300 in
+  let array_times =
+    Array.init trials (fun k ->
+        let rng = Prng.create ~seed:(40_000 + k) in
+        let init = Core.Scenarios.silent_uniform rng ~n in
+        let sim = Engine.Sim.make ~protocol:p ~init ~rng in
+        let o =
+          Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+            ~max_interactions:(100 * n * n * n)
+            ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+            sim
+        in
+        o.Engine.Runner.convergence_time)
+  in
+  let count_times =
+    Array.init trials (fun k ->
+        let rng = Prng.create ~seed:(50_000 + k) in
+        let init = Core.Scenarios.silent_uniform rng ~n in
+        let cs = Engine.Count_sim.make ~protocol:p ~init ~rng in
+        (Engine.Count_sim.run_to_silence cs).Engine.Count_sim.stabilization_time)
+  in
+  check_bool "same distribution (KS, alpha=0.01)" true
+    (Stats.Ks.same_distribution array_times count_times)
+
+let test_distinct_states_counts () =
+  let n = 6 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let init = Array.map (Core.Silent_n_state.state_of_rank0 ~n) [| 0; 0; 0; 2; 2; 5 |] in
+  let cs = Engine.Count_sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:4) in
+  let counts =
+    Engine.Count_sim.distinct_states cs
+    |> List.map (fun (s, c) -> ((s : Core.Silent_n_state.state :> int), c))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "counts" [ (0, 3); (2, 2); (5, 1) ] counts
+
+let test_monitor_over_counts () =
+  let n = 4 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let init = Array.map (Core.Silent_n_state.state_of_rank0 ~n) [| 0; 1; 2; 2 |] in
+  let cs = Engine.Count_sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:5) in
+  check_bool "initially incorrect" false (Engine.Count_sim.ranking_correct cs);
+  check_int "one leader (rank 1 = internal 0)" 1 (Engine.Count_sim.leader_count cs);
+  let o = Engine.Count_sim.run_to_silence cs in
+  check_bool "stabilizes" true (o.Engine.Count_sim.silent && o.Engine.Count_sim.correct);
+  check_bool "leader correct at end" true (Engine.Count_sim.leader_correct cs)
+
+let test_optimal_silent_through_count_engine () =
+  (* The generic engine also drives the richer deterministic protocol
+     (resets and all) to its silent correct configuration. *)
+  let n = 12 in
+  let params = Core.Params.optimal_silent n in
+  let p = Core.Optimal_silent.protocol ~params ~n () in
+  let rng = Prng.create ~seed:6 in
+  let init = Core.Scenarios.optimal_uniform rng ~params ~n in
+  let cs = Engine.Count_sim.make ~protocol:p ~init ~rng in
+  let o = Engine.Count_sim.run_to_silence cs in
+  check_bool "silent" true o.Engine.Count_sim.silent;
+  check_bool "ranked" true o.Engine.Count_sim.correct
+
+let test_interactions_dominate_events () =
+  let n = 16 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let cs =
+    Engine.Count_sim.make ~protocol:p ~init:(Core.Scenarios.silent_worst_case ~n)
+      ~rng:(Prng.create ~seed:7)
+  in
+  let o = Engine.Count_sim.run_to_silence cs in
+  check_bool "events <= interactions" true (o.Engine.Count_sim.events <= o.Engine.Count_sim.interactions);
+  check_bool "null interactions were skipped" true
+    (o.Engine.Count_sim.interactions > 10 * o.Engine.Count_sim.events)
+
+let suite =
+  [
+    Alcotest.test_case "rejects randomized" `Quick test_rejects_randomized;
+    Alcotest.test_case "rejects size mismatch" `Quick test_rejects_size_mismatch;
+    Alcotest.test_case "correct config silent" `Quick test_correct_config_is_silent;
+    Alcotest.test_case "worst case event count" `Quick test_worst_case_event_count;
+    Alcotest.test_case "agrees with array engine" `Slow test_agrees_with_array_engine;
+    Alcotest.test_case "distribution matches array engine" `Slow test_distribution_matches_array_engine;
+    Alcotest.test_case "distinct state counts" `Quick test_distinct_states_counts;
+    Alcotest.test_case "monitor over counts" `Quick test_monitor_over_counts;
+    Alcotest.test_case "optimal-silent through count engine" `Slow test_optimal_silent_through_count_engine;
+    Alcotest.test_case "null skipping" `Quick test_interactions_dominate_events;
+  ]

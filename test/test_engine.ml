@@ -1,0 +1,327 @@
+(* Tests for the simulation engine: protocol records, monitors, the
+   stepping simulator, convergence policies, silence checking, tracing. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A toy deterministic protocol over int states for engine testing: agents
+   hold ranks directly; no transition logic unless stated. *)
+let toy_protocol ?(transition = fun _rng a b -> (a, b)) ?(deterministic = true) n :
+    int Engine.Protocol.t =
+  let rank s = if s >= 1 && s <= n then Some s else None in
+  {
+    Engine.Protocol.name = "toy";
+    n;
+    transition;
+    deterministic;
+    equal = Int.equal;
+    pp = Format.pp_print_int;
+    rank;
+    is_leader = Engine.Protocol.leader_from_rank rank;
+  }
+
+(* Protocol tests *)
+
+let test_validate () =
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Protocol.validate: population size must be >= 2") (fun () ->
+      Engine.Protocol.validate (toy_protocol 1))
+
+let test_leader_from_rank () =
+  let rank = function 1 -> Some 1 | _ -> None in
+  check_bool "rank 1 leads" true (Engine.Protocol.leader_from_rank rank 1);
+  check_bool "others do not" false (Engine.Protocol.leader_from_rank rank 2)
+
+(* Monitor tests *)
+
+let test_monitor_initial_correct () =
+  let p = toy_protocol 4 in
+  let m = Engine.Monitor.create p [| 1; 2; 3; 4 |] in
+  check_bool "permutation correct" true (Engine.Monitor.ranking_correct m);
+  check_bool "one leader" true (Engine.Monitor.leader_correct m);
+  check_int "ranked" 4 (Engine.Monitor.ranked_agents m)
+
+let test_monitor_initial_incorrect () =
+  let p = toy_protocol 4 in
+  let m = Engine.Monitor.create p [| 1; 2; 2; 4 |] in
+  check_bool "duplicate not correct" false (Engine.Monitor.ranking_correct m);
+  (* ranks 1 and 4 are singletons; rank 2 is duplicated *)
+  check_int "singletons" 2 (Engine.Monitor.distinct_singleton_ranks m)
+
+let test_monitor_update_to_correct () =
+  let p = toy_protocol 3 in
+  let m = Engine.Monitor.create p [| 1; 1; 3 |] in
+  check_bool "incorrect" false (Engine.Monitor.ranking_correct m);
+  Engine.Monitor.update m ~old_state:1 ~new_state:2;
+  check_bool "correct after fix" true (Engine.Monitor.ranking_correct m)
+
+let test_monitor_leader_count () =
+  let p = toy_protocol 3 in
+  let m = Engine.Monitor.create p [| 1; 1; 2 |] in
+  check_int "two leaders" 2 (Engine.Monitor.leader_count m);
+  Engine.Monitor.update m ~old_state:1 ~new_state:3;
+  check_int "one leader" 1 (Engine.Monitor.leader_count m);
+  check_bool "leader correct" true (Engine.Monitor.leader_correct m)
+
+let test_monitor_out_of_range () =
+  let p = toy_protocol 3 in
+  let m = Engine.Monitor.create p [| 99; 2; 3 |] in
+  check_bool "not correct with stray rank" false (Engine.Monitor.ranking_correct m);
+  check_int "ranked ignores out of range" 2 (Engine.Monitor.ranked_agents m);
+  (* removing the stray state must not underflow *)
+  Engine.Monitor.update m ~old_state:99 ~new_state:1;
+  check_bool "now correct" true (Engine.Monitor.ranking_correct m)
+
+let qcheck_monitor_matches_recompute =
+  QCheck.Test.make ~name:"monitor matches full recompute under random injections" ~count:100
+    QCheck.(pair small_int (list (pair (int_bound 7) (int_bound 9))))
+    (fun (seed, updates) ->
+      let n = 8 in
+      let p = toy_protocol n in
+      let rng = Prng.create ~seed in
+      let config = Array.init n (fun _ -> 1 + Prng.int rng (n + 2)) in
+      let m = Engine.Monitor.create p config in
+      List.iter
+        (fun (agent, value) ->
+          let agent = agent mod n in
+          let value = value + 1 in
+          Engine.Monitor.update m ~old_state:config.(agent) ~new_state:value;
+          config.(agent) <- value)
+        updates;
+      let recompute = Engine.Monitor.create p config in
+      Engine.Monitor.ranking_correct m = Engine.Monitor.ranking_correct recompute
+      && Engine.Monitor.leader_count m = Engine.Monitor.leader_count recompute
+      && Engine.Monitor.ranked_agents m = Engine.Monitor.ranked_agents recompute)
+
+(* Sim tests *)
+
+let test_sim_counts () =
+  let p = toy_protocol 4 in
+  let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2; 3; 4 |] ~rng:(Prng.create ~seed:1) in
+  check_int "no interactions yet" 0 (Engine.Sim.interactions sim);
+  Engine.Sim.run sim 10;
+  check_int "ten interactions" 10 (Engine.Sim.interactions sim);
+  Alcotest.(check (float 1e-9)) "parallel time" 2.5 (Engine.Sim.parallel_time sim)
+
+let test_sim_init_copied () =
+  let p = toy_protocol 2 in
+  let init = [| 1; 2 |] in
+  let sim = Engine.Sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:1) in
+  init.(0) <- 99;
+  check_int "sim kept its own copy" 1 (Engine.Sim.state sim 0)
+
+let test_sim_snapshot_isolated () =
+  let p = toy_protocol 2 in
+  let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2 |] ~rng:(Prng.create ~seed:1) in
+  let snap = Engine.Sim.snapshot sim in
+  snap.(0) <- 42;
+  check_int "snapshot does not alias" 1 (Engine.Sim.state sim 0)
+
+let test_sim_step_applies_transition () =
+  (* Transition that always sets both agents to 7. *)
+  let p = toy_protocol ~transition:(fun _ _ _ -> (7, 7)) 3 in
+  let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2; 3 |] ~rng:(Prng.create ~seed:2) in
+  Engine.Sim.step sim;
+  let sevens = Engine.Sim.fold_states sim ~init:0 ~f:(fun acc s -> if s = 7 then acc + 1 else acc) in
+  check_int "exactly two agents changed" 2 sevens;
+  match Engine.Sim.last_pair sim with
+  | Some (i, j) ->
+      check_bool "pair distinct" true (i <> j);
+      check_int "initiator updated" 7 (Engine.Sim.state sim i);
+      check_int "responder updated" 7 (Engine.Sim.state sim j)
+  | None -> Alcotest.fail "last_pair missing"
+
+let test_sim_determinism () =
+  let p = toy_protocol ~transition:(fun rng a b -> if Prng.bool rng then (a + 1, b) else (a, b + 1))
+      ~deterministic:false 5
+  in
+  let run seed =
+    let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2; 3; 4; 5 |] ~rng:(Prng.create ~seed) in
+    Engine.Sim.run sim 200;
+    Engine.Sim.snapshot sim
+  in
+  Alcotest.(check (array int)) "same seed same trajectory" (run 11) (run 11);
+  check_bool "different seed diverges" true (run 11 <> run 12)
+
+let test_sim_inject () =
+  let p = toy_protocol 3 in
+  let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2; 3 |] ~rng:(Prng.create ~seed:3) in
+  check_bool "starts correct" true (Engine.Sim.ranking_correct sim);
+  Engine.Sim.inject sim 0 2;
+  check_bool "fault breaks ranking" false (Engine.Sim.ranking_correct sim);
+  Engine.Sim.inject sim 0 1;
+  check_bool "repair restores" true (Engine.Sim.ranking_correct sim)
+
+let test_sim_corrupt () =
+  let p = toy_protocol 10 in
+  let sim =
+    Engine.Sim.make ~protocol:p ~init:(Array.init 10 (fun i -> i + 1)) ~rng:(Prng.create ~seed:4)
+  in
+  let rng = Prng.create ~seed:5 in
+  check_int "zero fraction" 0 (Engine.Sim.corrupt sim ~rng ~fraction:0.0 (fun _ -> 1));
+  check_int "half rounds to 5" 5 (Engine.Sim.corrupt sim ~rng ~fraction:0.5 (fun _ -> 1));
+  check_bool "corruption broke ranking" false (Engine.Sim.ranking_correct sim);
+  Alcotest.check_raises "bad fraction" (Invalid_argument "Sim.corrupt: fraction outside [0,1]")
+    (fun () -> ignore (Engine.Sim.corrupt sim ~rng ~fraction:1.5 (fun _ -> 1)))
+
+let test_sim_size_mismatch () =
+  let p = toy_protocol 3 in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Sim.make: initial configuration size differs from protocol.n") (fun () ->
+      ignore (Engine.Sim.make ~protocol:p ~init:[| 1 |] ~rng:(Prng.create ~seed:1)))
+
+(* Runner tests *)
+
+let test_runner_already_correct () =
+  let p = toy_protocol 4 in
+  let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2; 3; 4 |] ~rng:(Prng.create ~seed:1) in
+  let o =
+    Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking ~max_interactions:10_000
+      ~confirm_interactions:100 sim
+  in
+  check_bool "converged" true o.Engine.Runner.converged;
+  check_int "time zero" 0 o.Engine.Runner.convergence_interactions;
+  check_int "confirm window simulated" 100 o.Engine.Runner.total_interactions
+
+let test_runner_baseline_leader () =
+  let n = 32 in
+  let p = Core.Baseline.protocol ~n in
+  let sim =
+    Engine.Sim.make ~protocol:p ~init:(Core.Baseline.all_leaders ~n) ~rng:(Prng.create ~seed:2)
+  in
+  let o =
+    Engine.Runner.run_to_stability ~task:Engine.Runner.Leader ~max_interactions:1_000_000
+      ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+      sim
+  in
+  check_bool "elects a leader" true o.Engine.Runner.converged;
+  check_bool "positive time" true (o.Engine.Runner.convergence_time > 0.0);
+  check_int "no violations" 0 o.Engine.Runner.violations
+
+let test_runner_never_correct () =
+  let n = 8 in
+  let p = Core.Baseline.protocol ~n in
+  let sim =
+    Engine.Sim.make ~protocol:p ~init:(Core.Baseline.all_followers ~n) ~rng:(Prng.create ~seed:3)
+  in
+  let o =
+    Engine.Runner.run_to_stability ~task:Engine.Runner.Leader ~max_interactions:5_000
+      ~confirm_interactions:100 sim
+  in
+  check_bool "cannot converge from all followers" false o.Engine.Runner.converged;
+  check_int "horizon exhausted" 5_000 o.Engine.Runner.total_interactions
+
+let test_runner_violation_counting () =
+  (* Use on_step to inject a fault right after the run first becomes
+     correct, and verify the violation is counted and recovery re-times. *)
+  let n = 4 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let init = Array.map (Core.Silent_n_state.state_of_rank0 ~n) [| 0; 0; 2; 3 |] in
+  let sim = Engine.Sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:9) in
+  let injected = ref false in
+  let seen_correct = ref false in
+  (* The runner records correctness after on_step, so inject one step after
+     it was first observed: the runner has then already entered the correct
+     phase and must count the loss. *)
+  let on_step sim =
+    if (not !injected) && Engine.Sim.ranking_correct sim then begin
+      if !seen_correct then begin
+        injected := true;
+        (* duplicate agent 1's state onto agent 0: guaranteed violation *)
+        Engine.Sim.inject sim 0 (Engine.Sim.state sim 1)
+      end
+      else seen_correct := true
+    end
+  in
+  let o =
+    Engine.Runner.run_to_stability ~on_step ~task:Engine.Runner.Ranking ~max_interactions:200_000
+      ~confirm_interactions:500 sim
+  in
+  check_bool "eventually stable" true o.Engine.Runner.converged;
+  check_bool "violation recorded" true (o.Engine.Runner.violations >= 1)
+
+let test_default_confirm_monotone () =
+  check_bool "confirm grows with n" true
+    (Engine.Runner.default_confirm ~n:64 > Engine.Runner.default_confirm ~n:8);
+  check_bool "horizon covers expectation" true
+    (Engine.Runner.default_horizon ~n:16 ~expected_time:100.0 >= 16 * 100 * 20)
+
+(* Silence tests *)
+
+let test_silence_detects () =
+  let n = 4 in
+  let p = Core.Baseline.protocol ~n in
+  let l = Core.Baseline.Leader and f = Core.Baseline.Follower in
+  check_bool "all followers silent" true
+    (Engine.Silence.configuration_is_silent p (Core.Baseline.all_followers ~n));
+  check_bool "two leaders not silent" false
+    (Engine.Silence.configuration_is_silent p [| l; l; f; f |]);
+  check_bool "single leader silent" true
+    (Engine.Silence.configuration_is_silent p [| l; f; f; f |])
+
+let test_silence_randomized_rejected () =
+  let p = toy_protocol ~deterministic:false 2 in
+  Alcotest.check_raises "randomized rejected"
+    (Invalid_argument "Silence.configuration_is_silent: protocol is randomized") (fun () ->
+      ignore (Engine.Silence.configuration_is_silent p [| 1; 2 |]))
+
+let test_distinct_states () =
+  let d = Engine.Silence.distinct_states Int.equal [| 1; 2; 1; 3; 2; 1 |] in
+  Alcotest.(check (list (pair int int))) "counts" [ (1, 3); (2, 2); (3, 1) ] d
+
+(* Trace tests *)
+
+let test_trace_sampling () =
+  let p = toy_protocol 4 in
+  let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2; 3; 4 |] ~rng:(Prng.create ~seed:1) in
+  let c = Engine.Trace.collector ~interval:5 () in
+  for _ = 1 to 20 do
+    Engine.Sim.step sim;
+    Engine.Trace.hook c Engine.Sim.interactions sim
+  done;
+  let series = Engine.Trace.series c in
+  check_int "sampled every 5 interactions" 4 (List.length series);
+  let times = List.map fst series in
+  check_bool "times increasing" true (List.sort compare times = times)
+
+let test_trace_mark () =
+  let p = toy_protocol 2 in
+  let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2 |] ~rng:(Prng.create ~seed:1) in
+  let c = Engine.Trace.collector ~interval:1000 () in
+  Engine.Trace.mark c sim "fault";
+  Alcotest.(check int) "marked" 1 (List.length (Engine.Trace.series c))
+
+let test_trace_bad_interval () =
+  Alcotest.check_raises "zero interval" (Invalid_argument "Trace.collector: interval must be positive")
+    (fun () -> ignore (Engine.Trace.collector ~interval:0 ()))
+
+let suite =
+  [
+    Alcotest.test_case "protocol validate" `Quick test_validate;
+    Alcotest.test_case "leader from rank" `Quick test_leader_from_rank;
+    Alcotest.test_case "monitor initial correct" `Quick test_monitor_initial_correct;
+    Alcotest.test_case "monitor initial incorrect" `Quick test_monitor_initial_incorrect;
+    Alcotest.test_case "monitor update" `Quick test_monitor_update_to_correct;
+    Alcotest.test_case "monitor leader count" `Quick test_monitor_leader_count;
+    Alcotest.test_case "monitor out-of-range ranks" `Quick test_monitor_out_of_range;
+    QCheck_alcotest.to_alcotest qcheck_monitor_matches_recompute;
+    Alcotest.test_case "sim counts" `Quick test_sim_counts;
+    Alcotest.test_case "sim copies init" `Quick test_sim_init_copied;
+    Alcotest.test_case "sim snapshot isolated" `Quick test_sim_snapshot_isolated;
+    Alcotest.test_case "sim applies transition" `Quick test_sim_step_applies_transition;
+    Alcotest.test_case "sim determinism" `Quick test_sim_determinism;
+    Alcotest.test_case "sim inject" `Quick test_sim_inject;
+    Alcotest.test_case "sim corrupt" `Quick test_sim_corrupt;
+    Alcotest.test_case "sim size mismatch" `Quick test_sim_size_mismatch;
+    Alcotest.test_case "runner already correct" `Quick test_runner_already_correct;
+    Alcotest.test_case "runner baseline leader election" `Quick test_runner_baseline_leader;
+    Alcotest.test_case "runner never correct" `Quick test_runner_never_correct;
+    Alcotest.test_case "runner violation counting" `Quick test_runner_violation_counting;
+    Alcotest.test_case "runner defaults" `Quick test_default_confirm_monotone;
+    Alcotest.test_case "silence detection" `Quick test_silence_detects;
+    Alcotest.test_case "silence rejects randomized" `Quick test_silence_randomized_rejected;
+    Alcotest.test_case "distinct states" `Quick test_distinct_states;
+    Alcotest.test_case "trace sampling" `Quick test_trace_sampling;
+    Alcotest.test_case "trace mark" `Quick test_trace_mark;
+    Alcotest.test_case "trace bad interval" `Quick test_trace_bad_interval;
+  ]

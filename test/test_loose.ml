@@ -1,0 +1,124 @@
+(* Tests for the loosely-stabilizing leader election protocol. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_transition_rules () =
+  let t_max = 10 in
+  let p = Core.Loose.protocol ~n:4 ~t_max in
+  let rng = Prng.create ~seed:1 in
+  let l timer = { Core.Loose.leader = true; timer } in
+  let f timer = { Core.Loose.leader = false; timer } in
+  (* leader refreshes itself, follower takes the shared (decayed) timer *)
+  (match p.Engine.Protocol.transition rng (l 3) (f 7) with
+  | a, b ->
+      check_bool "leader keeps leading" true a.Core.Loose.leader;
+      check_int "leader timer refreshed" t_max a.Core.Loose.timer;
+      check_bool "follower stays" false b.Core.Loose.leader;
+      check_int "follower takes max-1" 6 b.Core.Loose.timer);
+  (* two leaders annihilate to one *)
+  (match p.Engine.Protocol.transition rng (l 5) (l 9) with
+  | a, b ->
+      check_bool "initiator survives" true a.Core.Loose.leader;
+      check_bool "responder demoted" false b.Core.Loose.leader);
+  (* timeout: two followers at rock bottom mint a leader *)
+  match p.Engine.Protocol.transition rng (f 1) (f 1) with
+  | a, b ->
+      check_bool "exactly one leader minted" true (a.Core.Loose.leader <> b.Core.Loose.leader)
+
+let test_timer_floor () =
+  let p = Core.Loose.protocol ~n:4 ~t_max:5 in
+  let rng = Prng.create ~seed:2 in
+  let f timer = { Core.Loose.leader = false; timer } in
+  match p.Engine.Protocol.transition rng (f 0) (f 0) with
+  | a, b ->
+      check_bool "no negative timers" true (a.Core.Loose.timer >= 0 && b.Core.Loose.timer >= 0)
+
+let converge_leader ~protocol ~init ~seed ~horizon =
+  let rng = Prng.create ~seed in
+  let sim = Engine.Sim.make ~protocol ~init ~rng in
+  while (not (Engine.Sim.leader_correct sim)) && Engine.Sim.interactions sim < horizon do
+    Engine.Sim.step sim
+  done;
+  (sim, Engine.Sim.leader_correct sim)
+
+let test_recovers_from_all_followers () =
+  (* The configuration that kills initialized leader election. *)
+  let n = 24 in
+  let t_max = 4 * n in
+  let protocol = Core.Loose.protocol ~n ~t_max in
+  let _, ok =
+    converge_leader ~protocol ~init:(Core.Loose.all_followers ~n ~t_max) ~seed:3
+      ~horizon:(100 * t_max * n)
+  in
+  check_bool "leader created from zero leaders" true ok
+
+let test_recovers_from_uniform () =
+  let n = 24 in
+  let t_max = 4 * n in
+  let protocol = Core.Loose.protocol ~n ~t_max in
+  let rng = Prng.create ~seed:4 in
+  let _, ok =
+    converge_leader ~protocol ~init:(Core.Loose.uniform rng ~n ~t_max) ~seed:5
+      ~horizon:(100 * t_max * n)
+  in
+  check_bool "unique leader from random configuration" true ok
+
+let test_same_rules_work_below_the_bound () =
+  (* One transition table (one t_max) across different population sizes:
+     the uniformity SSLE provably cannot have (Theorem 2.1). *)
+  let t_max = 128 in
+  List.iter
+    (fun n ->
+      let protocol = Core.Loose.protocol ~n ~t_max in
+      let _, ok =
+        converge_leader ~protocol ~init:(Core.Loose.all_followers ~n ~t_max) ~seed:(6 + n)
+          ~horizon:(200 * t_max * n)
+      in
+      check_bool (Printf.sprintf "converges at n=%d with shared rules" n) true ok)
+    [ 8; 16; 32 ]
+
+let test_holding_is_finite_for_small_t_max () =
+  (* With a tiny timer budget, false timeouts come fast: the leader is not
+     held forever (loose, not self-, stabilization). *)
+  let n = 16 in
+  let t_max = 6 in
+  let protocol = Core.Loose.protocol ~n ~t_max in
+  let sim, ok =
+    converge_leader ~protocol ~init:(Core.Loose.all_followers ~n ~t_max) ~seed:9
+      ~horizon:(1000 * t_max * n)
+  in
+  check_bool "converged first" true ok;
+  let start = Engine.Sim.interactions sim in
+  let budget = 2_000_000 in
+  while Engine.Sim.leader_correct sim && Engine.Sim.interactions sim - start < budget do
+    Engine.Sim.step sim
+  done;
+  check_bool "leadership eventually lost with tiny T_max" true
+    (not (Engine.Sim.leader_correct sim))
+
+let test_default_t_max () =
+  check_bool "grows with N" true
+    (Core.Loose.default_t_max ~upper_bound:128 > Core.Loose.default_t_max ~upper_bound:16);
+  Alcotest.check_raises "bad bound" (Invalid_argument "Loose.default_t_max: upper bound must be >= 2")
+    (fun () -> ignore (Core.Loose.default_t_max ~upper_bound:1))
+
+let test_observations () =
+  let p = Core.Loose.protocol ~n:4 ~t_max:5 in
+  check_bool "leader observed" true (p.Engine.Protocol.is_leader { Core.Loose.leader = true; timer = 3 });
+  Alcotest.(check (option int)) "leader rank 1" (Some 1)
+    (p.Engine.Protocol.rank { Core.Loose.leader = true; timer = 3 });
+  Alcotest.(check (option int)) "follower unranked" None
+    (p.Engine.Protocol.rank { Core.Loose.leader = false; timer = 3 })
+
+let suite =
+  [
+    Alcotest.test_case "transition rules" `Quick test_transition_rules;
+    Alcotest.test_case "timer floor" `Quick test_timer_floor;
+    Alcotest.test_case "recovers from all followers" `Quick test_recovers_from_all_followers;
+    Alcotest.test_case "recovers from uniform" `Quick test_recovers_from_uniform;
+    Alcotest.test_case "one table, many sizes" `Slow test_same_rules_work_below_the_bound;
+    Alcotest.test_case "finite holding for small T_max" `Slow test_holding_is_finite_for_small_t_max;
+    Alcotest.test_case "default t_max" `Quick test_default_t_max;
+    Alcotest.test_case "observations" `Quick test_observations;
+  ]

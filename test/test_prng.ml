@@ -1,0 +1,207 @@
+(* Tests for the xoshiro256** generator wrapper. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.bits64 a) (Prng.bits64 b) then incr same
+  done;
+  check_bool "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b);
+  (* advancing a does not advance b *)
+  let _ = Prng.bits64 a in
+  let a2 = Prng.bits64 a and b2 = Prng.bits64 b in
+  check_bool "copy diverges after extra draw" true (not (Int64.equal a2 b2))
+
+let test_split_differs () =
+  let a = Prng.create ~seed:7 in
+  let child = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.bits64 a) (Prng.bits64 child) then incr same
+  done;
+  check_bool "child stream uncorrelated" true (!same < 4)
+
+let test_split_many () =
+  let a = Prng.create ~seed:9 in
+  let children = Prng.split_many a 5 in
+  check_int "count" 5 (Array.length children);
+  let firsts = Array.map Prng.bits64 children in
+  let distinct = Array.to_list firsts |> List.sort_uniq compare |> List.length in
+  check_int "children distinct" 5 distinct
+
+let test_int_bounds () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int g 7 in
+    check_bool "in range" true (x >= 0 && x < 7)
+  done
+
+let test_int_uniform () =
+  let g = Prng.create ~seed:4 in
+  let counts = Array.make 8 0 in
+  let trials = 80_000 in
+  for _ = 1 to trials do
+    let x = Prng.int g 8 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = trials / 8 in
+      check_bool (Printf.sprintf "bucket %d balanced" i) true (abs (c - expected) < expected / 5))
+    counts
+
+let test_int_one () =
+  let g = Prng.create ~seed:5 in
+  for _ = 1 to 100 do
+    check_int "bound 1 gives 0" 0 (Prng.int g 1)
+  done
+
+let test_int_in () =
+  let g = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_in g (-3) 3 in
+    check_bool "in closed range" true (x >= -3 && x <= 3)
+  done;
+  check_int "degenerate range" 9 (Prng.int_in g 9 9)
+
+let test_float_range () =
+  let g = Prng.create ~seed:6 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float g in
+    check_bool "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_bool_fair () =
+  let g = Prng.create ~seed:8 in
+  let heads = ref 0 in
+  let trials = 40_000 in
+  for _ = 1 to trials do
+    if Prng.bool g then incr heads
+  done;
+  check_bool "roughly fair" true (abs (!heads - (trials / 2)) < trials / 20)
+
+let test_bernoulli_extremes () =
+  let g = Prng.create ~seed:9 in
+  for _ = 1 to 100 do
+    check_bool "p=0 never" false (Prng.bernoulli g ~p:0.0);
+    check_bool "p=1 always" true (Prng.bernoulli g ~p:1.0)
+  done
+
+let test_distinct_pair () =
+  let g = Prng.create ~seed:10 in
+  for _ = 1 to 10_000 do
+    let i, j = Prng.distinct_pair g 5 in
+    check_bool "distinct" true (i <> j);
+    check_bool "range" true (i >= 0 && i < 5 && j >= 0 && j < 5)
+  done
+
+let test_distinct_pair_ordered_uniform () =
+  let g = Prng.create ~seed:11 in
+  let n = 4 in
+  let counts = Hashtbl.create 16 in
+  let trials = 120_000 in
+  for _ = 1 to trials do
+    let p = Prng.distinct_pair g n in
+    Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p))
+  done;
+  check_int "all ordered pairs hit" (n * (n - 1)) (Hashtbl.length counts);
+  let expected = trials / (n * (n - 1)) in
+  Hashtbl.iter
+    (fun _ c -> check_bool "pair frequency balanced" true (abs (c - expected) < expected / 5))
+    counts
+
+let test_permutation () =
+  let g = Prng.create ~seed:12 in
+  let p = Prng.permutation g 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 Fun.id) sorted
+
+let test_shuffle_multiset () =
+  let g = Prng.create ~seed:13 in
+  let a = [| 1; 1; 2; 3; 5; 8; 13 |] in
+  let b = Array.copy a in
+  Prng.shuffle g b;
+  Array.sort compare b;
+  let a' = Array.copy a in
+  Array.sort compare a';
+  Alcotest.(check (array int)) "multiset preserved" a' b
+
+let test_bits () =
+  let g = Prng.create ~seed:14 in
+  check_int "width 0" 0 (Prng.bits g ~width:0);
+  for _ = 1 to 1000 do
+    let x = Prng.bits g ~width:10 in
+    check_bool "10-bit range" true (x >= 0 && x < 1024)
+  done;
+  (* high bits must actually vary *)
+  let top_set = ref false in
+  for _ = 1 to 200 do
+    if Prng.bits g ~width:10 >= 512 then top_set := true
+  done;
+  check_bool "top bit occurs" true !top_set
+
+let test_pick () =
+  let g = Prng.create ~seed:15 in
+  let arr = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    let v = Prng.pick g arr in
+    check_bool "member" true (Array.exists (String.equal v) arr)
+  done
+
+let qcheck_permutation =
+  QCheck.Test.make ~name:"permutation is bijective" ~count:200
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, n) ->
+      let n = max 1 n in
+      let g = Prng.create ~seed in
+      let p = Prng.permutation g n in
+      let seen = Array.make n false in
+      Array.iter (fun i -> seen.(i) <- true) p;
+      Array.for_all Fun.id seen)
+
+let qcheck_int_bound =
+  QCheck.Test.make ~name:"int stays within bound" ~count:1000
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      let x = Prng.int g bound in
+      x >= 0 && x < bound)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "split differs" `Quick test_split_differs;
+    Alcotest.test_case "split_many distinct" `Quick test_split_many;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniform" `Quick test_int_uniform;
+    Alcotest.test_case "int bound 1" `Quick test_int_one;
+    Alcotest.test_case "int_in" `Quick test_int_in;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bool fair" `Quick test_bool_fair;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "distinct_pair valid" `Quick test_distinct_pair;
+    Alcotest.test_case "distinct_pair uniform" `Quick test_distinct_pair_ordered_uniform;
+    Alcotest.test_case "permutation" `Quick test_permutation;
+    Alcotest.test_case "shuffle multiset" `Quick test_shuffle_multiset;
+    Alcotest.test_case "bits" `Quick test_bits;
+    Alcotest.test_case "pick" `Quick test_pick;
+    QCheck_alcotest.to_alcotest qcheck_permutation;
+    QCheck_alcotest.to_alcotest qcheck_int_bound;
+  ]

@@ -1,0 +1,192 @@
+(* Tests for the stochastic-process simulators. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Epidemic *)
+
+let test_epidemic_positive () =
+  let rng = Prng.create ~seed:1 in
+  let r = Processes.Epidemic.run rng ~n:64 in
+  check_bool "time positive" true (r.Processes.Epidemic.completion_time > 0.0);
+  check_bool "half before full" true
+    (r.Processes.Epidemic.half_time <= r.Processes.Epidemic.completion_time);
+  check_bool "interactions at least n-1" true (r.Processes.Epidemic.interactions >= 63)
+
+let test_epidemic_log_scaling () =
+  let rng = Prng.create ~seed:2 in
+  let mean n =
+    Stats.Summary.mean (Processes.Epidemic.completion_times rng ~n ~trials:40)
+  in
+  let m256 = mean 256 and m4096 = mean 4096 in
+  (* ln 4096 / ln 256 = 1.5: far from the ratio 16 a linear process gives *)
+  check_bool "sub-linear growth" true (m4096 /. m256 < 2.5);
+  check_bool "still growing" true (m4096 > m256);
+  check_bool "within constant of ln n" true
+    (m256 > log 256.0 /. 2.0 && m256 < 4.0 *. log 256.0)
+
+let test_epidemic_one_way_slower () =
+  let rng = Prng.create ~seed:3 in
+  let two = Stats.Summary.mean (Processes.Epidemic.completion_times rng ~n:256 ~trials:40) in
+  let one =
+    Stats.Summary.mean (Processes.Epidemic.completion_times ~one_way:true rng ~n:256 ~trials:40)
+  in
+  check_bool "one-way slower" true (one > two)
+
+let test_infection_curve () =
+  let rng = Prng.create ~seed:4 in
+  let curve = Processes.Epidemic.infection_curve rng ~n:32 in
+  check_int "n points" 32 (List.length curve);
+  let counts = List.map snd curve in
+  check_bool "counts 1..n" true (counts = List.init 32 (fun i -> i + 1));
+  let times = List.map fst curve in
+  check_bool "times nondecreasing" true (List.sort compare times = times)
+
+let test_epidemic_errors () =
+  let rng = Prng.create ~seed:5 in
+  Alcotest.check_raises "n too small" (Invalid_argument "Epidemic.run: n must be >= 2") (fun () ->
+      ignore (Processes.Epidemic.run rng ~n:1))
+
+(* Bounded epidemic *)
+
+let test_bounded_tau_monotone () =
+  let rng = Prng.create ~seed:6 in
+  let r = Processes.Bounded_epidemic.run rng ~n:64 ~levels:6 in
+  let tau = r.Processes.Bounded_epidemic.tau in
+  check_int "levels returned" 6 (Array.length tau);
+  for k = 0 to 4 do
+    check_bool
+      (Printf.sprintf "tau_%d >= tau_%d" (k + 1) (k + 2))
+      true
+      (tau.(k) >= tau.(k + 1))
+  done;
+  check_bool "all finite" true (Array.for_all (fun t -> not (Float.is_nan t)) tau)
+
+let test_bounded_tau1_linear () =
+  (* τ₁ requires a direct meeting with the source: expectation (n-1)/2. *)
+  let rng = Prng.create ~seed:7 in
+  let n = 64 in
+  let samples = Processes.Bounded_epidemic.tau_samples rng ~n ~k:1 ~trials:60 in
+  let mean = Stats.Summary.mean samples in
+  let expected = float_of_int (n - 1) /. 2.0 in
+  check_bool "mean within 2x of (n-1)/2" true (mean > expected /. 2.0 && mean < expected *. 2.0)
+
+let test_bounded_tau2_sublinear () =
+  let rng = Prng.create ~seed:8 in
+  let n = 1024 in
+  let t2 = Stats.Summary.mean (Processes.Bounded_epidemic.tau_samples rng ~n ~k:2 ~trials:20) in
+  (* τ₂ = O(√n): for n=1024 the bound curve is 2·32 = 64; linear would be ~512 *)
+  check_bool "far below linear" true (t2 < 150.0);
+  check_bool "positive" true (t2 > 0.0)
+
+let test_bounded_completion_recorded () =
+  let rng = Prng.create ~seed:9 in
+  let r = Processes.Bounded_epidemic.run rng ~n:32 ~levels:1 in
+  check_bool "completion recorded" true
+    (not (Float.is_nan r.Processes.Bounded_epidemic.completion));
+  check_bool "tau_1 recorded" true (not (Float.is_nan r.Processes.Bounded_epidemic.tau.(0)));
+  check_bool "completion positive" true (r.Processes.Bounded_epidemic.completion > 0.0)
+
+let test_bounded_errors () =
+  let rng = Prng.create ~seed:10 in
+  Alcotest.check_raises "levels" (Invalid_argument "Bounded_epidemic: levels must be >= 1")
+    (fun () -> ignore (Processes.Bounded_epidemic.run rng ~n:4 ~levels:0))
+
+(* Roll call *)
+
+let test_roll_call_basic () =
+  let rng = Prng.create ~seed:11 in
+  let r = Processes.Roll_call.run rng ~n:32 in
+  check_bool "first full before completion" true
+    (r.Processes.Roll_call.first_full_time <= r.Processes.Roll_call.completion_time);
+  check_bool "positive" true (r.Processes.Roll_call.completion_time > 0.0)
+
+let test_roll_call_ratio () =
+  let rng = Prng.create ~seed:12 in
+  let ratio = Processes.Roll_call.ratio_to_epidemic rng ~n:128 ~trials:40 in
+  (* paper: ≈ 1.5 *)
+  check_bool "ratio near 1.5" true (ratio > 1.1 && ratio < 2.0)
+
+let test_roll_call_slower_than_epidemic () =
+  let rng = Prng.create ~seed:13 in
+  let roll = Stats.Summary.mean (Processes.Roll_call.completion_times rng ~n:64 ~trials:30) in
+  let epi = Stats.Summary.mean (Processes.Epidemic.completion_times rng ~n:64 ~trials:30) in
+  check_bool "roll call slower" true (roll > epi)
+
+(* Synthetic coin *)
+
+let test_coin_first_bit_biased () =
+  (* From the all-zero start, the very first observed coin is always 0. *)
+  let rng = Prng.create ~seed:20 in
+  let ones = ref 0 in
+  for _ = 1 to 200 do
+    if (Processes.Synthetic_coin.harvest rng ~n:32 ~warmup:0 ~count:1).(0) then incr ones
+  done;
+  check_int "first bit deterministic" 0 !ones
+
+let test_coin_fair_after_warmup () =
+  let rng = Prng.create ~seed:21 in
+  let r = Processes.Synthetic_coin.measure rng ~n:64 ~warmup:(8 * 64) ~samples:40_000 in
+  check_bool "bias small" true (r.Processes.Synthetic_coin.bias < 0.02);
+  check_bool "serial correlation small" true
+    (Float.abs r.Processes.Synthetic_coin.serial_correlation < 0.05)
+
+let test_coin_harvest_length () =
+  let rng = Prng.create ~seed:22 in
+  check_int "count respected" 17 (Array.length (Processes.Synthetic_coin.harvest rng ~n:8 ~warmup:3 ~count:17))
+
+let test_coin_errors () =
+  let rng = Prng.create ~seed:23 in
+  Alcotest.check_raises "n too small" (Invalid_argument "Synthetic_coin.harvest: n must be >= 2")
+    (fun () -> ignore (Processes.Synthetic_coin.harvest rng ~n:1 ~warmup:0 ~count:1))
+
+(* Coupon *)
+
+let test_participation () =
+  let rng = Prng.create ~seed:14 in
+  let t = Processes.Coupon.participation_time rng ~n:64 in
+  check_bool "positive" true (t > 0.0);
+  (* coupon collector needs at least ~n/2 interactions = 0.5 time *)
+  check_bool "at least half a unit" true (t >= 0.5)
+
+let test_participation_log_scaling () =
+  let rng = Prng.create ~seed:15 in
+  let mean n = Stats.Summary.mean (Processes.Coupon.participation_times rng ~n ~trials:40) in
+  check_bool "grows slowly" true (mean 4096 /. mean 256 < 3.0)
+
+let test_meeting_time_mean () =
+  let rng = Prng.create ~seed:16 in
+  let n = 100 in
+  let samples = Processes.Coupon.meeting_times rng ~n ~trials:3000 in
+  let mean = Stats.Summary.mean samples in
+  let expected = Processes.Coupon.expected_meeting_time n in
+  check_bool "matches (n-1)/2 within 10%" true
+    (Float.abs (mean -. expected) /. expected < 0.1)
+
+let test_expected_meeting_time () =
+  Alcotest.(check (float 1e-9)) "n=5" 2.0 (Processes.Coupon.expected_meeting_time 5)
+
+let suite =
+  [
+    Alcotest.test_case "epidemic positive" `Quick test_epidemic_positive;
+    Alcotest.test_case "epidemic log scaling" `Quick test_epidemic_log_scaling;
+    Alcotest.test_case "epidemic one-way slower" `Quick test_epidemic_one_way_slower;
+    Alcotest.test_case "infection curve" `Quick test_infection_curve;
+    Alcotest.test_case "epidemic errors" `Quick test_epidemic_errors;
+    Alcotest.test_case "bounded tau monotone" `Quick test_bounded_tau_monotone;
+    Alcotest.test_case "bounded tau1 linear" `Quick test_bounded_tau1_linear;
+    Alcotest.test_case "bounded tau2 sublinear" `Quick test_bounded_tau2_sublinear;
+    Alcotest.test_case "bounded completion recorded" `Quick test_bounded_completion_recorded;
+    Alcotest.test_case "bounded errors" `Quick test_bounded_errors;
+    Alcotest.test_case "roll call basic" `Quick test_roll_call_basic;
+    Alcotest.test_case "roll call ratio" `Quick test_roll_call_ratio;
+    Alcotest.test_case "roll call slower" `Quick test_roll_call_slower_than_epidemic;
+    Alcotest.test_case "coin first bit" `Quick test_coin_first_bit_biased;
+    Alcotest.test_case "coin fair after warmup" `Quick test_coin_fair_after_warmup;
+    Alcotest.test_case "coin harvest length" `Quick test_coin_harvest_length;
+    Alcotest.test_case "coin errors" `Quick test_coin_errors;
+    Alcotest.test_case "participation" `Quick test_participation;
+    Alcotest.test_case "participation scaling" `Quick test_participation_log_scaling;
+    Alcotest.test_case "meeting time mean" `Quick test_meeting_time_mean;
+    Alcotest.test_case "expected meeting time" `Quick test_expected_meeting_time;
+  ]

@@ -1,0 +1,273 @@
+(* Tests for the statistics library. *)
+
+let feq = Alcotest.(check (float 1e-9))
+let feq_loose = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+
+(* Summary *)
+
+let test_summary_known () =
+  let s = Stats.Summary.of_array [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check int) "count" 5 s.Stats.Summary.count;
+  feq "mean" 3.0 s.Stats.Summary.mean;
+  feq "median" 3.0 s.Stats.Summary.median;
+  feq "min" 1.0 s.Stats.Summary.min;
+  feq "max" 5.0 s.Stats.Summary.max;
+  feq_loose "stddev" (sqrt 2.5) s.Stats.Summary.stddev
+
+let test_summary_unsorted_input () =
+  let s = Stats.Summary.of_array [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  feq "median of unsorted" 3.0 s.Stats.Summary.median;
+  feq "min" 1.0 s.Stats.Summary.min
+
+let test_summary_singleton () =
+  let s = Stats.Summary.of_array [| 7.5 |] in
+  feq "mean" 7.5 s.Stats.Summary.mean;
+  feq "stddev 0" 0.0 s.Stats.Summary.stddev;
+  feq "p95" 7.5 s.Stats.Summary.p95
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty raises" (Invalid_argument "Summary.of_array: empty sample")
+    (fun () -> ignore (Stats.Summary.of_array [||]))
+
+let test_variance_constant () =
+  feq "constant sample" 0.0 (Stats.Summary.variance [| 2.0; 2.0; 2.0 |])
+
+let test_quantile_interpolation () =
+  let xs = [| 0.0; 10.0 |] in
+  feq "q0" 0.0 (Stats.Summary.quantile xs 0.0);
+  feq "q1" 10.0 (Stats.Summary.quantile xs 1.0);
+  feq "q0.5 interpolates" 5.0 (Stats.Summary.quantile xs 0.5);
+  feq "q0.25" 2.5 (Stats.Summary.quantile xs 0.25)
+
+let test_quantile_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.Summary.quantile xs 0.5);
+  Alcotest.(check (array (float 0.0))) "input untouched" [| 3.0; 1.0; 2.0 |] xs
+
+let test_quantile_bad_q () =
+  Alcotest.check_raises "q out of range" (Invalid_argument "Summary.quantile: q outside [0,1]")
+    (fun () -> ignore (Stats.Summary.quantile [| 1.0 |] 1.5))
+
+let test_sem_and_ci () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let sem = Stats.Summary.sem xs in
+  feq_loose "sem" (Stats.Summary.stddev xs /. 2.0) sem;
+  feq_loose "ci95" (1.96 *. sem) (Stats.Summary.ci95_halfwidth xs)
+
+(* Regression *)
+
+let test_linear_exact () =
+  let pts = [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0); (3.0, 7.0) ] in
+  let f = Stats.Regression.linear pts in
+  feq_loose "slope" 2.0 f.Stats.Regression.slope;
+  feq_loose "intercept" 1.0 f.Stats.Regression.intercept;
+  feq_loose "r2" 1.0 f.Stats.Regression.r2
+
+let test_log_log_power_law () =
+  let pts = List.map (fun x -> (x, 3.0 *. (x ** 2.0))) [ 1.0; 2.0; 4.0; 8.0; 16.0 ] in
+  let f = Stats.Regression.log_log pts in
+  feq_loose "exponent" 2.0 f.Stats.Regression.slope;
+  feq_loose "ln coefficient" (log 3.0) f.Stats.Regression.intercept
+
+let test_semilog () =
+  let pts = List.map (fun x -> (x, (2.0 *. log x) +. 1.0)) [ 1.0; 2.0; 4.0; 10.0; 100.0 ] in
+  let f = Stats.Regression.semilog_x pts in
+  feq_loose "slope" 2.0 f.Stats.Regression.slope;
+  feq_loose "intercept" 1.0 f.Stats.Regression.intercept
+
+let test_regression_noisy_r2 () =
+  let pts = [ (0.0, 0.0); (1.0, 1.2); (2.0, 1.8); (3.0, 3.1); (4.0, 3.9) ] in
+  let f = Stats.Regression.linear pts in
+  check_bool "r2 high but below 1" true (f.Stats.Regression.r2 > 0.97 && f.Stats.Regression.r2 < 1.0)
+
+let test_regression_errors () =
+  Alcotest.check_raises "one point" (Invalid_argument "Regression.linear: need at least two points")
+    (fun () -> ignore (Stats.Regression.linear [ (1.0, 1.0) ]));
+  Alcotest.check_raises "vertical" (Invalid_argument "Regression.linear: x values are all equal")
+    (fun () -> ignore (Stats.Regression.linear [ (1.0, 1.0); (1.0, 2.0) ]));
+  Alcotest.check_raises "nonpositive log" (Invalid_argument "Regression.log_log: non-positive point")
+    (fun () -> ignore (Stats.Regression.log_log [ (0.0, 1.0); (1.0, 1.0) ]))
+
+(* Table *)
+
+let test_table_render () =
+  let t = Stats.Table.create ~header:[ "n"; "time" ] in
+  Stats.Table.add_row t [ "8"; "1.25" ];
+  Stats.Table.add_row t [ "128"; "3.5" ];
+  let s = Stats.Table.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  Alcotest.(check string) "header padded to column widths" "n    time" (List.nth lines 0);
+  check_bool "rule second" true (String.for_all (Char.equal '-') (List.nth lines 1));
+  Alcotest.(check string) "first row aligned" "8    1.25" (List.nth lines 2);
+  Alcotest.(check string) "second row aligned" "128  3.5" (List.nth lines 3)
+
+let test_table_short_rows () =
+  let t = Stats.Table.create ~header:[ "a"; "b"; "c" ] in
+  Stats.Table.add_row t [ "only" ];
+  let s = Stats.Table.render t in
+  check_bool "renders without exception" true (String.length s > 0)
+
+let test_table_separator () =
+  let t = Stats.Table.create ~header:[ "a" ] in
+  Stats.Table.add_row t [ "1" ];
+  Stats.Table.add_separator t;
+  Stats.Table.add_row t [ "2" ];
+  let lines = String.split_on_char '\n' (Stats.Table.render t) in
+  Alcotest.(check int) "5 lines" 5 (List.length lines);
+  check_bool "separator rendered" true (String.for_all (Char.equal '-') (List.nth lines 3))
+
+let test_table_cells () =
+  Alcotest.(check string) "float cell" "3.14" (Stats.Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "int cell" "42" (Stats.Table.cell_int 42)
+
+(* Histogram *)
+
+let test_histogram_binning () =
+  let h = Stats.Histogram.of_samples ~lo:0.0 ~hi:10.0 ~bins:5 [| 0.5; 1.5; 2.5; 9.9; -1.0; 10.0 |] in
+  Alcotest.(check int) "total" 6 (Stats.Histogram.count h);
+  Alcotest.(check int) "bin 0" 2 (Stats.Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 1 (Stats.Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 4" 1 (Stats.Histogram.bin_count h 4);
+  Alcotest.(check int) "underflow" 1 (Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Stats.Histogram.overflow h)
+
+let test_histogram_bounds () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:4.0 ~bins:4 in
+  let lo, hi = Stats.Histogram.bin_bounds h 2 in
+  feq "bin lo" 2.0 lo;
+  feq "bin hi" 3.0 hi;
+  Alcotest.check_raises "bad bin" (Invalid_argument "Histogram.bin_bounds: bin index out of range")
+    (fun () -> ignore (Stats.Histogram.bin_bounds h 4))
+
+let test_histogram_fraction () =
+  let h = Stats.Histogram.of_samples ~lo:0.0 ~hi:10.0 ~bins:2 [| 1.0; 2.0; 3.0; 8.0 |] in
+  feq "fraction >= 3" 0.5 (Stats.Histogram.fraction_at_least h 3.0);
+  feq "fraction >= 100" 0.0 (Stats.Histogram.fraction_at_least h 100.0);
+  feq "fraction >= 0" 1.0 (Stats.Histogram.fraction_at_least h 0.0)
+
+let test_histogram_render () =
+  let h = Stats.Histogram.of_samples ~lo:0.0 ~hi:2.0 ~bins:2 [| 0.5; 1.5; 1.6 |] in
+  let s = Stats.Histogram.render h in
+  check_bool "bars present" true (String.contains s '#')
+
+let test_histogram_errors () =
+  Alcotest.check_raises "lo >= hi" (Invalid_argument "Histogram.create: lo must be < hi") (fun () ->
+      ignore (Stats.Histogram.create ~lo:1.0 ~hi:1.0 ~bins:2))
+
+(* Kolmogorov-Smirnov *)
+
+let test_ks_identical () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  feq "identical samples" 0.0 (Stats.Ks.statistic xs xs)
+
+let test_ks_disjoint () =
+  feq "disjoint supports" 1.0 (Stats.Ks.statistic [| 1.0; 2.0 |] [| 3.0; 4.0 |])
+
+let test_ks_known_value () =
+  (* F1 jumps at 1,3; F2 jumps at 2,4: max gap 1/2 at t in [1,2). *)
+  feq "hand-computed D" 0.5 (Stats.Ks.statistic [| 1.0; 3.0 |] [| 2.0; 4.0 |])
+
+let test_ks_symmetric () =
+  let xs = [| 1.0; 5.0; 2.5 |] and ys = [| 0.5; 2.0; 6.0; 3.0 |] in
+  feq "symmetric" (Stats.Ks.statistic xs ys) (Stats.Ks.statistic ys xs)
+
+let test_ks_critical_value () =
+  check_bool "stricter alpha, larger threshold" true
+    (Stats.Ks.critical_value ~alpha:Stats.Ks.P01 ~n1:100 ~n2:100
+    > Stats.Ks.critical_value ~alpha:Stats.Ks.P05 ~n1:100 ~n2:100);
+  check_bool "more samples, smaller threshold" true
+    (Stats.Ks.critical_value ~alpha:Stats.Ks.P05 ~n1:1000 ~n2:1000
+    < Stats.Ks.critical_value ~alpha:Stats.Ks.P05 ~n1:10 ~n2:10)
+
+let test_ks_accepts_same_law () =
+  let rng = Prng.create ~seed:40 in
+  let sample () = Array.init 800 (fun _ -> Prng.float rng) in
+  check_bool "uniform vs uniform accepted" true (Stats.Ks.same_distribution (sample ()) (sample ()))
+
+let test_ks_rejects_shift () =
+  let rng = Prng.create ~seed:41 in
+  let xs = Array.init 800 (fun _ -> Prng.float rng) in
+  let ys = Array.init 800 (fun _ -> Prng.float rng +. 0.3) in
+  check_bool "shifted uniform rejected" false (Stats.Ks.same_distribution xs ys)
+
+let test_ks_empty () =
+  Alcotest.check_raises "empty sample" (Invalid_argument "Ks.statistic: empty sample") (fun () ->
+      ignore (Stats.Ks.statistic [||] [| 1.0 |]))
+
+(* Theory *)
+
+let test_harmonic () =
+  feq "H_0" 0.0 (Stats.Theory.harmonic 0);
+  feq "H_1" 1.0 (Stats.Theory.harmonic 1);
+  feq "H_2" 1.5 (Stats.Theory.harmonic 2);
+  feq_loose "H_4" (25.0 /. 12.0) (Stats.Theory.harmonic 4)
+
+let test_name_bits () =
+  Alcotest.(check int) "n=8" 9 (Stats.Theory.name_bits 8);
+  Alcotest.(check int) "n=9" 12 (Stats.Theory.name_bits 9);
+  Alcotest.(check int) "n=1024" 30 (Stats.Theory.name_bits 1024)
+
+let test_epidemic_time () =
+  feq_loose "n=2" 2.0 (Stats.Theory.epidemic_time 2);
+  check_bool "grows like ln" true
+    (Stats.Theory.epidemic_time 1000 > log 1000.0
+    && Stats.Theory.epidemic_time 1000 < 3.0 *. log 1000.0)
+
+let test_slow_leader_election () =
+  (* n=2: one pair must meet once: 1 interaction = 0.5 parallel time. *)
+  feq_loose "n=2" 0.5 (Stats.Theory.slow_leader_election_time 2);
+  let t = Stats.Theory.slow_leader_election_time 100 in
+  check_bool "Θ(n) shape" true (t > 40.0 && t < 100.0)
+
+let test_silent_lb_tail () =
+  feq_loose "alpha=1/3, n=n" (0.5 /. 8.0) (Stats.Theory.silent_lb_tail ~n:8 ~alpha:(1.0 /. 3.0))
+
+let test_quadratic_barrier () =
+  feq "n=3" 2.0 (Stats.Theory.quadratic_barrier_time 3);
+  feq "n=11" 50.0 (Stats.Theory.quadratic_barrier_time 11)
+
+let test_coupon_time () = feq_loose "n=2" 0.75 (Stats.Theory.coupon_collector_time 2)
+
+let suite =
+  [
+    Alcotest.test_case "summary known values" `Quick test_summary_known;
+    Alcotest.test_case "summary unsorted" `Quick test_summary_unsorted_input;
+    Alcotest.test_case "summary singleton" `Quick test_summary_singleton;
+    Alcotest.test_case "summary empty raises" `Quick test_summary_empty;
+    Alcotest.test_case "variance constant" `Quick test_variance_constant;
+    Alcotest.test_case "quantile interpolation" `Quick test_quantile_interpolation;
+    Alcotest.test_case "quantile pure" `Quick test_quantile_does_not_mutate;
+    Alcotest.test_case "quantile bad q" `Quick test_quantile_bad_q;
+    Alcotest.test_case "sem and ci" `Quick test_sem_and_ci;
+    Alcotest.test_case "linear exact" `Quick test_linear_exact;
+    Alcotest.test_case "log-log power law" `Quick test_log_log_power_law;
+    Alcotest.test_case "semilog" `Quick test_semilog;
+    Alcotest.test_case "noisy r2" `Quick test_regression_noisy_r2;
+    Alcotest.test_case "regression errors" `Quick test_regression_errors;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table short rows" `Quick test_table_short_rows;
+    Alcotest.test_case "table separator" `Quick test_table_separator;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "histogram binning" `Quick test_histogram_binning;
+    Alcotest.test_case "histogram bounds" `Quick test_histogram_bounds;
+    Alcotest.test_case "histogram fraction" `Quick test_histogram_fraction;
+    Alcotest.test_case "histogram render" `Quick test_histogram_render;
+    Alcotest.test_case "histogram errors" `Quick test_histogram_errors;
+    Alcotest.test_case "ks identical" `Quick test_ks_identical;
+    Alcotest.test_case "ks disjoint" `Quick test_ks_disjoint;
+    Alcotest.test_case "ks known value" `Quick test_ks_known_value;
+    Alcotest.test_case "ks symmetric" `Quick test_ks_symmetric;
+    Alcotest.test_case "ks critical value" `Quick test_ks_critical_value;
+    Alcotest.test_case "ks accepts same law" `Quick test_ks_accepts_same_law;
+    Alcotest.test_case "ks rejects shift" `Quick test_ks_rejects_shift;
+    Alcotest.test_case "ks empty" `Quick test_ks_empty;
+    Alcotest.test_case "harmonic" `Quick test_harmonic;
+    Alcotest.test_case "name bits" `Quick test_name_bits;
+    Alcotest.test_case "epidemic time" `Quick test_epidemic_time;
+    Alcotest.test_case "slow leader election" `Quick test_slow_leader_election;
+    Alcotest.test_case "silent lb tail" `Quick test_silent_lb_tail;
+    Alcotest.test_case "quadratic barrier" `Quick test_quadratic_barrier;
+    Alcotest.test_case "coupon time" `Quick test_coupon_time;
+  ]
