@@ -171,6 +171,23 @@ let run_micro_benchmarks () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* --jobs N: domain-pool width for the experiment sections (identical
+     output for any value; micro-benchmarks are single-domain by nature). *)
+  let rec extract_jobs acc = function
+    | [] -> (None, List.rev acc)
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+        | Some _ | None ->
+            Printf.eprintf "--jobs expects a positive integer (got %s)\n" v;
+            exit 2)
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs expects a value\n";
+        exit 2
+    | a :: rest -> extract_jobs (a :: acc) rest
+  in
+  let jobs_opt, args = extract_jobs [] args in
+  let jobs = match jobs_opt with Some j -> j | None -> Engine.Pool.default_jobs () in
   let full = List.mem "--full" args in
   let micro_only = List.mem "--micro-only" args in
   let names = List.filter (fun a -> a <> "--full" && a <> "--micro-only") args in
@@ -194,7 +211,7 @@ let () =
     in
     List.iter
       (fun e ->
-        print_string (e.Experiments.Report.run ~mode ~seed);
+        print_string (e.Experiments.Report.run ~mode ~seed ~jobs);
         print_newline ())
       selected
   end;

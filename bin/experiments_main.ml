@@ -2,9 +2,10 @@
 
      experiments_main                 run every experiment (quick mode)
      experiments_main --full          full-size sweeps (slow)
-     experiments_main -e table1 ...   run selected experiments *)
+     experiments_main -e table1 ...   run selected experiments
+     experiments_main --jobs 4       run trials on 4 domains (same output) *)
 
-let main list_only full names seed out =
+let main list_only full names seed jobs out =
   if list_only then begin
     List.iter
       (fun e ->
@@ -13,6 +14,11 @@ let main list_only full names seed out =
     exit 0
   end;
   let mode = if full then Experiments.Exp_common.Full else Experiments.Exp_common.Quick in
+  let jobs = match jobs with Some j -> j | None -> Engine.Pool.default_jobs () in
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end;
   let selected =
     match names with
     | [] -> Experiments.Report.all
@@ -32,10 +38,10 @@ let main list_only full names seed out =
     String.concat "\n"
       (List.map
          (fun e ->
-           let t0 = Sys.time () in
-           let b = e.Experiments.Report.run ~mode ~seed in
-           Printf.sprintf "%s\n(experiment '%s' took %.1f s of CPU time)\n" b
-             e.Experiments.Report.name (Sys.time () -. t0))
+           let t0 = Unix.gettimeofday () in
+           let b = e.Experiments.Report.run ~mode ~seed ~jobs in
+           Printf.sprintf "%s\n(experiment '%s' took %.1f s wall clock)\n" b
+             e.Experiments.Report.name (Unix.gettimeofday () -. t0))
          selected)
   in
   (match out with
@@ -65,6 +71,13 @@ let seed_arg =
   let doc = "PRNG seed." in
   Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains running trials in parallel (default: $(b,REPRO_JOBS) or the \
+     recommended domain count). Results are identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 let out_arg =
   let doc = "Write the report to a file instead of stdout." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -72,6 +85,6 @@ let out_arg =
 let cmd =
   let doc = "regenerate the paper-reproduction experiment reports" in
   let info = Cmd.info "experiments_main" ~version:"1.0" ~doc in
-  Cmd.v info Term.(const main $ list_arg $ full_arg $ names_arg $ seed_arg $ out_arg)
+  Cmd.v info Term.(const main $ list_arg $ full_arg $ names_arg $ seed_arg $ jobs_arg $ out_arg)
 
 let () = exit (Cmd.eval' cmd)

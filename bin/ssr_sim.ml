@@ -6,7 +6,8 @@
      ssr_sim -p silent -n 32 -s worst-case
      ssr_sim -p silent -n 2048 -s worst-case --count-engine
      ssr_sim -p loose -n 32
-     ssr_sim -p optimal -n 24 -s duplicate-rank --topology ring *)
+     ssr_sim -p optimal -n 24 -s duplicate-rank --topology ring
+     ssr_sim -p optimal -n 64 --trials 200 --jobs 4 *)
 
 let topology_of ~n = function
   | "complete" -> None
@@ -81,6 +82,51 @@ let run_count_engine (type s) ~(protocol : s Engine.Protocol.t) ~(init : s array
     o.Engine.Count_sim.interactions;
   if o.Engine.Count_sim.silent && o.Engine.Count_sim.correct then 0 else 1
 
+(* Batch mode (--trials > 1): run independent trials on a domain pool and
+   print summary statistics. Each trial's PRNG child is pre-split from the
+   root seed before dispatch, so the numbers are identical for every
+   --jobs value; the child drives both the scenario generator and the
+   simulation. *)
+let run_batch (type s) ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t -> s array) ~seed ~jobs
+    ~trials ~horizon_scale ~topology =
+  let n = protocol.Engine.Protocol.n in
+  let sampler = Option.map Engine.Topology.sampler (topology_of ~n topology) in
+  let children = Prng.split_many (Prng.create ~seed) trials in
+  let outcomes =
+    Engine.Pool.with_pool ~jobs (fun pool ->
+        Engine.Pool.init pool trials (fun i ->
+            let rng = children.(i) in
+            let init = gen rng in
+            let sim =
+              match sampler with
+              | None -> Engine.Sim.make ~protocol ~init ~rng
+              | Some sampler -> Engine.Sim.make_with ~sampler ~protocol ~init ~rng
+            in
+            Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+              ~max_interactions:
+                (Engine.Runner.default_horizon ~n
+                   ~expected_time:(horizon_scale *. float_of_int n))
+              ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+              sim))
+  in
+  let times =
+    Array.to_list outcomes
+    |> List.filter_map (fun o ->
+           if o.Engine.Runner.converged then Some o.Engine.Runner.convergence_time else None)
+  in
+  let failures = trials - List.length times in
+  Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
+  Printf.printf "population          : %d\n" n;
+  Printf.printf "trials              : %d (on %d domain%s)\n" trials jobs
+    (if jobs = 1 then "" else "s");
+  Printf.printf "converged           : %d of %d\n" (List.length times) trials;
+  if times <> [] then begin
+    let s = Stats.Summary.of_list times in
+    Printf.printf "stabilization time  : mean %.2f  median %.2f  p95 %.2f  max %.2f\n"
+      s.Stats.Summary.mean s.Stats.Summary.median s.Stats.Summary.p95 s.Stats.Summary.max
+  end;
+  if failures = 0 then 0 else 1
+
 let run_loose ~n ~seed ~verbose =
   let t_max = 4 * n in
   let protocol = Core.Loose.protocol ~n ~t_max in
@@ -108,13 +154,29 @@ let run_loose ~n ~seed ~verbose =
   end;
   if Engine.Sim.leader_correct sim || verbose then 0 else 1
 
-let main protocol_name n h scenario seed verbose topology count_engine =
+let main protocol_name n h scenario seed verbose topology count_engine trials jobs =
+  let jobs = match jobs with Some j -> j | None -> Engine.Pool.default_jobs () in
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end;
+  if trials < 1 then begin
+    Printf.eprintf "--trials must be >= 1 (got %d)\n" trials;
+    exit 2
+  end;
+  let batch = trials > 1 in
+  if batch && count_engine then begin
+    Printf.eprintf "--trials is not supported together with --count-engine\n";
+    exit 2
+  end;
   let scen_rng = Prng.create ~seed:(seed + 1000) in
   match protocol_name with
   | "silent" ->
       let protocol = Core.Silent_n_state.protocol ~n in
       let gen = lookup_scenario ~kind:"silent" (Core.Scenarios.silent_catalogue ~n) scenario in
-      if count_engine then run_count_engine ~protocol ~init:(gen scen_rng) ~seed
+      if batch then
+        run_batch ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:(float_of_int n) ~topology
+      else if count_engine then run_count_engine ~protocol ~init:(gen scen_rng) ~seed
       else
         run_generic ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:(float_of_int n)
           ~topology
@@ -124,7 +186,8 @@ let main protocol_name n h scenario seed verbose topology count_engine =
       let gen =
         lookup_scenario ~kind:"optimal" (Core.Scenarios.optimal_catalogue ~params ~n) scenario
       in
-      if count_engine then run_count_engine ~protocol ~init:(gen scen_rng) ~seed
+      if batch then run_batch ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
+      else if count_engine then run_count_engine ~protocol ~init:(gen scen_rng) ~seed
       else run_generic ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0 ~topology
   | "sublinear" ->
       let params = Core.Params.sublinear ~h n in
@@ -132,8 +195,14 @@ let main protocol_name n h scenario seed verbose topology count_engine =
       let gen =
         lookup_scenario ~kind:"sublinear" (Core.Scenarios.sublinear_catalogue ~params ~n) scenario
       in
-      run_generic ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0 ~topology
-  | "loose" -> run_loose ~n ~seed ~verbose
+      if batch then run_batch ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
+      else run_generic ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0 ~topology
+  | "loose" ->
+      if batch then begin
+        Printf.eprintf "--trials is not supported for the loose protocol\n";
+        exit 2
+      end;
+      run_loose ~n ~seed ~verbose
   | other ->
       Printf.eprintf "unknown protocol '%s' (silent | optimal | sublinear | loose)\n" other;
       2
@@ -172,12 +241,25 @@ let count_engine_arg =
   let doc = "Use the exact count-based engine (silent protocols; ignores --topology)." in
   Arg.(value & flag & info [ "count-engine" ] ~doc)
 
+let trials_arg =
+  let doc =
+    "Run this many independent trials and print summary statistics instead of a single timeline."
+  in
+  Arg.(value & opt int 1 & info [ "trials" ] ~docv:"TRIALS" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Number of domains running trials in parallel (default: $(b,REPRO_JOBS) or the recommended \
+     domain count). Results are identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 let cmd =
   let doc = "simulate self-stabilizing ranking / leader election population protocols" in
   let info = Cmd.info "ssr_sim" ~version:"1.0" ~doc in
   Cmd.v info
     Term.(
       const main $ protocol_arg $ n_arg $ h_arg $ scenario_arg $ seed_arg $ verbose_arg
-      $ topology_arg $ count_engine_arg)
+      $ topology_arg $ count_engine_arg $ trials_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,64 @@
+(** Fixed-size domain pool for embarrassingly parallel trial batches.
+
+    A pool owns [jobs - 1] worker domains plus the submitting domain (which
+    drains the same queue while it waits), so [jobs] tasks run concurrently.
+    Tasks are closures; each batch returns its results {e in submission
+    order}, regardless of which domain finished which task first, and an
+    exception raised by a task is captured and re-raised in the submitter
+    once the whole batch has drained — the pool itself never deadlocks or
+    leaks a wedged domain on a failing task.
+
+    {2 Seeding discipline for deterministic parallelism}
+
+    The pool schedules tasks in a nondeterministic interleaving, so any
+    randomized task must receive its entire entropy supply {e before}
+    dispatch. The convention used throughout this repository
+    (see [Experiments.Exp_common.run_trials]) is:
+
+    + derive one root generator from the experiment seed;
+    + pre-split one child [Prng.t] per trial index with [Prng.split_many]
+      — a purely sequential, deterministic derivation;
+    + hand child [i] to trial [i] and let the trial draw only from it.
+
+    Because child [i] depends only on the seed and on [i] — never on the
+    execution order — the results of a batch are bit-for-bit identical for
+    every [jobs] value (1, 4, [Domain.recommended_domain_count ()], …).
+    Never share a [Prng.t] between tasks: the draws would interleave
+    nondeterministically and, worse, xoshiro state updates are not atomic. *)
+
+type t
+(** A pool of worker domains with a shared work queue. *)
+
+val default_jobs : unit -> int
+(** The [REPRO_JOBS] environment variable when set (must be a positive
+    integer), otherwise [Domain.recommended_domain_count ()]. This is the
+    default parallelism of every [--jobs] flag in the repository. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1]; raises
+    [Invalid_argument] otherwise). [jobs = 1] spawns no domains at all:
+    batches run sequentially on the submitting domain, in index order. *)
+
+val jobs : t -> int
+(** The parallelism the pool was created with. *)
+
+val run : t -> (unit -> 'a) array -> 'a array
+(** [run pool tasks] executes every task (the submitter helps drain the
+    queue) and returns their results in index order. If any task raised,
+    the exception of the lowest-indexed failing task is re-raised (with
+    its backtrace) after {e all} tasks have finished, so the pool remains
+    usable. Raises [Invalid_argument] on a pool that was shut down. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] is [run pool] over [fun () -> f xs.(i)]. *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+(** [init pool k f] is the parallel [Array.init k f]. *)
+
+val shutdown : t -> unit
+(** Signals the workers to exit once the queue is empty and joins them.
+    Idempotent. Subsequent [run]/[map]/[init] calls raise. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down when
+    [f] returns or raises. [jobs] defaults to {!default_jobs}[ ()]. *)

@@ -19,33 +19,33 @@ let with_trigger_counter ~(params : Core.Params.optimal_silent) protocol counter
   in
   { protocol with Engine.Protocol.transition }
 
-let measure_optimal ~n ~params ~trials ~seed =
-  let counter = ref 0 in
-  let protocol =
-    with_trigger_counter ~params (Core.Optimal_silent.protocol ~params ~n ()) counter
+let measure_optimal ~n ~params ~jobs ~trials ~seed =
+  (* Each trial wraps its own counter around a fresh protocol record, so
+     trials stay independent under parallel execution. *)
+  let outcomes =
+    Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
+        let counter = ref 0 in
+        let protocol =
+          with_trigger_counter ~params (Core.Optimal_silent.protocol ~params ~n ()) counter
+        in
+        let init = Core.Scenarios.optimal_uniform rng ~params ~n in
+        let sim = Engine.Sim.make ~protocol ~init ~rng in
+        let o =
+          Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+            ~max_interactions:
+              (Engine.Runner.default_horizon ~n ~expected_time:(float_of_int (40 * n)))
+            ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+            sim
+        in
+        if o.Engine.Runner.converged then
+          Some (o.Engine.Runner.convergence_time, float_of_int !counter)
+        else None)
   in
-  let root = Prng.create ~seed in
-  let times = ref [] in
-  let triggers = ref [] in
-  let failures = ref 0 in
-  for _ = 1 to trials do
-    let rng = Prng.split root in
-    counter := 0;
-    let init = Core.Scenarios.optimal_uniform rng ~params ~n in
-    let sim = Engine.Sim.make ~protocol ~init ~rng in
-    let o =
-      Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
-        ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time:(float_of_int (40 * n)))
-        ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-        sim
-    in
-    if o.Engine.Runner.converged then begin
-      times := o.Engine.Runner.convergence_time :: !times;
-      triggers := float_of_int !counter :: !triggers
-    end
-    else incr failures
-  done;
-  (!times, !triggers, !failures)
+  let converged = Array.to_list outcomes |> List.filter_map Fun.id in
+  let times = List.map fst converged in
+  let triggers = List.map snd converged in
+  let failures = trials - List.length converged in
+  (times, triggers, failures)
 
 let sweep_table buf ~title ~header rows =
   Buffer.add_string buf (title ^ "\n");
@@ -73,32 +73,30 @@ let optimal_header = [ "value"; "trials"; "mean time"; "p95"; "trigger interacti
 
 (* Detection latency of a hidden name collision (same notion as the
    tradeoff experiment). *)
-let detection_latency ~n ~params ~trials ~seed =
+let detection_latency ~n ~params ~jobs ~trials ~seed =
   let protocol = Core.Sublinear.protocol ~params ~n ~h:params.Core.Params.h () in
-  let root = Prng.create ~seed in
-  let times = ref [] in
-  for _ = 1 to trials do
-    let rng = Prng.split root in
-    let init = Core.Scenarios.sublinear_name_collision rng ~params ~n in
-    let sim = Engine.Sim.make ~protocol ~init ~rng in
-    let detected () =
-      let rec check i =
-        i < n
-        &&
-        match Engine.Sim.state sim i with
-        | Core.Reset.Resetting _ -> true
-        | Core.Reset.Computing _ -> check (i + 1)
-      in
-      check 0
-    in
-    while (not (detected ())) && Engine.Sim.interactions sim < 400 * n * n do
-      Engine.Sim.step sim
-    done;
-    times := Engine.Sim.parallel_time sim :: !times
-  done;
-  Stats.Summary.of_list !times
+  let times =
+    Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
+        let init = Core.Scenarios.sublinear_name_collision rng ~params ~n in
+        let sim = Engine.Sim.make ~protocol ~init ~rng in
+        let detected () =
+          let rec check i =
+            i < n
+            &&
+            match Engine.Sim.state sim i with
+            | Core.Reset.Resetting _ -> true
+            | Core.Reset.Computing _ -> check (i + 1)
+          in
+          check 0
+        in
+        while (not (detected ())) && Engine.Sim.interactions sim < 400 * n * n do
+          Engine.Sim.step sim
+        done;
+        Engine.Sim.parallel_time sim)
+  in
+  Stats.Summary.of_array times
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "== Experiment AB: parameter ablations ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:20 in
@@ -109,7 +107,7 @@ let run ~mode ~seed =
     List.map
       (fun c ->
         let params = { base with Core.Params.d_max = c * n } in
-        optimal_row (Printf.sprintf "D_max = %d·n" c) (measure_optimal ~n ~params ~trials ~seed) trials)
+        optimal_row (Printf.sprintf "D_max = %d·n" c) (measure_optimal ~n ~params ~jobs ~trials ~seed) trials)
       [ 1; 2; 4; 6; 10 ]
   in
   sweep_table buf
@@ -122,7 +120,7 @@ let run ~mode ~seed =
     List.map
       (fun c ->
         let params = { base with Core.Params.e_max = c * n } in
-        optimal_row (Printf.sprintf "E_max = %d·n" c) (measure_optimal ~n ~params ~trials ~seed:(seed + 1)) trials)
+        optimal_row (Printf.sprintf "E_max = %d·n" c) (measure_optimal ~n ~params ~jobs ~trials ~seed:(seed + 1)) trials)
       [ 2; 4; 8; 12; 20 ]
   in
   sweep_table buf
@@ -135,7 +133,7 @@ let run ~mode ~seed =
     List.map
       (fun (label, r) ->
         let params = { base with Core.Params.r_max = r } in
-        optimal_row label (measure_optimal ~n ~params ~trials ~seed:(seed + 2)) trials)
+        optimal_row label (measure_optimal ~n ~params ~jobs ~trials ~seed:(seed + 2)) trials)
       [
         ("R_max = 2", 2);
         ("R_max = 3", 3);
@@ -157,7 +155,7 @@ let run ~mode ~seed =
             let params = Core.Params.optimal_silent ~preset n in
             optimal_row
               (Printf.sprintf "n=%d %s" n label)
-              (measure_optimal ~n ~params ~trials ~seed:(seed + 3))
+              (measure_optimal ~n ~params ~jobs ~trials ~seed:(seed + 3))
               trials)
           [ ("Tuned", Core.Params.Tuned); ("Paper", Core.Params.Paper) ])
       (match mode with Exp_common.Quick -> [ 32 ] | Full -> [ 32; 128 ])
@@ -171,7 +169,7 @@ let run ~mode ~seed =
     List.map
       (fun t_h ->
         let params = { base_sub with Core.Params.t_h } in
-        let s = detection_latency ~n ~params ~trials ~seed:(seed + 4) in
+        let s = detection_latency ~n ~params ~jobs ~trials ~seed:(seed + 4) in
         [
           Printf.sprintf "T_H = %d%s" t_h (if t_h = base_sub.Core.Params.t_h then " (default)" else "");
           string_of_int trials;

@@ -10,38 +10,70 @@ type measurement = {
   silent_ok : int;
 }
 
-let measure ~label ~protocol ~init ~task ~expected_time ?check_silence ~trials ~seed () =
+(* All Monte Carlo batches go through this runner. Trial [i] draws
+   exclusively from child generator [i], which is pre-split from the root
+   before anything is dispatched to the pool — see the seeding discipline
+   in [Engine.Pool]'s documentation — so the returned array depends only
+   on [seed] and [trials], never on [jobs]. *)
+let run_trials ?jobs ?pool ~trials ~seed body =
+  let children = Prng.split_many (Prng.create ~seed) trials in
+  match pool with
+  | Some pool -> Engine.Pool.init pool trials (fun i -> body children.(i))
+  | None ->
+      let jobs = match jobs with Some j -> j | None -> Engine.Pool.default_jobs () in
+      Engine.Pool.with_pool ~jobs (fun pool ->
+          Engine.Pool.init pool trials (fun i -> body children.(i)))
+
+(* Per-trial record folded (in trial order) into a [measurement]. *)
+type trial = {
+  time : float option;  (* convergence time, when the trial converged *)
+  trial_violations : int;
+  silent : bool option;  (* silence of the final config, when checked *)
+}
+
+let measure ~label ~protocol ~init ~task ~expected_time ?check_silence ?jobs ?pool ~trials ~seed
+    () =
   let n = protocol.Engine.Protocol.n in
   let check_silence =
     match check_silence with Some b -> b | None -> protocol.Engine.Protocol.deterministic
   in
-  let root = Prng.create ~seed in
+  let outcomes =
+    run_trials ?jobs ?pool ~trials ~seed (fun rng ->
+        let config = init rng in
+        let sim = Engine.Sim.make ~protocol ~init:config ~rng in
+        let outcome =
+          Engine.Runner.run_to_stability ~task
+            ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time)
+            ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+            sim
+        in
+        if outcome.Engine.Runner.converged then
+          {
+            time = Some outcome.Engine.Runner.convergence_time;
+            trial_violations = outcome.Engine.Runner.violations;
+            silent =
+              (if check_silence then
+                 Some (Engine.Silence.configuration_is_silent protocol (Engine.Sim.snapshot sim))
+               else None);
+          }
+        else
+          { time = None; trial_violations = outcome.Engine.Runner.violations; silent = None })
+  in
   let times = ref [] in
   let failures = ref 0 in
   let violations = ref 0 in
   let silent_checked = ref 0 in
   let silent_ok = ref 0 in
-  for _ = 1 to trials do
-    let rng = Prng.split root in
-    let config = init rng in
-    let sim = Engine.Sim.make ~protocol ~init:config ~rng in
-    let outcome =
-      Engine.Runner.run_to_stability ~task
-        ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time)
-        ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-        sim
-    in
-    violations := !violations + outcome.Engine.Runner.violations;
-    if outcome.Engine.Runner.converged then begin
-      times := outcome.Engine.Runner.convergence_time :: !times;
-      if check_silence then begin
-        incr silent_checked;
-        if Engine.Silence.configuration_is_silent protocol (Engine.Sim.snapshot sim) then
-          incr silent_ok
-      end
-    end
-    else incr failures
-  done;
+  Array.iter
+    (fun t ->
+      violations := !violations + t.trial_violations;
+      (match t.time with Some time -> times := time :: !times | None -> incr failures);
+      match t.silent with
+      | Some ok ->
+          incr silent_checked;
+          if ok then incr silent_ok
+      | None -> ())
+    outcomes;
   {
     label;
     n;

@@ -2,8 +2,9 @@
 
     Each experiment module ([Exp_table1], [Exp_silent_lb], …) measures one
     table, figure or claim of the paper and renders paper-shaped text
-    tables. This module provides the trial runner (seeded, with convergence
-    confirmation and optional silence checking) and the sweep helpers. *)
+    tables. This module provides the trial runner (seeded, parallel over a
+    domain pool, with convergence confirmation and optional silence
+    checking) and the sweep helpers. *)
 
 type mode = Quick | Full
 (** [Quick] keeps every experiment under roughly a minute (used by the
@@ -20,6 +21,16 @@ type measurement = {
   silent_ok : int;  (** …of which were silent *)
 }
 
+val run_trials :
+  ?jobs:int -> ?pool:Engine.Pool.t -> trials:int -> seed:int -> (Prng.t -> 'a) -> 'a array
+(** [run_trials ~jobs ~trials ~seed body] runs [body] once per trial on a
+    domain pool of [jobs] workers (default {!Engine.Pool.default_jobs}; an
+    existing [pool] can be supplied instead) and returns the results in
+    trial order. Child generators are pre-split from [seed] {e before}
+    dispatch — one per trial index — so the result array is bit-for-bit
+    identical for every [jobs] value. [body] must draw randomness only
+    from its argument. *)
+
 val measure :
   label:string ->
   protocol:'a Engine.Protocol.t ->
@@ -27,15 +38,19 @@ val measure :
   task:Engine.Runner.task ->
   expected_time:float ->
   ?check_silence:bool ->
+  ?jobs:int ->
+  ?pool:Engine.Pool.t ->
   trials:int ->
   seed:int ->
   unit ->
   measurement
 (** Runs [trials] independent simulations (child generators split from
-    [seed]), each until stability or until the horizon
+    [seed], one per trial, executed via {!run_trials}), each until
+    stability or until the horizon
     [Engine.Runner.default_horizon ~n ~expected_time]. When
     [check_silence] (default: the protocol's [deterministic] flag) the
-    final configuration of each converged trial is tested for silence. *)
+    final configuration of each converged trial is tested for silence.
+    The measurement is identical for every [jobs] value. *)
 
 val summary : measurement -> Stats.Summary.t
 (** Summary of the convergence times; raises if no trial converged. *)

@@ -2,7 +2,7 @@ let name = "epidemic"
 
 let description = "Sections 1.1 & 2: epidemic, bounded epidemic (τ_k), roll call"
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment EP: probabilistic tools ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:60 in
@@ -13,10 +13,12 @@ let run ~mode ~seed =
     | Full -> [ 64; 256; 1024; 4096; 16384 ]
   in
   let table = Stats.Table.create ~header:[ "n"; "mean time"; "p95"; "theory (≈ 2 ln n)" ] in
-  let rng = Prng.create ~seed in
   List.iter
     (fun n ->
-      let samples = Processes.Epidemic.completion_times rng ~n ~trials in
+      let samples =
+        Exp_common.run_trials ~jobs ~trials ~seed:(seed + n) (fun rng ->
+            (Processes.Epidemic.run rng ~n).Processes.Epidemic.completion_time)
+      in
       let s = Stats.Summary.of_array samples in
       Stats.Table.add_row table
         [
@@ -38,7 +40,10 @@ let run ~mode ~seed =
   in
   List.iter
     (fun k ->
-      let samples = Processes.Bounded_epidemic.tau_samples rng ~n ~k ~trials:tau_trials in
+      let samples =
+        Exp_common.run_trials ~jobs ~trials:tau_trials ~seed:(seed + (100 * k)) (fun rng ->
+            Processes.Bounded_epidemic.tau_sample rng ~n ~k)
+      in
       let s = Stats.Summary.of_array samples in
       let bound = Stats.Theory.bounded_epidemic_bound ~n ~k in
       Stats.Table.add_row table2
@@ -61,9 +66,14 @@ let run ~mode ~seed =
   in
   List.iter
     (fun n ->
-      let roll = Processes.Roll_call.completion_times rng ~n ~trials in
-      let epi = Processes.Epidemic.completion_times rng ~n ~trials in
-      let mr = Stats.Summary.mean roll and me = Stats.Summary.mean epi in
+      let pairs =
+        Exp_common.run_trials ~jobs ~trials ~seed:(seed + (3 * n) + 1) (fun rng ->
+            let roll = (Processes.Roll_call.run rng ~n).Processes.Roll_call.completion_time in
+            let epi = (Processes.Epidemic.run rng ~n).Processes.Epidemic.completion_time in
+            (roll, epi))
+      in
+      let mr = Stats.Summary.mean (Array.map fst pairs)
+      and me = Stats.Summary.mean (Array.map snd pairs) in
       Stats.Table.add_row table3
         [
           string_of_int n;
@@ -85,17 +95,17 @@ let run ~mode ~seed =
   let table4 = Stats.Table.create ~header:[ "warmup (interactions)"; "restarts"; "bias of next bit" ] in
   List.iter
     (fun warmup ->
-      let ones = ref 0 in
-      for _ = 1 to restarts do
-        let bit = (Processes.Synthetic_coin.harvest rng ~n ~warmup ~count:1).(0) in
-        if bit then incr ones
-      done;
+      let bits =
+        Exp_common.run_trials ~jobs ~trials:restarts ~seed:(seed + warmup + 7) (fun rng ->
+            (Processes.Synthetic_coin.harvest rng ~n ~warmup ~count:1).(0))
+      in
+      let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits in
       Stats.Table.add_row table4
         [
           string_of_int warmup;
           string_of_int restarts;
           Stats.Table.cell_float ~decimals:4
-            (Float.abs ((float_of_int !ones /. float_of_int restarts) -. 0.5));
+            (Float.abs ((float_of_int ones /. float_of_int restarts) -. 0.5));
         ])
     [ 0; 8; 32; n; 4 * n ];
   Buffer.add_string buf
@@ -103,7 +113,9 @@ let run ~mode ~seed =
   Buffer.add_string buf (Stats.Table.render table4);
   Buffer.add_string buf "\n";
   let samples = match mode with Exp_common.Quick -> 20_000 | Full -> 100_000 in
-  let r = Processes.Synthetic_coin.measure rng ~n ~warmup:(4 * n) ~samples in
+  let r =
+    Processes.Synthetic_coin.measure (Prng.create ~seed:(seed + 11)) ~n ~warmup:(4 * n) ~samples
+  in
   Buffer.add_string buf
     (Printf.sprintf "Warmed-up stream of %d bits: bias %.4f, lag-1 correlation %.4f\n"
        r.Processes.Synthetic_coin.samples r.Processes.Synthetic_coin.bias

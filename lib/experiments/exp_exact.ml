@@ -2,35 +2,31 @@ let name = "exact"
 
 let description = "Exhaustive Markov-chain validation of Silent-n-state-SSR at small n"
 
-let simulate_count ~protocol ~init ~trials ~seed =
-  let root = Prng.create ~seed in
-  let acc = ref 0.0 in
-  for _ = 1 to trials do
-    let rng = Prng.split root in
-    let cs = Engine.Count_sim.make ~protocol ~init ~rng in
-    let o = Engine.Count_sim.run_to_silence cs in
-    acc := !acc +. o.Engine.Count_sim.stabilization_time
-  done;
-  !acc /. float_of_int trials
+let simulate_count ~protocol ~init ~jobs ~trials ~seed =
+  let times =
+    Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
+        let cs = Engine.Count_sim.make ~protocol ~init ~rng in
+        let o = Engine.Count_sim.run_to_silence cs in
+        o.Engine.Count_sim.stabilization_time)
+  in
+  Stats.Summary.mean times
 
-let simulate_array ~protocol ~init ~trials ~seed =
+let simulate_array ~protocol ~init ~jobs ~trials ~seed =
   let n = protocol.Engine.Protocol.n in
-  let root = Prng.create ~seed in
-  let acc = ref 0.0 in
-  for _ = 1 to trials do
-    let rng = Prng.split root in
-    let sim = Engine.Sim.make ~protocol ~init ~rng in
-    let o =
-      Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
-        ~max_interactions:(1000 * n * n)
-        ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-        sim
-    in
-    acc := !acc +. o.Engine.Runner.convergence_time
-  done;
-  !acc /. float_of_int trials
+  let times =
+    Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
+        let sim = Engine.Sim.make ~protocol ~init ~rng in
+        let o =
+          Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+            ~max_interactions:(1000 * n * n)
+            ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+            sim
+        in
+        o.Engine.Runner.convergence_time)
+  in
+  Stats.Summary.mean times
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment EX: exhaustive small-n validation ==\n\n";
   let ns = match mode with Exp_common.Quick -> [ 3; 4; 5 ] | Full -> [ 3; 4; 5; 6; 7 ] in
@@ -49,8 +45,10 @@ let run ~mode ~seed =
       let codec = Exact.Chain.silent_n_state_codec ~n in
       let a = Exact.Chain.analyze ~protocol ~codec in
       let exact, witness = Exact.Chain.worst_expected_time a in
-      let count_mean = simulate_count ~protocol ~init:witness ~trials ~seed in
-      let array_mean = simulate_array ~protocol ~init:witness ~trials:(trials / 10) ~seed:(seed + 1) in
+      let count_mean = simulate_count ~protocol ~init:witness ~jobs ~trials ~seed in
+      let array_mean =
+        simulate_array ~protocol ~init:witness ~jobs ~trials:(trials / 10) ~seed:(seed + 1)
+      in
       Stats.Table.add_row table
         [
           string_of_int n;

@@ -92,7 +92,7 @@ let figure2_script () =
   check_d_vs_a ();
   Buffer.contents buf
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "== Experiment F1: Figure 1 ==\n\n";
   Buffer.add_string buf "Rank tree at n=12 with 8 settled agents (paper's Figure 1 state):\n";
@@ -118,7 +118,7 @@ let run ~mode ~seed =
                   else Core.Optimal_silent.unsettled ~errorcount:params.Core.Params.e_max))
             ~task:Engine.Runner.Ranking
             ~expected_time:(float_of_int (10 * n))
-            ~trials ~seed ()
+            ~jobs ~trials ~seed ()
         in
         Stats.Table.add_row table (Exp_common.time_row m);
         (n, m))

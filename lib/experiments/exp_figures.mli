@@ -12,7 +12,7 @@
 
 val name : string
 val description : string
-val run : mode:Exp_common.mode -> seed:int -> string
+val run : mode:Exp_common.mode -> seed:int -> jobs:int -> string
 
 val figure1_tree : n:int -> settled:int -> string
 (** ASCII rendering of the rank tree with settled/unsettled marking

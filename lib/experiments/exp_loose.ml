@@ -20,7 +20,7 @@ let holding_time sim ~cap =
   let held = Engine.Sim.interactions sim - start in
   (float_of_int held /. float_of_int n, held >= cap)
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment LS: loose stabilization ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:15 in
@@ -36,25 +36,27 @@ let run ~mode ~seed =
       let protocol = Core.Loose.protocol ~n ~t_max in
       List.iter
         (fun (scenario, make_init) ->
-          let root = Prng.create ~seed in
-          let times = ref [] in
-          let failures = ref 0 in
-          for _ = 1 to trials do
-            let rng = Prng.split root in
-            let _, ok, time = converge_from ~protocol ~init:(make_init rng) ~rng ~horizon:(100 * t_max * n) in
-            if ok then times := time :: !times else incr failures
-          done;
+          let outcomes =
+            Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
+                let _, ok, time =
+                  converge_from ~protocol ~init:(make_init rng) ~rng ~horizon:(100 * t_max * n)
+                in
+                if ok then Some time else None)
+          in
+          let times = Array.to_list outcomes |> List.filter_map Fun.id in
+          let failures = trials - List.length times in
           let row =
-            if !times = [] then [ string_of_int n; scenario; string_of_int trials; "-"; "-"; string_of_int !failures ]
+            if times = [] then
+              [ string_of_int n; scenario; string_of_int trials; "-"; "-"; string_of_int failures ]
             else begin
-              let s = Stats.Summary.of_list !times in
+              let s = Stats.Summary.of_list times in
               [
                 string_of_int n;
                 scenario;
                 string_of_int trials;
                 Stats.Table.cell_float s.Stats.Summary.mean;
                 Stats.Table.cell_float s.Stats.Summary.p95;
-                string_of_int !failures;
+                string_of_int failures;
               ]
             end
           in
@@ -80,26 +82,24 @@ let run ~mode ~seed =
     (fun factor ->
       let t_max = factor * Core.Params.ceil_ln n in
       let protocol = Core.Loose.protocol ~n ~t_max in
-      let root = Prng.create ~seed:(seed + 1) in
-      let held = ref [] in
-      let capped = ref 0 in
-      for _ = 1 to trials do
-        let rng = Prng.split root in
-        let sim, ok, _ = converge_from ~protocol ~init:(Core.Loose.uniform rng ~n ~t_max) ~rng ~horizon:(100 * t_max * n) in
-        if ok then begin
-          let time, hit_cap = holding_time sim ~cap in
-          held := time :: !held;
-          if hit_cap then incr capped
-        end
-      done;
-      let s = Stats.Summary.of_list !held in
+      let outcomes =
+        Exp_common.run_trials ~jobs ~trials ~seed:(seed + 1) (fun rng ->
+            let sim, ok, _ =
+              converge_from ~protocol ~init:(Core.Loose.uniform rng ~n ~t_max) ~rng
+                ~horizon:(100 * t_max * n)
+            in
+            if ok then Some (holding_time sim ~cap) else None)
+      in
+      let held = Array.to_list outcomes |> List.filter_map Fun.id in
+      let capped = List.length (List.filter snd held) in
+      let s = Stats.Summary.of_list (List.map fst held) in
       Stats.Table.add_row table2
         [
           Printf.sprintf "%d·ln n (%d)" factor t_max;
           string_of_int trials;
           Stats.Table.cell_float s.Stats.Summary.mean;
           Stats.Table.cell_float s.Stats.Summary.min;
-          string_of_int !capped;
+          string_of_int capped;
           "";
         ])
     [ 2; 3; 4; 6; 10 ];

@@ -16,4 +16,4 @@
 
 val name : string
 val description : string
-val run : mode:Exp_common.mode -> seed:int -> string
+val run : mode:Exp_common.mode -> seed:int -> jobs:int -> string

@@ -8,7 +8,7 @@ let mismatched_protocol ~n1 ~n2 : Core.Silent_n_state.state Engine.Protocol.t =
   let p1 = Core.Silent_n_state.protocol ~n:n1 in
   { p1 with Engine.Protocol.n = n2; name = Printf.sprintf "Silent-%d-state in n=%d" n1 n2 }
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment TH2.1: strong nonuniformity ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
@@ -25,39 +25,36 @@ let run ~mode ~seed =
   List.iter
     (fun (n1, n2) ->
       let protocol = mismatched_protocol ~n1 ~n2 in
-      let root = Prng.create ~seed in
-      let to_second_leader = ref [] in
-      let one_leader_fraction = ref [] in
-      for _ = 1 to trials do
-        let rng = Prng.split root in
-        (* n2 agents, ranks within 0..n1-1, exactly one at rank 0: a
-           single-leader configuration that would be stable at size n1.
-           The surplus agents duplicate ranks in the top half, so the
-           mod-n1 wrap-around that mints the second leader is reached
-           within the measurement window even for larger n1. *)
-        let lo = n1 / 2 in
-        let init =
-          Array.init n2 (fun i ->
-              Core.Silent_n_state.state_of_rank0 ~n:n1
-                (if i = 0 then 0 else lo + ((i - 1) mod (n1 - lo))))
-        in
-        let sim = Engine.Sim.make ~protocol ~init ~rng in
-        let horizon = 200 * n2 in
-        while Engine.Sim.leader_count sim < 2 && Engine.Sim.interactions sim < horizon do
-          Engine.Sim.step sim
-        done;
-        to_second_leader := Engine.Sim.parallel_time sim :: !to_second_leader;
-        (* Long-run single-leader occupancy over a further window. *)
-        let window = 100 * n2 in
-        let good = ref 0 in
-        for _ = 1 to window do
-          Engine.Sim.step sim;
-          if Engine.Sim.leader_correct sim then incr good
-        done;
-        one_leader_fraction := (float_of_int !good /. float_of_int window) :: !one_leader_fraction
-      done;
-      let t = Stats.Summary.of_list !to_second_leader in
-      let f = Stats.Summary.of_list !one_leader_fraction in
+      let samples =
+        Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
+            (* n2 agents, ranks within 0..n1-1, exactly one at rank 0: a
+               single-leader configuration that would be stable at size n1.
+               The surplus agents duplicate ranks in the top half, so the
+               mod-n1 wrap-around that mints the second leader is reached
+               within the measurement window even for larger n1. *)
+            let lo = n1 / 2 in
+            let init =
+              Array.init n2 (fun i ->
+                  Core.Silent_n_state.state_of_rank0 ~n:n1
+                    (if i = 0 then 0 else lo + ((i - 1) mod (n1 - lo))))
+            in
+            let sim = Engine.Sim.make ~protocol ~init ~rng in
+            let horizon = 200 * n2 in
+            while Engine.Sim.leader_count sim < 2 && Engine.Sim.interactions sim < horizon do
+              Engine.Sim.step sim
+            done;
+            let to_second = Engine.Sim.parallel_time sim in
+            (* Long-run single-leader occupancy over a further window. *)
+            let window = 100 * n2 in
+            let good = ref 0 in
+            for _ = 1 to window do
+              Engine.Sim.step sim;
+              if Engine.Sim.leader_correct sim then incr good
+            done;
+            (to_second, float_of_int !good /. float_of_int window))
+      in
+      let t = Stats.Summary.of_array (Array.map fst samples) in
+      let f = Stats.Summary.of_array (Array.map snd samples) in
       Stats.Table.add_row table
         [
           string_of_int n1;

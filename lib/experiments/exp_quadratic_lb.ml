@@ -2,7 +2,7 @@ let name = "quadratic_lb"
 
 let description = "Section 2: Ω(n²) barrier configuration of Silent-n-state-SSR"
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment Q: Silent-n-state-SSR worst case ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
@@ -19,7 +19,7 @@ let run ~mode ~seed =
             ~init:(fun _ -> Core.Scenarios.silent_worst_case ~n)
             ~task:Engine.Runner.Ranking
             ~expected_time:(Stats.Theory.quadratic_barrier_time n)
-            ~trials ~seed ()
+            ~jobs ~trials ~seed ()
         in
         let theory = Stats.Theory.quadratic_barrier_time n in
         Stats.Table.add_row table

@@ -52,7 +52,7 @@ let all_computing sim =
   in
   check 0
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment RS: Propagate-Reset ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
@@ -71,25 +71,22 @@ let run ~mode ~seed =
         (fun n ->
           let r_max = max 6 (4 * Core.Params.ceil_ln n) in
           let d_max = 8 * Core.Params.ceil_ln n in
-          let awake_counter = ref 0 in
-          let protocol = reset_only_protocol ~n ~r_max ~d_max ~awake_counter in
-          let root = Prng.create ~seed in
-          let times = ref [] in
-          let per_agent = ref [] in
-          for _ = 1 to trials do
-            let rng = Prng.split root in
-            awake_counter := 0;
-            let init = make_init rng ~n ~r_max ~d_max in
-            let sim = Engine.Sim.make ~protocol ~init ~rng in
-            let horizon = 200 * n * max 1 (Core.Params.ceil_ln n) in
-            while (not (all_computing sim)) && Engine.Sim.interactions sim < horizon do
-              Engine.Sim.step sim
-            done;
-            times := Engine.Sim.parallel_time sim :: !times;
-            per_agent := (float_of_int !awake_counter /. float_of_int n) :: !per_agent
-          done;
-          let t = Stats.Summary.of_list !times in
-          let r = Stats.Summary.of_list !per_agent in
+          (* The awake counter lives inside the trial: each parallel trial
+             wraps its own protocol record around its own counter. *)
+          let samples =
+            Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
+                let awake_counter = ref 0 in
+                let protocol = reset_only_protocol ~n ~r_max ~d_max ~awake_counter in
+                let init = make_init rng ~n ~r_max ~d_max in
+                let sim = Engine.Sim.make ~protocol ~init ~rng in
+                let horizon = 200 * n * max 1 (Core.Params.ceil_ln n) in
+                while (not (all_computing sim)) && Engine.Sim.interactions sim < horizon do
+                  Engine.Sim.step sim
+                done;
+                (Engine.Sim.parallel_time sim, float_of_int !awake_counter /. float_of_int n))
+          in
+          let t = Stats.Summary.of_array (Array.map fst samples) in
+          let r = Stats.Summary.of_array (Array.map snd samples) in
           Stats.Table.add_row table
             [
               string_of_int n;

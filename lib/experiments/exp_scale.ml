@@ -2,7 +2,7 @@ let name = "scale"
 
 let description = "Table 1 row 1 at scale: exact Θ(n²) stabilization via the count-based engine"
 
-let measure ~scenario ~make_init ~ns ~trials ~seed buf =
+let measure ~scenario ~make_init ~ns ~jobs ~trials ~seed buf =
   let table =
     Stats.Table.create
       ~header:[ "n"; "trials"; "mean time"; "±95%"; "p95"; "events mean"; "theory (n-1)²/2"; "mean/theory" ]
@@ -11,21 +11,17 @@ let measure ~scenario ~make_init ~ns ~trials ~seed buf =
     List.map
       (fun n ->
         let protocol = Core.Silent_n_state.protocol ~n in
-        let root = Prng.create ~seed in
-        let times = ref [] in
-        let events = ref [] in
-        for _ = 1 to trials do
-          let rng = Prng.split root in
-          let init = make_init rng ~n in
-          let cs = Engine.Count_sim.make ~protocol ~init ~rng in
-          let o = Engine.Count_sim.run_to_silence cs in
-          if not (o.Engine.Count_sim.silent && o.Engine.Count_sim.correct) then
-            failwith "count engine failed to reach the silent correct configuration";
-          times := o.Engine.Count_sim.stabilization_time :: !times;
-          events := float_of_int o.Engine.Count_sim.events :: !events
-        done;
-        let t = Stats.Summary.of_list !times in
-        let e = Stats.Summary.of_list !events in
+        let samples =
+          Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
+              let init = make_init rng ~n in
+              let cs = Engine.Count_sim.make ~protocol ~init ~rng in
+              let o = Engine.Count_sim.run_to_silence cs in
+              if not (o.Engine.Count_sim.silent && o.Engine.Count_sim.correct) then
+                failwith "count engine failed to reach the silent correct configuration";
+              (o.Engine.Count_sim.stabilization_time, float_of_int o.Engine.Count_sim.events))
+        in
+        let t = Stats.Summary.of_array (Array.map fst samples) in
+        let e = Stats.Summary.of_array (Array.map snd samples) in
         let theory = Stats.Theory.quadratic_barrier_time n in
         Stats.Table.add_row table
           [
@@ -48,7 +44,7 @@ let measure ~scenario ~make_init ~ns ~trials ~seed buf =
     (Printf.sprintf "\nlog-log fit: slope=%.3f (paper predicts 2.000), r2=%.4f\n\n"
        fit.Stats.Regression.slope fit.Stats.Regression.r2)
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment SC: Silent-n-state-SSR at scale (exact, count engine) ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
@@ -59,11 +55,11 @@ let run ~mode ~seed =
   in
   measure ~scenario:"Worst case (barrier configuration; exactly n-1 productive events)"
     ~make_init:(fun _rng ~n -> Core.Scenarios.silent_worst_case ~n)
-    ~ns ~trials ~seed buf;
+    ~ns ~jobs ~trials ~seed buf;
   let ns_uniform =
     match mode with Exp_common.Quick -> [ 64; 256 ] | Full -> [ 64; 128; 256; 512; 1024 ]
   in
   measure ~scenario:"Uniform adversarial ranks"
     ~make_init:(fun rng ~n -> Core.Scenarios.silent_uniform rng ~n)
-    ~ns:ns_uniform ~trials ~seed:(seed + 1) buf;
+    ~ns:ns_uniform ~jobs ~trials ~seed:(seed + 1) buf;
   Buffer.contents buf

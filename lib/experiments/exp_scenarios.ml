@@ -21,13 +21,13 @@ let row_of_measurement scenario (m : Exp_common.measurement) trials =
     ]
   end
 
-let sweep buf ~title ~protocol ~catalogue ~expected_time ~trials ~seed =
+let sweep buf ~title ~protocol ~catalogue ~expected_time ~jobs ~trials ~seed =
   let table = Stats.Table.create ~header:scenario_header in
   List.iter
     (fun (scenario, gen) ->
       let m =
         Exp_common.measure ~label:scenario ~protocol ~init:gen ~task:Engine.Runner.Ranking
-          ~expected_time ~trials ~seed ()
+          ~expected_time ~jobs ~trials ~seed ()
       in
       Stats.Table.add_row table (row_of_measurement scenario m trials))
     catalogue;
@@ -35,7 +35,7 @@ let sweep buf ~title ~protocol ~catalogue ~expected_time ~trials ~seed =
   Buffer.add_string buf (Stats.Table.render table);
   Buffer.add_string buf "\n\n"
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "== Experiment SN: adversary catalogue ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:20 in
@@ -45,7 +45,7 @@ let run ~mode ~seed =
     ~protocol:(Core.Silent_n_state.protocol ~n:n_silent)
     ~catalogue:(Core.Scenarios.silent_catalogue ~n:n_silent)
     ~expected_time:(float_of_int (n_silent * n_silent))
-    ~trials ~seed;
+    ~jobs ~trials ~seed;
   let n_opt = match mode with Exp_common.Quick -> 16 | Full -> 48 in
   let params = Core.Params.optimal_silent n_opt in
   sweep buf
@@ -53,7 +53,7 @@ let run ~mode ~seed =
     ~protocol:(Core.Optimal_silent.protocol ~params ~n:n_opt ())
     ~catalogue:(Core.Scenarios.optimal_catalogue ~params ~n:n_opt)
     ~expected_time:(float_of_int (30 * n_opt))
-    ~trials ~seed:(seed + 1);
+    ~jobs ~trials ~seed:(seed + 1);
   List.iter
     (fun h ->
       let n_sub = match mode with Exp_common.Quick -> 8 | Full -> 16 in
@@ -64,7 +64,7 @@ let run ~mode ~seed =
         ~catalogue:(Core.Scenarios.sublinear_catalogue ~params ~n:n_sub)
         ~expected_time:
           (float_of_int (params.Core.Params.d_max + (8 * params.Core.Params.t_h) + (8 * n_sub)))
-        ~trials ~seed:(seed + 2 + h))
+        ~jobs ~trials ~seed:(seed + 2 + h))
     (match mode with Exp_common.Quick -> [ 1 ] | Full -> [ 0; 1; 2 ]);
   Buffer.add_string buf
     "(viol counts runs that re-entered incorrectness after first looking correct:\n\

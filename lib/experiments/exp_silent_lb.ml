@@ -2,7 +2,7 @@ let name = "silent_lb"
 
 let description = "Observation 2.2: silent SSLE protocols need Ω(n) time"
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment O2.2: silent lower bound ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
@@ -32,7 +32,7 @@ let run ~mode ~seed =
             config)
           ~task:Engine.Runner.Ranking
           ~expected_time:(Stats.Theory.quadratic_barrier_time n)
-          ~trials ~seed ()
+          ~jobs ~trials ~seed ()
       in
       add_row "Silent-n-state-SSR" m1;
       let m2 =
@@ -42,7 +42,7 @@ let run ~mode ~seed =
           ~init:(fun rng -> Core.Scenarios.optimal_duplicate_rank rng ~n)
           ~task:Engine.Runner.Ranking
           ~expected_time:(float_of_int (20 * n))
-          ~trials ~seed:(seed + 1) ()
+          ~jobs ~trials ~seed:(seed + 1) ()
       in
       add_row "Optimal-Silent-SSR" m2)
     ns;

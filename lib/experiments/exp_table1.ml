@@ -39,7 +39,7 @@ let silence_cells points =
       Printf.sprintf "%d/%d silent" m.Exp_common.silent_ok m.Exp_common.silent_checked)
     points
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "== Experiment T1: Table 1 ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
@@ -53,7 +53,7 @@ let run ~mode ~seed =
           ~init:(fun rng -> Core.Scenarios.silent_uniform rng ~n)
           ~task:Engine.Runner.Ranking
           ~expected_time:(float_of_int (n * n) /. 2.0)
-          ~trials ~seed ())
+          ~jobs ~trials ~seed ())
   in
   Buffer.add_string buf
     (Printf.sprintf "silence of final configurations: %s\n\n"
@@ -71,7 +71,7 @@ let run ~mode ~seed =
           ~init:(fun rng -> Core.Scenarios.optimal_uniform rng ~params ~n)
           ~task:Engine.Runner.Ranking
           ~expected_time:(float_of_int (20 * n))
-          ~trials ~seed:(seed + 1) ())
+          ~jobs ~trials ~seed:(seed + 1) ())
   in
   Buffer.add_string buf
     (Printf.sprintf "silence of final configurations: %s\n\n"
@@ -93,7 +93,7 @@ let run ~mode ~seed =
           ~init:(fun rng -> Core.Scenarios.sublinear_name_collision rng ~params ~n)
           ~task:Engine.Runner.Ranking
           ~expected_time:(float_of_int (params.Core.Params.d_max + (4 * params.Core.Params.t_h) + 50))
-          ~trials ~seed:(seed + 2) ())
+          ~jobs ~trials ~seed:(seed + 2) ())
   in
   (* Row 4: Sublinear-Time-SSR with fixed H = 1: Θ(n^{1/2}). *)
   let ns4 = match mode with Exp_common.Quick -> [ 8; 16; 32 ] | Full -> [ 8; 16; 32; 64; 128 ] in
@@ -108,7 +108,7 @@ let run ~mode ~seed =
           ~init:(fun rng -> Core.Scenarios.sublinear_name_collision rng ~params ~n)
           ~task:Engine.Runner.Ranking
           ~expected_time:(float_of_int (params.Core.Params.d_max + (4 * params.Core.Params.t_h) + 50))
-          ~trials ~seed:(seed + 3) ())
+          ~jobs ~trials ~seed:(seed + 3) ())
   in
   (* States column. *)
   let table = Stats.Table.create ~header:[ "protocol"; "n"; "states"; "log2(states)" ] in

@@ -16,6 +16,6 @@
 val name : string
 val description : string
 
-val run : mode:Exp_common.mode -> seed:int -> string
+val run : mode:Exp_common.mode -> seed:int -> jobs:int -> string
 (** Rendered report: one measurement table per protocol row, the states
     table, and the scaling fits with their paper-predicted exponents. *)

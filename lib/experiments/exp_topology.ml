@@ -28,7 +28,7 @@ let epidemic_time ~topology ~rng =
   done;
   Engine.Sim.parallel_time sim
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment TP: interaction-graph topologies ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:20 in
@@ -36,19 +36,21 @@ let run ~mode ~seed =
   let table = Stats.Table.create ~header:[ "n"; "topology"; "mean epidemic time"; "p95" ] in
   List.iter
     (fun n ->
-      let root = Prng.create ~seed in
+      (* The graph itself is wired from a dedicated generator so that trial
+         streams stay a pure function of (seed, trial index). *)
       let topologies =
         [
           Engine.Topology.complete ~n;
-          Engine.Topology.random_regular (Prng.split root) ~n ~degree:4;
+          Engine.Topology.random_regular (Prng.create ~seed:(seed + n)) ~n ~degree:4;
           Engine.Topology.star ~n;
           Engine.Topology.ring ~n;
         ]
       in
-      List.iter
-        (fun topology ->
+      List.iteri
+        (fun t_idx topology ->
           let times =
-            Array.init trials (fun _ -> epidemic_time ~topology ~rng:(Prng.split root))
+            Exp_common.run_trials ~jobs ~trials ~seed:(seed + (17 * n) + t_idx) (fun rng ->
+                epidemic_time ~topology ~rng)
           in
           let s = Stats.Summary.of_array times in
           Stats.Table.add_row table
@@ -73,42 +75,39 @@ let run ~mode ~seed =
     Stats.Table.create
       ~header:[ "topology"; "trials"; "recovered"; "mean recovery time (recovered runs)" ]
   in
-  let root = Prng.create ~seed:(seed + 1) in
-  List.iter
-    (fun topology ->
-      let recovered = ref 0 in
-      let times = ref [] in
-      for _ = 1 to trials do
-        let rng = Prng.split root in
-        let init = Core.Scenarios.optimal_correct ~n in
-        (* duplicate agent (n/2)'s rank onto agent 0: maximally distant on
-           the ring *)
-        init.(0) <- init.(n / 2);
-        let sim =
-          Engine.Sim.make_with ~sampler:(Engine.Topology.sampler topology) ~protocol ~init ~rng
-        in
-        let o =
-          Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
-            ~max_interactions:(2000 * n)
-            ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-            sim
-        in
-        if o.Engine.Runner.converged then begin
-          incr recovered;
-          times := o.Engine.Runner.convergence_time :: !times
-        end
-      done;
+  List.iteri
+    (fun t_idx topology ->
+      let outcomes =
+        Exp_common.run_trials ~jobs ~trials ~seed:(seed + 1 + t_idx) (fun rng ->
+            let init = Core.Scenarios.optimal_correct ~n in
+            (* duplicate agent (n/2)'s rank onto agent 0: maximally distant
+               on the ring *)
+            init.(0) <- init.(n / 2);
+            let sim =
+              Engine.Sim.make_with ~sampler:(Engine.Topology.sampler topology) ~protocol ~init
+                ~rng
+            in
+            let o =
+              Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+                ~max_interactions:(2000 * n)
+                ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+                sim
+            in
+            if o.Engine.Runner.converged then Some o.Engine.Runner.convergence_time else None)
+      in
+      let times = Array.to_list outcomes |> List.filter_map Fun.id in
+      let recovered = List.length times in
       Stats.Table.add_row table2
         [
           Engine.Topology.name topology;
           string_of_int trials;
-          Printf.sprintf "%d/%d" !recovered trials;
-          (if !times = [] then "-"
-           else Stats.Table.cell_float (Stats.Summary.of_list !times).Stats.Summary.mean);
+          Printf.sprintf "%d/%d" recovered trials;
+          (if times = [] then "-"
+           else Stats.Table.cell_float (Stats.Summary.of_list times).Stats.Summary.mean);
         ])
     [
       Engine.Topology.complete ~n;
-      Engine.Topology.random_regular (Prng.split root) ~n ~degree:4;
+      Engine.Topology.random_regular (Prng.create ~seed:(seed + 5)) ~n ~degree:4;
       Engine.Topology.ring ~n;
     ];
   Buffer.add_string buf

@@ -23,22 +23,19 @@ let detection_latency ~protocol ~init ~rng ~horizon =
   done;
   if detected () then Some (Engine.Sim.parallel_time sim) else None
 
-let measure_detection ~n ~h ~trials ~seed =
+let measure_detection ~n ~h ~jobs ~trials ~seed =
   let params = Core.Params.sublinear ~h n in
   let protocol = Core.Sublinear.protocol ~params ~n ~h () in
-  let root = Prng.create ~seed in
-  let times = ref [] in
-  let missed = ref 0 in
-  for _ = 1 to trials do
-    let rng = Prng.split root in
-    let init = Core.Scenarios.sublinear_name_collision rng ~params ~n in
-    match detection_latency ~protocol ~init ~rng ~horizon:(400 * n * n) with
-    | Some t -> times := t :: !times
-    | None -> incr missed
-  done;
-  (Stats.Summary.of_list !times, !missed)
+  let outcomes =
+    Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
+        let init = Core.Scenarios.sublinear_name_collision rng ~params ~n in
+        detection_latency ~protocol ~init ~rng ~horizon:(400 * n * n))
+  in
+  let times = Array.to_list outcomes |> List.filter_map Fun.id in
+  let missed = trials - List.length times in
+  (Stats.Summary.of_list times, missed)
 
-let run ~mode ~seed =
+let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment T1.4: time/space tradeoff in H ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
@@ -52,7 +49,7 @@ let run ~mode ~seed =
   List.iter
     (fun h ->
       let params = Core.Params.sublinear ~h n_fixed in
-      let s, missed = measure_detection ~n:n_fixed ~h ~trials ~seed in
+      let s, missed = measure_detection ~n:n_fixed ~h ~jobs ~trials ~seed in
       let theory =
         float_of_int (max h 1) *. (float_of_int n_fixed ** (1.0 /. float_of_int (h + 1)))
       in
@@ -84,7 +81,7 @@ let run ~mode ~seed =
       let points =
         List.map
           (fun n ->
-            let s, missed = measure_detection ~n ~h ~trials ~seed:(seed + h) in
+            let s, missed = measure_detection ~n ~h ~jobs ~trials ~seed:(seed + h) in
             Stats.Table.add_row table
               [
                 string_of_int n;

@@ -1,7 +1,7 @@
 type experiment = {
   name : string;
   description : string;
-  run : mode:Exp_common.mode -> seed:int -> string;
+  run : mode:Exp_common.mode -> seed:int -> jobs:int -> string;
 }
 
 let all =
@@ -56,12 +56,12 @@ let all =
 
 let find name = List.find_opt (fun e -> e.name = name) all
 
-let run_all ~mode ~seed =
+let run_all ~mode ~seed ~jobs =
   String.concat "\n"
     (List.map
        (fun e ->
          let t0 = Sys.time () in
-         let body = e.run ~mode ~seed in
+         let body = e.run ~mode ~seed ~jobs in
          Printf.sprintf "%s\n(experiment '%s' took %.1f s of CPU time)\n" body e.name
            (Sys.time () -. t0))
        all)

@@ -3,7 +3,10 @@
 type experiment = {
   name : string;
   description : string;
-  run : mode:Exp_common.mode -> seed:int -> string;
+  run : mode:Exp_common.mode -> seed:int -> jobs:int -> string;
+      (** [jobs] is the domain-pool width for the experiment's Monte Carlo
+          batches; results are identical for every value (see
+          {!Exp_common.run_trials}). *)
 }
 
 val all : experiment list
@@ -11,5 +14,5 @@ val all : experiment list
 
 val find : string -> experiment option
 
-val run_all : mode:Exp_common.mode -> seed:int -> string
+val run_all : mode:Exp_common.mode -> seed:int -> jobs:int -> string
 (** Concatenated reports of every experiment. *)

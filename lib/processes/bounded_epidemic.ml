@@ -46,7 +46,6 @@ let simulate rng ~n ~levels ~stop_level =
 
 let run rng ~n ~levels = simulate rng ~n ~levels ~stop_level:1
 
-let tau_samples rng ~n ~k ~trials =
-  Array.init trials (fun _ ->
-      let r = simulate rng ~n ~levels:k ~stop_level:k in
-      r.tau.(k - 1))
+let tau_sample rng ~n ~k = (simulate rng ~n ~levels:k ~stop_level:k).tau.(k - 1)
+
+let tau_samples rng ~n ~k ~trials = Array.init trials (fun _ -> tau_sample rng ~n ~k)

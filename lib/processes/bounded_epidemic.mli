@@ -22,5 +22,9 @@ val run : Prng.t -> n:int -> levels:int -> result
     [levels] bounds the τ indices reported; the simulation stops once the
     target reaches level 1 or every level is hit. *)
 
+val tau_sample : Prng.t -> n:int -> k:int -> float
+(** One sample of τ_k (the simulation stops as soon as the target reaches
+    level ≤ k). *)
+
 val tau_samples : Prng.t -> n:int -> k:int -> trials:int -> float array
 (** Independent samples of τ_k. *)

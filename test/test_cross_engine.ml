@@ -1,0 +1,84 @@
+(* Differential cross-engine validation (test hardening pass).
+
+   The per-interaction engine (Engine.Sim) and the count-based engine
+   (Engine.Count_sim) sample the same Markov chain, so for a silent
+   deterministic protocol the time-to-silence from a fixed initial
+   configuration must agree between them *in law*, not just in mean. We
+   check Silent-n-state-SSR from the worst-case configuration:
+
+   - a two-sample KS test between the engines' time samples (α = 0.01,
+     the most generous level, on fixed seeds);
+   - both engines' sample means against the exact Markov-chain expected
+     absorption time from Exact.Chain, within normal CI bounds (n ≤ 5,
+     where exhaustive enumeration is cheap). *)
+
+let trials = 200
+
+(* Sim engine: step until the configuration is silent; parallel time. *)
+let sim_time_to_silence ~n rng =
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let sim = Engine.Sim.make ~protocol ~init:(Core.Scenarios.silent_worst_case ~n) ~rng in
+  let cap = 100_000 * n in
+  while
+    (not (Engine.Silence.configuration_is_silent protocol (Engine.Sim.snapshot sim)))
+    && Engine.Sim.interactions sim < cap
+  do
+    Engine.Sim.step sim
+  done;
+  if Engine.Sim.interactions sim >= cap then failwith "sim did not reach silence";
+  Engine.Sim.parallel_time sim
+
+(* Count engine: exact event-driven run to silence. *)
+let count_time_to_silence ~n rng =
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let cs = Engine.Count_sim.make ~protocol ~init:(Core.Scenarios.silent_worst_case ~n) ~rng in
+  let o = Engine.Count_sim.run_to_silence cs in
+  if not o.Engine.Count_sim.silent then failwith "count_sim did not reach silence";
+  o.Engine.Count_sim.stabilization_time
+
+let samples ~n ~seed body =
+  Experiments.Exp_common.run_trials ~jobs:2 ~trials ~seed (fun rng -> body ~n rng)
+
+let test_engines_agree_in_law () =
+  List.iter
+    (fun n ->
+      let sim = samples ~n ~seed:(4100 + n) sim_time_to_silence in
+      let count = samples ~n ~seed:(4200 + n) count_time_to_silence in
+      let d = Stats.Ks.statistic sim count in
+      Alcotest.(check bool)
+        (Printf.sprintf "KS accepts Sim vs Count_sim at n=%d (D=%.3f)" n d)
+        true
+        (Stats.Ks.same_distribution ~alpha:Stats.Ks.P01 sim count))
+    [ 4; 5; 6 ]
+
+let exact_expected_time ~n =
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let codec = Exact.Chain.silent_n_state_codec ~n in
+  let analysis = Exact.Chain.analyze ~protocol ~codec in
+  Exact.Chain.expected_time analysis (Core.Scenarios.silent_worst_case ~n)
+
+let check_mean_matches_exact ~label ~exact xs =
+  let mean = Stats.Summary.mean xs in
+  let slack = (4.0 *. Stats.Summary.sem xs) +. 1e-9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s mean %.3f within %.3f of exact %.3f" label mean slack exact)
+    true
+    (Float.abs (mean -. exact) <= slack)
+
+let test_means_match_exact_chain () =
+  List.iter
+    (fun n ->
+      let exact = exact_expected_time ~n in
+      check_mean_matches_exact ~label:(Printf.sprintf "Sim n=%d" n) ~exact
+        (samples ~n ~seed:(4300 + n) sim_time_to_silence);
+      check_mean_matches_exact
+        ~label:(Printf.sprintf "Count_sim n=%d" n)
+        ~exact
+        (samples ~n ~seed:(4400 + n) count_time_to_silence))
+    [ 4; 5 ]
+
+let suite =
+  [
+    Alcotest.test_case "engines agree in law (KS)" `Slow test_engines_agree_in_law;
+    Alcotest.test_case "engine means match exact chain" `Slow test_means_match_exact_chain;
+  ]

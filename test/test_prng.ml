@@ -163,6 +163,76 @@ let test_pick () =
     check_bool "member" true (Array.exists (String.equal v) arr)
   done
 
+(* Stream independence of split children. The parallel trial runner
+   pre-splits one child per trial, so the children must behave like
+   independent uniform streams: their pooled draws must be uniform, the
+   first draw must be uniform *across* children (a weak mixing function
+   would correlate child i's first output with i), and adjacent children
+   must be uncorrelated. Thresholds are generous — these guard against
+   gross splitmix/seeding mistakes, not statistical perfection. *)
+
+let chi_square ~buckets counts total =
+  let expected = float_of_int total /. float_of_int buckets in
+  Array.fold_left
+    (fun acc c ->
+      let d = float_of_int c -. expected in
+      acc +. (d *. d /. expected))
+    0.0 counts
+
+let test_split_many_uniform_pooled () =
+  let children = Prng.split_many (Prng.create ~seed:2718) 256 in
+  let buckets = 16 in
+  let per_child = 64 in
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun child ->
+      for _ = 1 to per_child do
+        let b = Prng.int child buckets in
+        counts.(b) <- counts.(b) + 1
+      done)
+    children;
+  let chi2 = chi_square ~buckets counts (256 * per_child) in
+  (* df = 15; 60 is far beyond the 1e-6 quantile (~44). *)
+  check_bool (Printf.sprintf "pooled chi2 %.1f < 60" chi2) true (chi2 < 60.0)
+
+let test_split_many_uniform_across_children () =
+  (* One draw per child: uniformity across the child index. *)
+  let children = Prng.split_many (Prng.create ~seed:3141) 256 in
+  let buckets = 16 in
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun child ->
+      let b = Prng.int child buckets in
+      counts.(b) <- counts.(b) + 1)
+    children;
+  let chi2 = chi_square ~buckets counts 256 in
+  check_bool (Printf.sprintf "first-draw chi2 %.1f < 60" chi2) true (chi2 < 60.0)
+
+let test_split_children_uncorrelated () =
+  let children = Prng.split_many (Prng.create ~seed:1618) 11 in
+  let samples = 512 in
+  let stream child = Array.init samples (fun _ -> Prng.float child) in
+  let streams = Array.map stream children in
+  let pearson xs ys =
+    let mx = Stats.Summary.mean xs and my = Stats.Summary.mean ys in
+    let num = ref 0.0 and sx = ref 0.0 and sy = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let dx = x -. mx and dy = ys.(i) -. my in
+        num := !num +. (dx *. dy);
+        sx := !sx +. (dx *. dx);
+        sy := !sy +. (dy *. dy))
+      xs;
+    !num /. sqrt (!sx *. !sy)
+  in
+  for i = 0 to Array.length streams - 2 do
+    let r = pearson streams.(i) streams.(i + 1) in
+    check_bool
+      (Printf.sprintf "children %d,%d correlation %.3f small" i (i + 1) r)
+      true
+      (Float.abs r < 0.2)
+  done
+
 let qcheck_permutation =
   QCheck.Test.make ~name:"permutation is bijective" ~count:200
     QCheck.(pair small_int (int_bound 1000))
@@ -189,6 +259,10 @@ let suite =
     Alcotest.test_case "copy independent" `Quick test_copy_independent;
     Alcotest.test_case "split differs" `Quick test_split_differs;
     Alcotest.test_case "split_many distinct" `Quick test_split_many;
+    Alcotest.test_case "split_many pooled uniform" `Quick test_split_many_uniform_pooled;
+    Alcotest.test_case "split_many uniform across children" `Quick
+      test_split_many_uniform_across_children;
+    Alcotest.test_case "split children uncorrelated" `Quick test_split_children_uncorrelated;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int uniform" `Quick test_int_uniform;
     Alcotest.test_case "int bound 1" `Quick test_int_one;
