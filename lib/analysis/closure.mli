@@ -1,0 +1,21 @@
+(** Closure and invariant lint over the declared state space.
+
+    Applies the transition to {e every} ordered pair of declared states —
+    including equal pairs, since two distinct agents may share a state —
+    and, for randomized protocols, to every synthetic-coin outcome of each
+    pair (exact enumeration via {!Coins}). Two stages come out of the one
+    scan:
+
+    - {b closure}: every output state must normalize into the declared
+      space (the machine-checked content of a Table 1 state count); a
+      protocol claiming [deterministic] must not draw and must produce a
+      single outcome per pair.
+    - {b invariant-lint}: every declared invariant must hold on every
+      declared state and on every output. A failure reports the first
+      (scan-order minimal) counterexample: pair, coin trace, output.
+
+    The scan is embarrassingly parallel and is distributed over the
+    {!Engine.Pool} by initiator-state row. *)
+
+val run : pool:Engine.Pool.t -> 'a Engine.Enumerable.t -> 'a Statespace.t -> Report.stage * Report.stage
+(** [(closure stage, invariant-lint stage)]. *)

@@ -1,0 +1,31 @@
+type 'r outcome = { value : 'r; trace : (int * int) list }
+
+exception Too_many_draws of { draws : int; max_draws : int }
+exception Too_many_outcomes of { limit : int }
+
+(* Next script in lexicographic order: bump the rightmost position of the
+   trace whose choice can still be incremented below its bound, drop
+   everything to its right (the suffix draws are re-decided by the next
+   run). [None] when the trace is the last leaf of the choice tree. *)
+let next_script trace =
+  let rec bump = function
+    | [] -> None
+    | (choice, bound) :: rest when choice + 1 < bound -> Some (List.rev ((choice + 1, bound) :: rest))
+    | _ :: rest -> bump rest
+  in
+  Option.map (List.map fst) (bump (List.rev trace))
+
+let enumerate ?(limit = 65_536) ~max_draws f =
+  let rec go script acc count =
+    if count >= limit then raise (Too_many_outcomes { limit });
+    let rng = Prng.scripted script in
+    let value = f rng in
+    let trace = Prng.script_trace rng in
+    if List.length trace > max_draws then
+      raise (Too_many_draws { draws = List.length trace; max_draws });
+    let acc = { value; trace } :: acc in
+    match next_script trace with
+    | None -> List.rev acc
+    | Some script -> go script acc (count + 1)
+  in
+  go [] [] 0

@@ -1,0 +1,31 @@
+(** Exact enumeration of a randomized function's synthetic-coin tree.
+
+    The paper's protocols only ever draw {e bounded} randomness inside a
+    transition (coin flips, small uniform integers, random name bits), so a
+    single transition explores a finite choice tree. [enumerate] walks that
+    tree exhaustively by replaying the function under a {e scripted}
+    {!Prng.t}: the first run answers every draw with choice 0 and records
+    the [(choice, bound)] trace; each subsequent run increments the
+    rightmost incrementable choice (an odometer over the discovered
+    bounds), until every leaf has been visited. Nothing is sampled — the
+    result is the complete list of possible return values, each with the
+    exact choice sequence that produces it.
+
+    Correct for any [f] whose draw bounds depend only on earlier choices
+    (true of any deterministic function of the generator). *)
+
+type 'r outcome = {
+  value : 'r;
+  trace : (int * int) list;  (** the [(choice, bound)] draws, in order *)
+}
+
+exception Too_many_draws of { draws : int; max_draws : int }
+exception Too_many_outcomes of { limit : int }
+
+val enumerate : ?limit:int -> max_draws:int -> (Prng.t -> 'r) -> 'r outcome list
+(** [enumerate ~max_draws f] is every possible outcome of [f]. A run
+    drawing more than [max_draws] times raises {!Too_many_draws} (the
+    declared bound from {!Engine.Enumerable} is a promise worth checking);
+    more than [limit] (default 65536) total outcomes raises
+    {!Too_many_outcomes}. A deterministic [f] yields exactly one outcome
+    with an empty trace. *)

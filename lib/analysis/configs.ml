@@ -1,0 +1,65 @@
+let count ~states ~n =
+  (* C(states + n - 1, n), with a float guard against overflow *)
+  let estimate =
+    let rec go acc k =
+      if k > n then acc
+      else go (acc *. float_of_int (states + n - k) /. float_of_int k) (k + 1)
+    in
+    go 1.0 1
+  in
+  if estimate > 1e15 then None
+  else begin
+    let c = ref 1 in
+    for k = 1 to n do
+      (* ascending numerators keep every intermediate value integral:
+         after step k the accumulator is exactly C(states - 1 + k, k) *)
+      c := !c * (states - 1 + k) / k
+    done;
+    Some !c
+  end
+
+let key ~states config = Array.fold_left (fun acc i -> (acc * states) + i) 0 config
+
+let keyable ~states ~n =
+  let rec go acc k = if k = 0 then true else acc <= max_int / states && go (acc * states) (k - 1) in
+  states > 0 && go 1 n
+
+let iter ~states ~n f =
+  let config = Array.make n 0 in
+  let rec go pos lo =
+    if pos = n then f config
+    else
+      for i = lo to states - 1 do
+        config.(pos) <- i;
+        go (pos + 1) i
+      done
+  in
+  if n > 0 && states > 0 then go 0 0
+
+let multiplicities config =
+  let n = Array.length config in
+  let acc = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let s = config.(!i) in
+    let j = ref !i in
+    while !j < n && config.(!j) = s do
+      incr j
+    done;
+    acc := (s, !j - !i) :: !acc;
+    i := !j
+  done;
+  List.rev !acc
+
+let replace_pair config ~a ~b ~a' ~b' =
+  let n = Array.length config in
+  let out = Array.make n 0 in
+  Array.blit config 0 out 0 n;
+  let swap_one v v' =
+    let rec find i = if out.(i) = v then i else find (i + 1) in
+    out.(find 0) <- v'
+  in
+  swap_one a a';
+  swap_one b b';
+  Array.sort compare out;
+  out

@@ -1,0 +1,31 @@
+(** Configurations as multisets of interned state indices.
+
+    Agents are anonymous, so a configuration of [n] agents over [s]
+    declared states is a multiset — canonically a {e nondecreasing} length-
+    [n] array of indices in [0 .. s-1]. There are [C(s + n - 1, n)] of
+    them, each packed into a single non-negative [int] key (mixed radix
+    base [s]) for hashing during model checking. *)
+
+val count : states:int -> n:int -> int option
+(** [C(states + n - 1, n)], or [None] when it exceeds ~1e15 (the caller
+    should skip exhaustive analysis long before that). *)
+
+val keyable : states:int -> n:int -> bool
+(** Whether [states]^[n] fits an [int], i.e. {!key} is injective. *)
+
+val key : states:int -> int array -> int
+(** Pack a sorted configuration into its unique key. *)
+
+val iter : states:int -> n:int -> (int array -> unit) -> unit
+(** Call [f] on every sorted configuration, in lexicographic order. The
+    array is reused between calls — copy it to retain it. *)
+
+val multiplicities : int array -> (int * int) list
+(** [(state index, multiplicity)] pairs of a sorted configuration, in
+    increasing index order. *)
+
+val replace_pair : int array -> a:int -> b:int -> a':int -> b':int -> int array
+(** The sorted successor configuration after one interaction takes an
+    agent in state [a] and one in state [b] to [a'] and [b']. The input
+    must contain [a] and [b] (with multiplicity 2 if [a = b]); the input
+    is not mutated. *)

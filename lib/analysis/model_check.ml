@@ -1,0 +1,243 @@
+(* Iterative Tarjan over the configuration graph; returns the component id
+   of every node and the component count. *)
+let tarjan succs =
+  let n = Array.length succs in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Stack.create () in
+  let comp = Array.make n (-1) in
+  let ncomp = ref 0 in
+  let next_index = ref 0 in
+  let visit v =
+    index.(v) <- !next_index;
+    low.(v) <- !next_index;
+    incr next_index;
+    Stack.push v stack;
+    on_stack.(v) <- true
+  in
+  let dfs = Stack.create () in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      visit root;
+      Stack.push (root, 0) dfs;
+      while not (Stack.is_empty dfs) do
+        let u, ci = Stack.pop dfs in
+        if ci < Array.length succs.(u) then begin
+          Stack.push (u, ci + 1) dfs;
+          let v = succs.(u).(ci) in
+          if index.(v) < 0 then begin
+            visit v;
+            Stack.push (v, 0) dfs
+          end
+          else if on_stack.(v) then low.(u) <- min low.(u) index.(v)
+        end
+        else begin
+          if low.(u) = index.(u) then begin
+            let rec pop_component () =
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              comp.(w) <- !ncomp;
+              if w <> u then pop_component ()
+            in
+            pop_component ();
+            incr ncomp
+          end;
+          match Stack.top_opt dfs with
+          | Some (parent, _) -> low.(parent) <- min low.(parent) low.(u)
+          | None -> ()
+        end
+      done
+    end
+  done;
+  (comp, !ncomp)
+
+(* Successor-configuration ids of one configuration, from the pair-outcome
+   table. An interaction needs an ordered pair of *distinct agents*, so a
+   same-state pair applies only at multiplicity >= 2. Key misses mean the
+   admissible region is not transition-closed (the enumeration covers every
+   configuration over the declared states). *)
+let successors ~states ~pair_rows ~key_to_id idx =
+  let mults = Configs.multiplicities idx in
+  let out = ref [] in
+  let misses = ref [] in
+  List.iter
+    (fun (a, ma) ->
+      List.iter
+        (fun (b, mb) ->
+          if (a <> b && ma >= 1 && mb >= 1) || (a = b && ma >= 2 && mb >= 2) then
+            List.iter
+              (fun (a', b') ->
+                let next = Configs.replace_pair idx ~a ~b ~a' ~b' in
+                match Hashtbl.find_opt key_to_id (Configs.key ~states next) with
+                | Some id' -> out := id' :: !out
+                | None -> misses := next :: !misses)
+              pair_rows.(a).(b))
+        mults)
+    mults;
+  (Array.of_list (List.sort_uniq compare !out), !misses)
+
+let run ~pool ~max_configs (e : _ Engine.Enumerable.t) space =
+  let p = e.Engine.Enumerable.protocol in
+  let n = p.Engine.Protocol.n in
+  let s = Statespace.size space in
+  match Configs.count ~states:s ~n with
+  | None ->
+      Report.skip ~reason:(Printf.sprintf "configuration count overflows (%d states)" s)
+        "model-check"
+  | Some unrestricted when unrestricted > max_configs || not (Configs.keyable ~states:s ~n) ->
+      Report.skip
+        ~reason:
+          (Printf.sprintf "%d configurations exceed budget %d (raise with --max-configs)"
+             unrestricted max_configs)
+        "model-check"
+  | Some _ -> begin
+      (* Pair-outcome table: every (initiator, responder) state pair to its
+         deduplicated possible output index pairs. [None] marks an escape
+         from the declared space — closure's to report in detail, but model
+         checking is only sound without it, so bail out. *)
+      let pair_rows =
+        Engine.Pool.init pool s (fun i ->
+            let a = Statespace.state space i in
+            Array.init s (fun j ->
+                let b = Statespace.state space j in
+                let outs =
+                  Coins.enumerate ~max_draws:e.Engine.Enumerable.max_draws (fun rng ->
+                      p.Engine.Protocol.transition rng a b)
+                in
+                let indexed =
+                  List.map
+                    (fun { Coins.value = a', b'; _ } ->
+                      match (Statespace.index space a', Statespace.index space b') with
+                      | Some i', Some j' -> Some (i', j')
+                      | _ -> None)
+                    outs
+                in
+                if List.mem None indexed then None
+                else Some (List.sort_uniq compare (List.map Option.get indexed))))
+      in
+      let escape = ref None in
+      let pair_rows =
+        Array.mapi
+          (fun i row ->
+            Array.mapi
+              (fun j cell ->
+                match cell with
+                | Some pairs -> pairs
+                | None ->
+                    if !escape = None then
+                      escape :=
+                        Some
+                          (Format.asprintf "(%a, %a)" p.Engine.Protocol.pp
+                             (Statespace.state space i) p.Engine.Protocol.pp
+                             (Statespace.state space j));
+                    [])
+              row)
+          pair_rows
+      in
+      match !escape with
+      | Some pair ->
+          Report.finish
+            ~findings:[ "state-space escape at " ^ pair ^ " (see closure stage)" ]
+            ~total:1 "model-check"
+      | None ->
+          (* Enumerate admissible configurations and intern them by key. *)
+          let rev_configs = ref [] and count = ref 0 in
+          let key_to_id = Hashtbl.create 1024 in
+          Configs.iter ~states:s ~n (fun idx ->
+              let config = Array.map (Statespace.state space) idx in
+              if e.Engine.Enumerable.admissible config then begin
+                let idx = Array.copy idx in
+                Hashtbl.replace key_to_id (Configs.key ~states:s idx) !count;
+                rev_configs := idx :: !rev_configs;
+                incr count
+              end);
+          let configs = Array.of_list (List.rev !rev_configs) in
+          let total = Array.length configs in
+          let materialize id = Array.map (Statespace.state space) configs.(id) in
+          let pp_cfg id = Format.asprintf "%a" (Silence_scan.pp_config p) (materialize id) in
+          let correct_flags =
+            Engine.Pool.init pool total (fun id -> e.Engine.Enumerable.correct (materialize id))
+          in
+          let succ_results =
+            Engine.Pool.init pool total (fun id ->
+                successors ~states:s ~pair_rows ~key_to_id configs.(id))
+          in
+          let succs = Array.map fst succ_results in
+          let inadmissible =
+            Array.to_list succ_results
+            |> List.concat_map (fun (_, misses) -> misses)
+          in
+          if inadmissible <> [] then
+            Report.finish
+              ~metrics:[ ("configs", string_of_int total) ]
+              ~findings:
+                [
+                  Printf.sprintf
+                    "admissible region is not transition-closed (%d escaping edges), e.g. -> %s"
+                    (List.length inadmissible)
+                    (Format.asprintf "%a" (Silence_scan.pp_config p)
+                       (Array.map (Statespace.state space) (List.hd inadmissible)));
+                ]
+              ~total:1 "model-check"
+          else begin
+            let comp, ncomp = tarjan succs in
+            let bottom = Array.make ncomp true in
+            let comp_size = Array.make ncomp 0 in
+            let comp_correct = Array.make ncomp false in
+            Array.iteri
+              (fun u vs ->
+                comp_size.(comp.(u)) <- comp_size.(comp.(u)) + 1;
+                if correct_flags.(u) then comp_correct.(comp.(u)) <- true;
+                Array.iter (fun v -> if comp.(v) <> comp.(u) then bottom.(comp.(u)) <- false) vs)
+              succs;
+            let bottom_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bottom in
+            let findings = ref [] and total_findings = ref 0 in
+            let record msg =
+              incr total_findings;
+              if List.length !findings < Report.max_findings then findings := msg () :: !findings
+            in
+            let reported = Array.make ncomp false in
+            Array.iteri
+              (fun u _ ->
+                let c = comp.(u) in
+                if bottom.(c) then
+                  match e.Engine.Enumerable.expectation with
+                  | Engine.Enumerable.Silent_stabilizing ->
+                      (* a singleton bottom SCC is absorbing, hence silent;
+                         a larger one keeps moving forever *)
+                      if comp_size.(c) > 1 then begin
+                        if not reported.(c) then begin
+                          reported.(c) <- true;
+                          record (fun () ->
+                              Printf.sprintf "bottom SCC of %d configurations is not silent, e.g. %s"
+                                comp_size.(c) (pp_cfg u))
+                        end
+                      end
+                      else if not correct_flags.(u) then
+                        record (fun () -> "silent bottom configuration is incorrect: " ^ pp_cfg u)
+                  | Engine.Enumerable.Stabilizing ->
+                      if not correct_flags.(u) then
+                        record (fun () -> "incorrect configuration recurs forever: " ^ pp_cfg u)
+                  | Engine.Enumerable.Loosely_stabilizing ->
+                      if (not comp_correct.(c)) && not reported.(c) then begin
+                        reported.(c) <- true;
+                        record (fun () ->
+                            Printf.sprintf "bottom SCC of %d configurations never correct, e.g. %s"
+                              comp_size.(c) (pp_cfg u))
+                      end)
+              succs;
+            let correct_count =
+              Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 correct_flags
+            in
+            Report.finish
+              ~metrics:
+                [
+                  ("configs", string_of_int total);
+                  ("sccs", string_of_int ncomp);
+                  ("bottom", string_of_int bottom_count);
+                  ("correct", string_of_int correct_count);
+                ]
+              ~findings:(List.rev !findings) ~total:!total_findings "model-check"
+          end
+    end

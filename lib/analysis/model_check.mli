@@ -1,0 +1,27 @@
+(** Exhaustive small-population model checking.
+
+    For population sizes where the configuration space [C(s + n - 1, n)]
+    fits the budget, builds the {e complete} configuration graph — nodes
+    are admissible multisets over the declared states, edges are single
+    interactions, with every synthetic-coin outcome of every applicable
+    ordered state pair — and decides the declared stabilization property
+    of {e every} initial configuration at once via the graph's bottom
+    strongly connected components (iterative Tarjan):
+
+    - {e silent-stabilizing}: every bottom SCC is a singleton (hence
+      absorbing, hence silent) satisfying [correct] — so from any
+      configuration the protocol reaches, with probability 1 under the
+      uniform scheduler, a silent correct configuration and stays there.
+      This is the paper's SSR/SSLE guarantee (Theorem 4.6 for
+      Optimal-Silent-SSR) verified exactly at small [n];
+    - {e stabilizing}: every configuration in every bottom SCC satisfies
+      [correct] (states may churn, correctness is permanent);
+    - {e loosely-stabilizing}: every bottom SCC contains a [correct]
+      configuration (correctness recurs infinitely often).
+
+    Also verifies that the admissible region is transition-closed. The
+    pair-outcome table, per-configuration correctness flags and successor
+    lists are built in parallel over the {!Engine.Pool}; Tarjan runs
+    sequentially. Budget overruns produce a [Skip], not a failure. *)
+
+val run : pool:Engine.Pool.t -> max_configs:int -> 'a Engine.Enumerable.t -> 'a Statespace.t -> Report.stage

@@ -1,0 +1,69 @@
+type any = Any : 'a Engine.Enumerable.t -> any
+
+type entry = {
+  key : string;
+  summary : string;
+  table1 : bool;
+  build : n:int -> any;
+}
+
+let entries =
+  [
+    {
+      key = "silent_n_state";
+      summary = "folklore n-state silent SSR (Section 2)";
+      table1 = true;
+      build = (fun ~n -> Any (Core.Silent_n_state.enumerable ~n));
+    };
+    {
+      key = "baseline";
+      summary = "initialized 2-state leader election (admissible: >= 1 leader)";
+      table1 = false;
+      build = (fun ~n -> Any (Core.Baseline.enumerable ~n));
+    };
+    {
+      key = "optimal_silent";
+      summary = "Optimal-Silent-SSR, tuned paper parameters (Table 1 row 2)";
+      table1 = true;
+      build = (fun ~n -> Any (Core.Optimal_silent.enumerable ~n ()));
+    };
+    {
+      key = "optimal_silent_small";
+      summary = "Optimal-Silent-SSR, reduced counters for exhaustive model checking";
+      table1 = false;
+      build =
+        (fun ~n ->
+          Any
+            (Core.Optimal_silent.enumerable
+               ~params:{ Core.Params.r_max = 2; d_max = 3; e_max = 3 }
+               ~n ()));
+    };
+    {
+      key = "sublinear";
+      summary = "Sublinear-Time-SSR at H = 0 with analysis parameters (Protocols 5-6)";
+      table1 = false;
+      build = (fun ~n -> Any (Core.Sublinear.enumerable ~n ()));
+    };
+    {
+      key = "loose";
+      summary = "loosely-stabilizing LE, production timeout";
+      table1 = false;
+      build = (fun ~n -> Any (Core.Loose.enumerable ~n ~t_max:(Core.Loose.default_t_max ~upper_bound:n)));
+    };
+    {
+      key = "loose_small";
+      summary = "loosely-stabilizing LE, short timeout for exhaustive model checking";
+      table1 = false;
+      build = (fun ~n -> Any (Core.Loose.enumerable ~n ~t_max:4));
+    };
+    {
+      key = "reset";
+      summary = "Propagate-Reset overlay in isolation (Protocol 2 / Lemma 3.1)";
+      table1 = false;
+      build = (fun ~n -> Any (Core.Reset_probe.enumerable ~n ()));
+    };
+  ]
+
+let keys () = List.map (fun e -> e.key) entries
+
+let find key = List.find_opt (fun e -> String.equal e.key key) entries

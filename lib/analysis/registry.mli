@@ -1,0 +1,25 @@
+(** The analyzable protocol catalogue.
+
+    Existentially packaged {!Engine.Enumerable} descriptors, keyed for the
+    [analyze] CLI. Protocols whose production parameters make the
+    configuration space exceed any reasonable model-checking budget appear
+    twice: once at production parameters (closure, lint and — where
+    available — Table 1 count cross-checks still run; model checking
+    skips) and once as a [*_small] instance with reduced counters whose
+    complete configuration graph fits small-[n] exhaustive analysis. *)
+
+type any = Any : 'a Engine.Enumerable.t -> any
+
+type entry = {
+  key : string;  (** CLI name, e.g. ["optimal_silent_small"] *)
+  summary : string;
+  table1 : bool;
+      (** cross-check the state count against the matching
+          {!Core.State_space.table1_rows} row (requires production
+          parameters) *)
+  build : n:int -> any;
+}
+
+val entries : entry list
+val keys : unit -> string list
+val find : string -> entry option

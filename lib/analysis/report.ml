@@ -1,0 +1,114 @@
+type status = Pass | Fail | Skip
+
+type stage = {
+  stage : string;
+  status : status;
+  metrics : (string * string) list;
+  findings : string list;
+}
+
+type t = {
+  key : string;
+  protocol : string;
+  n : int;
+  expectation : string;
+  note : string option;
+  stages : stage list;
+}
+
+let pass ?(metrics = []) stage = { stage; status = Pass; metrics; findings = [] }
+
+let skip ~reason stage = { stage; status = Skip; metrics = []; findings = [ reason ] }
+
+let max_findings = 10
+
+let finish ?(metrics = []) ~findings ~total stage =
+  let findings =
+    if total > max_findings then
+      findings @ [ Printf.sprintf "... and %d more" (total - max_findings) ]
+    else findings
+  in
+  { stage; status = (if total = 0 then Pass else Fail); metrics; findings }
+
+let status_ok = function Pass | Skip -> true | Fail -> false
+
+let ok t = List.for_all (fun s -> status_ok s.status) t.stages
+
+let all_ok = List.for_all ok
+
+let string_of_status = function Pass -> "pass" | Fail -> "FAIL" | Skip -> "skip"
+
+let pp_stage fmt s =
+  Format.fprintf fmt "@[<v 2>%-14s %s" s.stage (string_of_status s.status);
+  if s.metrics <> [] then
+    Format.fprintf fmt "  (%s)"
+      (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) s.metrics));
+  List.iter (fun f -> Format.fprintf fmt "@,- %s" f) s.findings;
+  Format.fprintf fmt "@]"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v 2>%s: %s  [n=%d, %s]%s" t.key t.protocol t.n t.expectation
+    (match t.note with None -> "" | Some note -> "  -- " ^ note);
+  List.iter (fun s -> Format.fprintf fmt "@,%a" pp_stage s) t.stages;
+  Format.fprintf fmt "@]"
+
+let pp_summary fmt reports =
+  let total = List.length reports in
+  let failed = List.filter (fun r -> not (ok r)) reports in
+  if failed = [] then Format.fprintf fmt "all %d protocol instances pass@." total
+  else
+    Format.fprintf fmt "%d/%d protocol instances FAIL: %s@." (List.length failed) total
+      (String.concat ", " (List.map (fun r -> Printf.sprintf "%s(n=%d)" r.key r.n) failed))
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_list items = "[" ^ String.concat "," items ^ "]"
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields) ^ "}"
+
+let stage_to_json s =
+  json_obj
+    [
+      ("stage", json_string s.stage);
+      ("status", json_string (string_of_status s.status));
+      ("metrics", json_obj (List.map (fun (k, v) -> (k, json_string v)) s.metrics));
+      ("findings", json_list (List.map json_string s.findings));
+    ]
+
+let to_json t =
+  json_obj
+    ([
+       ("key", json_string t.key);
+       ("protocol", json_string t.protocol);
+       ("n", string_of_int t.n);
+       ("expectation", json_string t.expectation);
+     ]
+    @ (match t.note with None -> [] | Some note -> [ ("note", json_string note) ])
+    @ [
+        ("ok", if ok t then "true" else "false");
+        ("stages", json_list (List.map stage_to_json t.stages));
+      ])
+
+let list_to_json reports =
+  json_obj
+    [
+      ("ok", if all_ok reports then "true" else "false");
+      ("reports", json_list (List.map to_json reports));
+    ]

@@ -1,0 +1,48 @@
+(** Analyzer verdicts, renderable as text or JSON.
+
+    One report per protocol instance and population size; one stage record
+    per check ([state-count], [closure], [invariant-lint], [silence],
+    [model-check]). A stage either passes, fails with a capped list of
+    human-readable findings (first counterexamples in deterministic scan
+    order), or is skipped with a reason — skipping is not a failure:
+    analyses are skipped exactly when they are undefined (silence of a
+    randomized protocol) or over the configuration budget. *)
+
+type status = Pass | Fail | Skip
+
+type stage = {
+  stage : string;
+  status : status;
+  metrics : (string * string) list;
+  findings : string list;
+}
+
+type t = {
+  key : string;  (** registry key, e.g. ["optimal_silent_small"] *)
+  protocol : string;  (** [Protocol.name] *)
+  n : int;
+  expectation : string;
+  note : string option;
+  stages : stage list;
+}
+
+val pass : ?metrics:(string * string) list -> string -> stage
+val skip : reason:string -> string -> stage
+
+val max_findings : int
+(** Findings retained per stage; the rest are summarized as a count. *)
+
+val finish : ?metrics:(string * string) list -> findings:string list -> total:int -> string -> stage
+(** [finish ~findings ~total stage] is a [Pass] when [total = 0], else a
+    [Fail] carrying [findings] (already capped at {!max_findings} by the
+    caller) plus an ellipsis line when [total] exceeds the cap. *)
+
+val ok : t -> bool
+(** No stage failed ([Skip] is acceptable). *)
+
+val all_ok : t list -> bool
+val string_of_status : status -> string
+val pp : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> t list -> unit
+val to_json : t -> string
+val list_to_json : t list -> string

@@ -1,0 +1,60 @@
+let pp_config (p : _ Engine.Protocol.t) fmt config =
+  Format.fprintf fmt "[%s]"
+    (String.concat ", "
+       (List.map
+          (fun (s, m) ->
+            if m = 1 then Format.asprintf "%a" p.Engine.Protocol.pp s
+            else Format.asprintf "%d %a" m p.Engine.Protocol.pp s)
+          (Engine.Silence.distinct_states p.Engine.Protocol.equal config)))
+
+let run ~max_configs (e : _ Engine.Enumerable.t) space =
+  let p = e.Engine.Enumerable.protocol in
+  let n = p.Engine.Protocol.n in
+  let s = Statespace.size space in
+  if not p.Engine.Protocol.deterministic then
+    Report.skip ~reason:"randomized protocol: silence is undefined (Engine.Silence)" "silence"
+  else
+    match Configs.count ~states:s ~n with
+    | Some total when total <= max_configs ->
+        let silent = ref 0 and admissible = ref 0 in
+        let findings = ref [] and violation_count = ref 0 in
+        Configs.iter ~states:s ~n (fun idx ->
+            let config = Array.map (Statespace.state space) idx in
+            if e.Engine.Enumerable.admissible config then begin
+              incr admissible;
+              if Engine.Silence.configuration_is_silent p config then begin
+                incr silent;
+                if not (e.Engine.Enumerable.correct config) then begin
+                  incr violation_count;
+                  if List.length !findings < Report.max_findings then
+                    findings :=
+                      Format.asprintf "silent but incorrect: %a" (pp_config p) config :: !findings
+                end
+              end
+            end);
+        let findings = List.rev !findings in
+        (* A silent configuration that is not correct is stuck wrong forever,
+           under any expectation. A silent-stabilizing protocol additionally
+           must have somewhere silent to stabilize to. *)
+        let missing_target =
+          e.Engine.Enumerable.expectation = Engine.Enumerable.Silent_stabilizing && !silent = 0
+        in
+        let findings =
+          if missing_target then
+            findings @ [ "expectation is silent-stabilizing but no silent configuration exists" ]
+          else findings
+        in
+        let total_findings = !violation_count + if missing_target then 1 else 0 in
+        Report.finish
+          ~metrics:
+            [
+              ("configs", string_of_int !admissible);
+              ("silent", string_of_int !silent);
+            ]
+          ~findings ~total:total_findings "silence"
+    | _ ->
+        Report.skip
+          ~reason:
+            (Printf.sprintf "configuration space exceeds budget (%d states, budget %d configs)" s
+               max_configs)
+          "silence"

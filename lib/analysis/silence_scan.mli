@@ -1,0 +1,20 @@
+(** Silence classification (deterministic protocols).
+
+    Enumerates every admissible configuration over the declared state
+    space and classifies it with {!Engine.Silence.configuration_is_silent}
+    (no applicable ordered-pair transition changes anything — the paper's
+    Section 2 notion behind Observation 2.2). Certifies {e silent ⇒
+    correct}: a silent incorrect configuration is a permanent failure
+    under every expectation. For silent-stabilizing protocols additionally
+    requires that at least one silent configuration exists; for the
+    loosely-stabilizing protocol the [silent = 0] metric is itself the
+    interesting certificate (the protocol is non-silent).
+
+    Skipped — not failed — for randomized protocols (silence is undefined
+    without a single successor) and when the configuration count exceeds
+    the budget. *)
+
+val run : max_configs:int -> 'a Engine.Enumerable.t -> 'a Statespace.t -> Report.stage
+
+val pp_config : 'a Engine.Protocol.t -> Format.formatter -> 'a array -> unit
+(** Multiset rendering, e.g. ["[3 F(timer=2), L(timer=4)]"]. *)

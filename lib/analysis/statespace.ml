@@ -1,0 +1,59 @@
+type 'a t = {
+  states : 'a array;
+  normalize : 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+  buckets : (int, int list) Hashtbl.t;  (** [Hashtbl.hash state] -> candidate indices *)
+}
+
+let lookup t s =
+  let rec scan = function
+    | [] -> None
+    | i :: rest -> if t.equal t.states.(i) s then Some i else scan rest
+  in
+  scan (Option.value ~default:[] (Hashtbl.find_opt t.buckets (Hashtbl.hash s)))
+
+let of_enumerable (e : _ Engine.Enumerable.t) =
+  let states = Array.of_list e.Engine.Enumerable.states in
+  let t =
+    {
+      states;
+      normalize = e.Engine.Enumerable.normalize;
+      equal = e.Engine.Enumerable.protocol.Engine.Protocol.equal;
+      buckets = Hashtbl.create (2 * Array.length states);
+    }
+  in
+  Array.iteri
+    (fun i s ->
+      if not (t.equal (t.normalize s) s) then
+        invalid_arg
+          (Format.asprintf "Statespace: normalize is not the identity on declared state %a"
+             e.Engine.Enumerable.protocol.Engine.Protocol.pp s);
+      (match lookup t s with
+      | Some j ->
+          invalid_arg
+            (Format.asprintf "Statespace: declared states %d and %d are duplicates (%a)" j i
+               e.Engine.Enumerable.protocol.Engine.Protocol.pp s)
+      | None -> ());
+      let h = Hashtbl.hash s in
+      Hashtbl.replace t.buckets h (i :: Option.value ~default:[] (Hashtbl.find_opt t.buckets h)))
+    states;
+  t
+
+let size t = Array.length t.states
+
+let state t i = t.states.(i)
+
+let states t = t.states
+
+let index t s =
+  let s = t.normalize s in
+  match lookup t s with
+  | Some i -> Some i
+  | None ->
+      (* The normalized representative may be structurally different from
+         the stored one for states outside the declared space; fall back to
+         a linear [equal] scan so that escapes are reported only for
+         genuinely undeclared states, never for hashing artifacts. *)
+      let n = Array.length t.states in
+      let rec scan i = if i >= n then None else if t.equal t.states.(i) s then Some i else scan (i + 1) in
+      scan 0

@@ -24,3 +24,22 @@ let protocol ~n : state Engine.Protocol.t =
 let all_leaders ~n = Array.make n Leader
 
 let all_followers ~n = Array.make n Follower
+
+let enumerable ~n : state Engine.Enumerable.t =
+  let protocol = protocol ~n in
+  Engine.Enumerable.make ~protocol ~states:[ Leader; Follower ]
+    ~invariants:
+      [
+        {
+          Engine.Enumerable.iname = "leader-iff-rank1";
+          holds = (fun s -> (s = Leader) = (protocol.Engine.Protocol.rank s = Some 1));
+        };
+      ]
+      (* The protocol is initialized-only: it can destroy leaders but never
+         create one, so self-stabilization is checked over its legal region
+         (>= 1 leader). The all-followers configuration outside it is the
+         paper's introductory counterexample. *)
+    ~admissible:(fun config -> Array.exists (fun s -> s = Leader) config)
+    ~correct:(Engine.Enumerable.unique_leader protocol)
+    ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count:2
+    ~note:"admissible region restricted to configurations with >= 1 leader" ()

@@ -20,3 +20,10 @@ val protocol : n:int -> state Engine.Protocol.t
 
 val all_leaders : n:int -> state array
 val all_followers : n:int -> state array
+
+val enumerable : n:int -> state Engine.Enumerable.t
+(** Static-analysis descriptor. The admissible region is restricted to
+    configurations with at least one leader: the protocol is initialized,
+    and from the (inadmissible) all-followers configuration it provably
+    never recovers — the analyzer demonstrates the restriction is needed,
+    mirroring the paper's motivation for self-stabilization. *)

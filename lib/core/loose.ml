@@ -32,6 +32,31 @@ let protocol ~n ~t_max : state Engine.Protocol.t =
     is_leader = (fun s -> s.leader);
   }
 
+let enumerable ~n ~t_max : state Engine.Enumerable.t =
+  let protocol = protocol ~n ~t_max in
+  let states =
+    List.concat_map
+      (fun leader -> List.init (t_max + 1) (fun timer -> { leader; timer }))
+      [ false; true ]
+  in
+  Engine.Enumerable.make ~protocol ~states
+    ~invariants:
+      [
+        {
+          Engine.Enumerable.iname = "timer-in-0..T_max";
+          holds = (fun s -> s.timer >= 0 && s.timer <= t_max);
+        };
+      ]
+    ~correct:(Engine.Enumerable.unique_leader protocol)
+      (* Loose stabilization only: a follower whose timer expires while a
+         leader lives creates a second leader, so no one-leader region is
+         forward-closed. The checkable guarantee is that every bottom SCC
+         contains unique-leader configurations (correctness recurs w.p. 1;
+         the holding-time experiments measure how long it persists). *)
+    ~expectation:Engine.Enumerable.Loosely_stabilizing
+    ~declared_count:(2 * (t_max + 1))
+    ()
+
 let all_followers ~n ~t_max = Array.make n { leader = false; timer = t_max }
 
 let uniform rng ~n ~t_max =

@@ -34,6 +34,14 @@ val protocol : n:int -> t_max:int -> state Engine.Protocol.t
 val default_t_max : upper_bound:int -> int
 (** [8·N·⌈ln N⌉] — enough slack for days-long holding at laptop scales. *)
 
+val enumerable : n:int -> t_max:int -> state Engine.Enumerable.t
+(** Static-analysis descriptor over the [2·(t_max+1)] declared states.
+    The expectation is {e loose} stabilization: every bottom SCC of the
+    configuration graph contains a unique-leader configuration — and for
+    [n >= 3] the analyzer also certifies the protocol is non-silent (no
+    silent configuration exists at all), separating it from the paper's
+    silent protocols (Observation 2.2). *)
+
 val all_followers : n:int -> t_max:int -> state array
 (** The configuration that defeats initialized leader election: no leader,
     all timers maxed. Loose stabilization recovers from it. *)

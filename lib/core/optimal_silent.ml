@@ -106,3 +106,77 @@ let protocol ?params ~n () : state Engine.Protocol.t =
 
 let states ~(params : Params.optimal_silent) ~n =
   (3 * n) + (params.Params.e_max + 1) + (2 * (params.Params.r_max + params.Params.d_max + 1))
+
+(* A propagating agent (resetcount > 0) never reads its delaytimer: the
+   timer is frozen while the wave propagates and overwritten with D_max the
+   moment the agent turns dormant (Protocol 2, line 7). States differing
+   only in that frozen timer are therefore bisimilar, and the Table 1 count
+   2·(R_max + D_max + 1) counts the equivalence classes. [normalize] maps
+   onto the canonical representative (propagating => delaytimer = D_max). *)
+let normalize ~(params : Params.optimal_silent) = function
+  | Reset.Resetting r when r.Reset.resetcount > 0 ->
+      Reset.Resetting { r with Reset.delaytimer = params.Params.d_max }
+  | (Reset.Resetting _ | Reset.Computing _) as s -> s
+
+let enumerable ?params ~n () : state Engine.Enumerable.t =
+  let params = match params with Some p -> p | None -> Params.optimal_silent n in
+  let protocol = protocol ~params ~n () in
+  let r_max = params.Params.r_max
+  and d_max = params.Params.d_max
+  and e_max = params.Params.e_max in
+  let settleds =
+    List.concat_map
+      (fun rank -> List.init 3 (fun children -> settled ~rank:(rank + 1) ~children))
+      (List.init n Fun.id)
+  in
+  let unsettleds = List.init (e_max + 1) (fun errorcount -> unsettled ~errorcount) in
+  let resettings =
+    List.concat_map
+      (fun leader ->
+        List.init r_max (fun c -> resetting ~leader ~resetcount:(c + 1) ~delaytimer:d_max)
+        @ List.init (d_max + 1) (fun delaytimer -> resetting ~leader ~resetcount:0 ~delaytimer))
+      [ false; true ]
+  in
+  let invariants =
+    [
+      {
+        Engine.Enumerable.iname = "settled-rank-in-1..n";
+        holds =
+          (function
+          | Reset.Computing (Settled s) -> s.rank >= 1 && s.rank <= n
+          | Reset.Computing (Unsettled _) | Reset.Resetting _ -> true);
+      };
+      {
+        Engine.Enumerable.iname = "children-in-0..2";
+        holds =
+          (function
+          | Reset.Computing (Settled s) -> s.children >= 0 && s.children <= 2
+          | Reset.Computing (Unsettled _) | Reset.Resetting _ -> true);
+      };
+      {
+        Engine.Enumerable.iname = "errorcount<=E_max";
+        holds =
+          (function
+          | Reset.Computing (Unsettled u) -> u.errorcount >= 0 && u.errorcount <= e_max
+          | Reset.Computing (Settled _) | Reset.Resetting _ -> true);
+      };
+      {
+        Engine.Enumerable.iname = "resetcount<=R_max";
+        holds =
+          (function
+          | Reset.Resetting r -> r.Reset.resetcount >= 0 && r.Reset.resetcount <= r_max
+          | Reset.Computing _ -> true);
+      };
+      {
+        Engine.Enumerable.iname = "delaytimer<=D_max";
+        holds =
+          (function
+          | Reset.Resetting r -> r.Reset.delaytimer >= 0 && r.Reset.delaytimer <= d_max
+          | Reset.Computing _ -> true);
+      };
+    ]
+  in
+  Engine.Enumerable.make ~protocol
+    ~states:(settleds @ unsettleds @ resettings)
+    ~normalize:(normalize ~params) ~invariants
+    ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count:(states ~params ~n) ()

@@ -40,3 +40,20 @@ val states : params:Params.optimal_silent -> n:int -> int
 
 val equal : state -> state -> bool
 val pp : Format.formatter -> state -> unit
+
+val normalize : params:Params.optimal_silent -> state -> state
+(** Canonical representative of a state's bisimulation class: a
+    propagating Resetting agent ([resetcount > 0]) never reads its
+    (frozen) delaytimer before overwriting it with [D_max] on turning
+    dormant, so the timer is normalized to [D_max]. Identity on all other
+    states. Table 1's [2·(R_max + D_max + 1)] Resetting states count these
+    classes. *)
+
+val enumerable : ?params:Params.optimal_silent -> n:int -> unit -> state Engine.Enumerable.t
+(** Static-analysis descriptor: the declared states (exactly
+    [states ~params ~n] of them, cross-checked against Table 1 row 2 by
+    the analyzer), range invariants for every counter, and the
+    silent-stabilization expectation. Model checking wants reduced
+    [params] (e.g. [{r_max = 2; d_max = 3; e_max = 3}]): exactness does
+    not need the paper's WHP constants, and the configuration space is
+    exponential in the state count. *)

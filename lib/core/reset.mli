@@ -49,6 +49,10 @@ type ('c, 'p) spec = {
 val trigger : spec:('c, 'p) spec -> 'p -> ('c, 'p) role
 (** A freshly triggered Resetting state with [resetcount = R_max]. *)
 
+val is_resetting : ('c, 'p) role -> bool
+val is_propagating : ('c, 'p) role -> bool
+(** [is_propagating] holds for Resetting states with positive resetcount. *)
+
 val step :
   spec:('c, 'p) spec -> Prng.t -> ('c, 'p) role -> ('c, 'p) role -> ('c, 'p) role * ('c, 'p) role
 (** One interaction under Propagate-Reset. Callers must ensure at least one

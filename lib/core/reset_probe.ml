@@ -1,0 +1,82 @@
+type state = (unit, unit) Reset.role
+
+let default_r_max = 3
+let default_d_max = 4
+
+let spec ~r_max ~d_max : (unit, unit) Reset.spec =
+  {
+    Reset.r_max;
+    d_max;
+    recruit_payload = (fun _rng -> ());
+    propagating_tick = (fun _rng () -> ());
+    dormant_tick = (fun _rng () -> ());
+    resetting_pair = (fun _rng () () -> ((), ()));
+    awaken = (fun _rng () -> ());
+  }
+
+let computing : state = Reset.Computing ()
+
+let resetting ~resetcount ~delaytimer : state =
+  Reset.Resetting { Reset.resetcount; delaytimer; payload = () }
+
+let equal = Reset.equal_role (fun () () -> true) (fun () () -> true)
+
+let pp = Reset.pp_role (fun fmt () -> Format.pp_print_string fmt "idle") (fun fmt () -> Format.pp_print_string fmt "_")
+
+let protocol ?(r_max = default_r_max) ?(d_max = default_d_max) ~n () : state Engine.Protocol.t =
+  if n < 2 then invalid_arg "Reset_probe.protocol: n must be >= 2";
+  if r_max < 1 || d_max < 1 then invalid_arg "Reset_probe.protocol: r_max and d_max must be >= 1";
+  let spec = spec ~r_max ~d_max in
+  {
+    Engine.Protocol.name = Printf.sprintf "Reset-Probe(R_max=%d, D_max=%d)" r_max d_max;
+    n;
+    transition = (fun rng a b -> Reset.step ~spec rng a b);
+    deterministic = true;
+    equal;
+    pp;
+    rank = (fun _ -> None);
+    is_leader = (fun _ -> false);
+  }
+
+let normalize ~d_max = function
+  | Reset.Resetting r when r.Reset.resetcount > 0 ->
+      Reset.Resetting { r with Reset.delaytimer = d_max }
+  | (Reset.Resetting _ | Reset.Computing _) as s -> s
+
+let states ~r_max ~d_max = r_max + d_max + 2
+
+let enumerable ?(r_max = default_r_max) ?(d_max = default_d_max) ~n () :
+    state Engine.Enumerable.t =
+  let protocol = protocol ~r_max ~d_max ~n () in
+  let declared_count = states ~r_max ~d_max in
+  let states =
+    computing
+    :: (List.init r_max (fun c -> resetting ~resetcount:(c + 1) ~delaytimer:d_max)
+       @ List.init (d_max + 1) (fun delaytimer -> resetting ~resetcount:0 ~delaytimer))
+  in
+  let invariants =
+    [
+      {
+        Engine.Enumerable.iname = "resetcount<=R_max";
+        holds =
+          (function
+          | Reset.Resetting r -> r.Reset.resetcount >= 0 && r.Reset.resetcount <= r_max
+          | Reset.Computing () -> true);
+      };
+      {
+        Engine.Enumerable.iname = "delaytimer<=D_max";
+        holds =
+          (function
+          | Reset.Resetting r -> r.Reset.delaytimer >= 0 && r.Reset.delaytimer <= d_max
+          | Reset.Computing () -> true);
+      };
+    ]
+  in
+  (* Lemma 3.1 made checkable: from any configuration the reset wave dies
+     out — resetcounts are non-increasing and any meeting of a maximal
+     propagating agent strictly decreases them, dormant timers strictly
+     decrease — so the unique bottom SCC under every configuration is the
+     silent all-Computing one. *)
+  Engine.Enumerable.make ~protocol ~states ~normalize:(normalize ~d_max) ~invariants
+    ~correct:(fun config -> Array.for_all (fun s -> not (Reset.is_resetting s)) config)
+    ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count ()

@@ -1,0 +1,44 @@
+(** Propagate-Reset probe (Protocol 2, Section 3, in isolation).
+
+    A minimal protocol whose {e only} behaviour is the paper's reset
+    overlay: the Computing payload and the Resetting payload are both
+    [unit], Computing pairs do nothing, and [awaken] returns to idle. The
+    static analyzer then verifies the reset mechanism's own guarantee
+    (Lemma 3.1) independently of any client protocol: from {e every}
+    configuration — including adversarial mixes of propagating and
+    dormant agents with arbitrary counters — the wave dies out and the
+    population reaches the silent all-Computing configuration.
+
+    The argument the model check certifies exhaustively at small [n]:
+    resetcounts never increase (a meeting sets both ends to
+    [max(a−1, b−1, 0)]), any meeting involving a maximal-count
+    propagating agent strictly decreases that maximum, and dormant
+    delaytimers strictly decrease until awakening — so no bottom SCC of
+    the configuration graph contains a Resetting agent. *)
+
+type state = (unit, unit) Reset.role
+
+val default_r_max : int
+val default_d_max : int
+
+val protocol : ?r_max:int -> ?d_max:int -> n:int -> unit -> state Engine.Protocol.t
+(** Probe defaults [R_max = 3], [D_max = 4] — small enough for
+    exhaustive model checking, large enough to exercise re-infection of
+    dormant agents and early awakening. Deterministic; no agent is ever
+    a leader and no rank is assigned ([correct] is reset completion). *)
+
+val computing : state
+val resetting : resetcount:int -> delaytimer:int -> state
+
+val states : r_max:int -> d_max:int -> int
+(** [R_max + D_max + 2] up to the frozen-delaytimer quotient. *)
+
+val normalize : d_max:int -> state -> state
+(** The frozen-delaytimer quotient (see {!Optimal_silent.normalize}). *)
+
+val equal : state -> state -> bool
+val pp : Format.formatter -> state -> unit
+
+val enumerable : ?r_max:int -> ?d_max:int -> n:int -> unit -> state Engine.Enumerable.t
+(** Static-analysis descriptor; expectation silent-stabilizing with
+    [correct] = "no Resetting agent remains". *)

@@ -20,3 +20,11 @@ let protocol ~n : state Engine.Protocol.t =
   }
 
 let states ~n = n
+
+let enumerable ~n : state Engine.Enumerable.t =
+  let protocol = protocol ~n in
+  Engine.Enumerable.make ~protocol
+    ~states:(List.init n Fun.id)
+    ~invariants:
+      [ { Engine.Enumerable.iname = "rank0-in-0..n-1"; holds = (fun s -> s >= 0 && s < n) } ]
+    ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count:(states ~n) ()

@@ -24,3 +24,7 @@ val protocol : n:int -> state Engine.Protocol.t
 
 val states : n:int -> int
 (** Size of the state space: exactly [n]. *)
+
+val enumerable : n:int -> state Engine.Enumerable.t
+(** Static-analysis descriptor: the [n] declared states (Table 1, row 1),
+    the rank-range invariant, and the silent-stabilization expectation. *)

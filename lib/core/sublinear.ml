@@ -132,6 +132,150 @@ let protocol ?params ~n ~h () : state Engine.Protocol.t =
     is_leader = Engine.Protocol.leader_from_rank rank;
   }
 
+(* --- Static analysis ------------------------------------------------- *)
+
+(* The real state space is exponential (rosters) to quasi-exponential
+   (history trees) — Table 1 rows 3–4 — so exhaustive analysis runs the
+   protocol at reduced parameters: H = 0 (no trees; collisions detected by
+   direct meetings only), names just wide enough to rank n agents, and a
+   dormant delay just long enough to regenerate a full name. The protocol
+   logic exercised is exactly Protocols 5–6; the analyzer's closure and
+   model-check verdicts quantify over every configuration of this reduced
+   space. *)
+let analysis_params ~n =
+  if n < 2 then invalid_arg "Sublinear.analysis_params: n must be >= 2";
+  let name_bits = max 1 (Params.ceil_log2 n) in
+  { Params.r_max = 2; d_max = name_bits + 1; t_h = 0; s_max = n * n; name_bits; h = 0 }
+
+let all_names ~name_bits =
+  List.concat_map
+    (fun len -> List.init (1 lsl len) (fun bits -> Name.of_int ~bits ~len))
+    (List.init (name_bits + 1) Fun.id)
+
+let rec subsets_up_to k xs =
+  if k <= 0 then [ [] ]
+  else
+    match xs with
+    | [] -> [ [] ]
+    | x :: rest ->
+        subsets_up_to k rest @ List.map (fun s -> x :: s) (subsets_up_to (k - 1) rest)
+
+(* Canonical state representative: rebuild the roster from its sorted
+   elements so that semantically equal rosters are structurally equal
+   (AVL shape depends on insertion order), and apply the same frozen-
+   delaytimer quotient as Optimal_silent (a propagating agent never reads
+   its timer before overwriting it on turning dormant). *)
+let normalize ~(params : Params.sublinear) = function
+  | Reset.Computing c -> Reset.Computing { c with roster = Roster.of_list (Roster.elements c.roster) }
+  | Reset.Resetting r when r.Reset.resetcount > 0 ->
+      Reset.Resetting { r with Reset.delaytimer = params.Params.d_max }
+  | Reset.Resetting _ as s -> s
+
+let rec tree_wellformed ~(params : Params.sublinear) ~depth tree =
+  tree = []
+  || depth <= params.Params.h
+     && List.for_all
+       (fun (node : History_tree.node) ->
+         Name.length node.History_tree.name <= params.Params.name_bits
+         && node.History_tree.sync >= 1
+         && node.History_tree.sync <= params.Params.s_max
+         && node.History_tree.timer >= 0
+         && node.History_tree.timer <= params.Params.t_h
+         && tree_wellformed ~params ~depth:(depth + 1) node.History_tree.children)
+       tree
+  && (* sibling names are distinct (simple labelling) *)
+  let names = List.map (fun (nd : History_tree.node) -> nd.History_tree.name) tree in
+  List.length (List.sort_uniq Name.compare names) = List.length names
+
+let invariants ~(params : Params.sublinear) ~n : state Engine.Enumerable.invariant list =
+  let on_collecting f = function Reset.Computing c -> f c | Reset.Resetting _ -> true in
+  let on_resetting f = function Reset.Resetting r -> f r | Reset.Computing _ -> true in
+  [
+    {
+      Engine.Enumerable.iname = "name-length<=name_bits";
+      holds =
+        (function
+        | Reset.Computing c -> Name.length c.name <= params.Params.name_bits
+        | Reset.Resetting r -> Name.length r.Reset.payload <= params.Params.name_bits);
+    };
+    {
+      Engine.Enumerable.iname = "roster-cardinal<=n";
+      holds = on_collecting (fun c -> Roster.cardinal c.roster <= n);
+    };
+    {
+      Engine.Enumerable.iname = "roster-contains-own-name";
+      holds = on_collecting (fun c -> Roster.mem c.name c.roster);
+    };
+    {
+      Engine.Enumerable.iname = "rank-in-1..n";
+      holds = on_collecting (fun c -> c.rank >= 1 && c.rank <= n);
+    };
+    {
+      Engine.Enumerable.iname = "resetcount<=R_max";
+      holds =
+        on_resetting (fun r ->
+            r.Reset.resetcount >= 0 && r.Reset.resetcount <= params.Params.r_max);
+    };
+    {
+      Engine.Enumerable.iname = "delaytimer<=D_max";
+      holds =
+        on_resetting (fun r ->
+            r.Reset.delaytimer >= 0 && r.Reset.delaytimer <= params.Params.d_max);
+    };
+    {
+      Engine.Enumerable.iname = "history-tree-wellformed";
+      holds = on_collecting (fun c -> tree_wellformed ~params ~depth:1 c.tree);
+    };
+  ]
+
+let rec choose m k =
+  if k < 0 || k > m then 0 else if k = 0 || k = m then 1 else choose (m - 1) (k - 1) + choose (m - 1) k
+
+let analysis_state_count ~(params : Params.sublinear) ~n =
+  let m = (1 lsl (params.Params.name_bits + 1)) - 1 in
+  (* subsets of the other m-1 names joined with the owner's, size <= n *)
+  let rosters = List.fold_left (fun acc k -> acc + choose (m - 1) k) 0 (List.init n Fun.id) in
+  (m * n * rosters) + (m * (params.Params.r_max + params.Params.d_max + 1))
+
+let enumerable ?params ~n () : state Engine.Enumerable.t =
+  let params = match params with Some p -> p | None -> analysis_params ~n in
+  if params.Params.h <> 0 then
+    invalid_arg
+      "Sublinear.enumerable: only H = 0 is finitely enumerable (trees make the space \
+       quasi-exponential); trace-level invariant lint covers H > 0";
+  let protocol = protocol ~params ~n ~h:0 () in
+  let name_bits = params.Params.name_bits in
+  let names = all_names ~name_bits in
+  let computing =
+    List.concat_map
+      (fun name ->
+        let others = List.filter (fun m -> not (Name.equal m name)) names in
+        List.concat_map
+          (fun subset ->
+            let roster = Roster.of_list (name :: subset) in
+            List.init n (fun r ->
+                collecting { name; rank = r + 1; roster; tree = History_tree.empty }))
+          (subsets_up_to (n - 1) others))
+      names
+  in
+  let resettings =
+    List.concat_map
+      (fun name ->
+        List.init params.Params.r_max (fun c ->
+            resetting ~name ~resetcount:(c + 1) ~delaytimer:params.Params.d_max)
+        @ List.init (params.Params.d_max + 1) (fun delaytimer ->
+              resetting ~name ~resetcount:0 ~delaytimer))
+      names
+  in
+  Engine.Enumerable.make ~protocol ~states:(computing @ resettings)
+    ~normalize:(normalize ~params) ~invariants:(invariants ~params ~n)
+    ~expectation:Engine.Enumerable.Stabilizing ~max_draws:4
+    ~declared_count:(analysis_state_count ~params ~n)
+    ~note:
+      "reduced analysis parameters (H = 0, minimal name width); the full space is \
+       exponential (Table 1 rows 3-4)"
+    ()
+
 let log2_states ~(params : Params.sublinear) ~n =
   (* Dominant terms of log2 |S|: rosters contribute ≈ n·name_bits bits,
      trees ≈ (number of node slots ≈ n^H) · (bits per node). The paper

@@ -50,6 +50,42 @@ val detect_name_collision :
 (** The read-only part of Protocol 7 (lines 1–4 plus the direct name
     check): [true] iff the pair's histories reveal a name collision. *)
 
+val analysis_params : n:int -> Params.sublinear
+(** Reduced parameters for exhaustive static analysis: [H = 0] (collisions
+    detected by direct meetings only — no history trees), names of
+    [max 1 ⌈log₂ n⌉] bits, [R_max = 2], and a dormant delay just long
+    enough to regenerate a complete name. The transition logic exercised
+    is exactly Protocols 5–6; only the WHP constants are given up. *)
+
+val normalize : params:Params.sublinear -> state -> state
+(** Canonical state representative: rebuilds the roster from its sorted
+    elements (semantically equal rosters then become structurally equal,
+    which polymorphic hashing requires) and applies the frozen-delaytimer
+    quotient of propagating Resetting agents (see
+    {!Optimal_silent.normalize}). *)
+
+val invariants : params:Params.sublinear -> n:int -> state Engine.Enumerable.invariant list
+(** Named single-state invariants preserved by every transition: name and
+    payload lengths at most [name_bits], roster cardinal at most [n] and
+    containing the owner's name, rank in [1..n], reset counters in range,
+    and history-tree wellformedness (depth ≤ [H], sync in [1..S_max],
+    timers in [0..T_H], sibling names distinct). Parameter-generic — also
+    used by the trace-level QCheck properties at [H > 0]. *)
+
+val enumerable : ?params:Params.sublinear -> n:int -> unit -> state Engine.Enumerable.t
+(** Static-analysis descriptor; [params] defaults to
+    [analysis_params ~n] and must have [h = 0] (trees make the space
+    quasi-exponential — Table 1 rows 3–4 — so only the tree-free instance
+    is finitely enumerable). Declared states: all Computing states with
+    names of length [0..name_bits] (partial names arise from premature
+    awakenings), rosters of at most [n] names containing the owner's, and
+    every Resetting shape; expectation {e stabilizing} (the protocol is
+    non-silent, Observation 2.2). *)
+
+val analysis_state_count : params:Params.sublinear -> n:int -> int
+(** Closed-form size of {!enumerable}'s declared space (binomial sums),
+    cross-checked by the analyzer against the enumeration. *)
+
 val log2_states : params:Params.sublinear -> n:int -> float
 (** Base-2 logarithm of the state-space size (the paper's
     exp(O(n^H)·log n) — far too large to hold in an [int]); see

@@ -153,11 +153,11 @@ let ensure_probed t =
   done
 
 let make ~protocol ~init ~rng =
-  Protocol.validate protocol;
   if not protocol.Protocol.deterministic then
     invalid_arg "Count_sim.make: protocol is randomized";
   if Array.length init <> protocol.Protocol.n then
     invalid_arg "Count_sim.make: initial configuration size differs from protocol.n";
+  Protocol.validate ~config:init protocol;
   let t =
     {
       protocol;

@@ -1,0 +1,57 @@
+type 'a invariant = { iname : string; holds : 'a -> bool }
+
+type expectation = Silent_stabilizing | Stabilizing | Loosely_stabilizing
+
+type 'a t = {
+  protocol : 'a Protocol.t;
+  states : 'a list;
+  normalize : 'a -> 'a;
+  invariants : 'a invariant list;
+  admissible : 'a array -> bool;
+  correct : 'a array -> bool;
+  expectation : expectation;
+  max_draws : int;
+  declared_count : int option;
+  note : string option;
+}
+
+let ranking_correct (p : 'a Protocol.t) config =
+  let n = p.Protocol.n in
+  let seen = Array.make (n + 1) false in
+  let ok = ref true in
+  Array.iter
+    (fun s ->
+      match p.Protocol.rank s with
+      | Some r when r >= 1 && r <= n && not seen.(r) -> seen.(r) <- true
+      | Some _ | None -> ok := false)
+    config;
+  (* Every agent observed a distinct in-range rank over a population of
+     size [n], so the ranks are exactly a permutation of 1..n. *)
+  !ok && Array.length config = n
+
+let unique_leader (p : 'a Protocol.t) config =
+  let leaders = ref 0 in
+  Array.iter (fun s -> if p.Protocol.is_leader s then incr leaders) config;
+  !leaders = 1
+
+let make ~protocol ~states ?(normalize = Fun.id) ?(invariants = [])
+    ?(admissible = fun _ -> true) ?correct ?(expectation = Silent_stabilizing)
+    ?(max_draws = 0) ?declared_count ?note () =
+  let correct = match correct with Some f -> f | None -> ranking_correct protocol in
+  {
+    protocol;
+    states;
+    normalize;
+    invariants;
+    admissible;
+    correct;
+    expectation;
+    max_draws;
+    declared_count;
+    note;
+  }
+
+let pp_expectation fmt = function
+  | Silent_stabilizing -> Format.pp_print_string fmt "silent-stabilizing"
+  | Stabilizing -> Format.pp_print_string fmt "stabilizing"
+  | Loosely_stabilizing -> Format.pp_print_string fmt "loosely-stabilizing"

@@ -1,0 +1,93 @@
+(** Companion descriptor making a protocol statically analyzable.
+
+    A {!Protocol.t} is a black-box transition function; an [Enumerable.t]
+    additionally {e declares} the protocol's finite state space, the
+    invariants every transition output must satisfy, and what correctness
+    and stabilization mean for the protocol — the machine-checkable content
+    of the paper's Table 1 and of Theorem 2.1 / Observation 2.2. The
+    [Analysis] library consumes these descriptors: it verifies that the
+    transition function is {e closed} over the declared states (closure /
+    Table 1 state counts), that the invariants hold on every transition
+    output (invariant lint), that silent configurations are correct
+    (silence classification), and that for small populations every
+    configuration of the declared space reaches the declared stabilization
+    regime (exhaustive model checking). *)
+
+type 'a invariant = {
+  iname : string;  (** short stable identifier, e.g. ["resetcount<=R_max"] *)
+  holds : 'a -> bool;
+}
+
+(** What the protocol promises about the bottom strongly-connected
+    components of its configuration graph (equivalently, about the
+    long-run behaviour of the scheduler's Markov chain from {e any}
+    initial configuration):
+    - [Silent_stabilizing]: every bottom SCC is a single silent (no
+      productive interaction) configuration satisfying [correct] — the
+      paper's silent SSR protocols;
+    - [Stabilizing]: every configuration of every bottom SCC satisfies
+      [correct] (states may keep changing, but correctness, once entered,
+      is permanent with probability 1) — Sublinear-Time-SSR;
+    - [Loosely_stabilizing]: every bottom SCC contains at least one
+      [correct] configuration (correctness recurs infinitely often with
+      probability 1) — the loosely-stabilizing variant. *)
+type expectation = Silent_stabilizing | Stabilizing | Loosely_stabilizing
+
+type 'a t = {
+  protocol : 'a Protocol.t;
+  states : 'a list;
+      (** the declared state space, one representative per {!normalize}
+          equivalence class; finite and duplicate-free *)
+  normalize : 'a -> 'a;
+      (** canonical representative of a state. Must be the identity on
+          [states], must be a bisimulation quotient (normalized and raw
+          state behave identically under every transition), and must make
+          semantically equal states {e structurally} equal, so that
+          polymorphic hashing agrees with [protocol.equal]. *)
+  invariants : 'a invariant list;
+      (** must hold on every transition output reachable from declared
+          inputs (checked exhaustively by the analyzer) and on every
+          simulation-trace state (checked statistically by QCheck). *)
+  admissible : 'a array -> bool;
+      (** configurations quantified over by silence classification and
+          model checking. [fun _ -> true] for the self-stabilizing
+          protocols; restricts e.g. the initialized baseline to its
+          legal initial region (>= 1 leader). Must be closed under the
+          transition (the analyzer reports any escape). *)
+  correct : 'a array -> bool;  (** the protocol's output condition *)
+  expectation : expectation;
+  max_draws : int;
+      (** upper bound on bounded-coin draws a single transition may make
+          (0 for deterministic protocols); guards coin enumeration *)
+  declared_count : int option;
+      (** the closed-form state count claimed for this parameterization
+          (Table 1 column), cross-checked against [List.length states] *)
+  note : string option;
+      (** provenance note, e.g. "reduced exact-analysis parameters" *)
+}
+
+val ranking_correct : 'a Protocol.t -> 'a array -> bool
+(** Observed ranks are exactly a permutation of 1..n (the SSR output
+    condition). *)
+
+val unique_leader : 'a Protocol.t -> 'a array -> bool
+(** Exactly one agent observes as leader (the SSLE output condition). *)
+
+val make :
+  protocol:'a Protocol.t ->
+  states:'a list ->
+  ?normalize:('a -> 'a) ->
+  ?invariants:'a invariant list ->
+  ?admissible:('a array -> bool) ->
+  ?correct:('a array -> bool) ->
+  ?expectation:expectation ->
+  ?max_draws:int ->
+  ?declared_count:int ->
+  ?note:string ->
+  unit ->
+  'a t
+(** Defaults: [normalize] is the identity, [invariants] empty, every
+    configuration admissible, [correct] is {!ranking_correct},
+    [expectation] is [Silent_stabilizing], [max_draws] 0. *)
+
+val pp_expectation : Format.formatter -> expectation -> unit

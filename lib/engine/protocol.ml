@@ -11,6 +11,24 @@ type 'a t = {
 
 let leader_from_rank rank state = rank state = Some 1
 
-let validate t =
+let validate ?config t =
   if t.n < 2 then invalid_arg "Protocol.validate: population size must be >= 2";
-  if String.length t.name = 0 then invalid_arg "Protocol.validate: empty name"
+  if String.length t.name = 0 then invalid_arg "Protocol.validate: empty name";
+  match config with
+  | None -> ()
+  | Some config ->
+      Array.iteri
+        (fun i s ->
+          (match t.rank s with
+          | Some r when r < 1 || r > t.n ->
+              invalid_arg
+                (Printf.sprintf
+                   "Protocol.validate: %s: agent %d observes rank %d outside 1..%d" t.name i r
+                   t.n)
+          | Some _ | None -> ());
+          if t.is_leader s <> leader_from_rank t.rank s then
+            invalid_arg
+              (Printf.sprintf
+                 "Protocol.validate: %s: agent %d breaks the leader <=> rank 1 convention"
+                 t.name i))
+        config

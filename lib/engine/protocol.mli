@@ -37,6 +37,10 @@ type 'a t = {
 val leader_from_rank : ('a -> int option) -> 'a -> bool
 (** The paper's convention: the leader is the agent with rank 1. *)
 
-val validate : 'a t -> unit
+val validate : ?config:'a array -> 'a t -> unit
 (** Sanity-checks protocol metadata ([n >= 2], non-empty name); raises
-    [Invalid_argument] otherwise. *)
+    [Invalid_argument] otherwise. When [config] is given (simulator
+    constructors pass the initial configuration), additionally checks each
+    state's observations: any observed rank lies in [1..n], and the leader
+    bit agrees with the paper's [leader <=> rank = 1] convention
+    ({!leader_from_rank}). *)

@@ -9,9 +9,9 @@ type 'a t = {
 }
 
 let make_opt sampler ~protocol ~init ~rng =
-  Protocol.validate protocol;
   if Array.length init <> protocol.Protocol.n then
     invalid_arg "Sim.make: initial configuration size differs from protocol.n";
+  Protocol.validate ~config:init protocol;
   let states = Array.copy init in
   let sampler =
     match sampler with

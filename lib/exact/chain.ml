@@ -8,7 +8,6 @@ let silent_n_state_codec ~n =
   }
 
 type 'a analysis = {
-  protocol : 'a Engine.Protocol.t;
   codec : 'a codec;
   n : int;
   configs : int array array;
@@ -138,7 +137,7 @@ let analyze ~protocol ~codec =
     in
     Array.iteri (fun row idx -> expected_interactions.(idx) <- x.(row)) transient
   end;
-  { protocol; codec; n; configs; config_index; absorbing_flags; correct_flags; expected_interactions }
+  { codec; n; configs; config_index; absorbing_flags; correct_flags; expected_interactions }
 
 let configurations t = Array.length t.configs
 

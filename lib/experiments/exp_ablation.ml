@@ -100,7 +100,7 @@ let run ~mode ~seed ~jobs =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "== Experiment AB: parameter ablations ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:20 in
-  let n = match mode with Exp_common.Quick -> 32 | Full -> 64 in
+  let n = match mode with Exp_common.Quick -> 32 | Exp_common.Full -> 64 in
   let base = Core.Params.optimal_silent n in
   (* D_max = c·n *)
   let rows =
@@ -158,7 +158,7 @@ let run ~mode ~seed ~jobs =
               (measure_optimal ~n ~params ~jobs ~trials ~seed:(seed + 3))
               trials)
           [ ("Tuned", Core.Params.Tuned); ("Paper", Core.Params.Paper) ])
-      (match mode with Exp_common.Quick -> [ 32 ] | Full -> [ 32; 128 ])
+      (match mode with Exp_common.Quick -> [ 32 ] | Exp_common.Full -> [ 32; 128 ])
   in
   sweep_table buf ~title:"Preset comparison (paper constants vs tuned constants, same asymptotics)"
     ~header:optimal_header rows;

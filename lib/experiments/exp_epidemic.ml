@@ -10,7 +10,7 @@ let run ~mode ~seed ~jobs =
   let ns =
     match mode with
     | Exp_common.Quick -> [ 64; 256; 1024 ]
-    | Full -> [ 64; 256; 1024; 4096; 16384 ]
+    | Exp_common.Full -> [ 64; 256; 1024; 4096; 16384 ]
   in
   let table = Stats.Table.create ~header:[ "n"; "mean time"; "p95"; "theory (≈ 2 ln n)" ] in
   List.iter
@@ -32,7 +32,7 @@ let run ~mode ~seed ~jobs =
   Buffer.add_string buf (Stats.Table.render table);
   Buffer.add_string buf "\n\n";
   (* Bounded epidemic: E[tau_k] against the paper's k·n^{1/k} shape. *)
-  let n = match mode with Exp_common.Quick -> 256 | Full -> 1024 in
+  let n = match mode with Exp_common.Quick -> 256 | Exp_common.Full -> 1024 in
   let tau_trials = Exp_common.trials_of_mode mode ~base:30 in
   let ks = [ 1; 2; 3; 4; 6; 8; Core.Params.ceil_log2 n ] in
   let table2 =
@@ -60,7 +60,7 @@ let run ~mode ~seed ~jobs =
   Buffer.add_string buf
     "\n(the ratio column must stay O(1): E[τ_k] = O(k·n^{1/k}), Section 1.1)\n\n";
   (* Roll call: ≈1.5× the epidemic. *)
-  let ns3 = match mode with Exp_common.Quick -> [ 64; 256 ] | Full -> [ 64; 256; 1024 ] in
+  let ns3 = match mode with Exp_common.Quick -> [ 64; 256 ] | Exp_common.Full -> [ 64; 256; 1024 ] in
   let table3 =
     Stats.Table.create ~header:[ "n"; "roll call mean"; "epidemic mean"; "ratio (paper ≈1.5)" ]
   in
@@ -91,7 +91,7 @@ let run ~mode ~seed ~jobs =
      observed is always 0) to ~0 within O(n) interactions; (b) the long-run
      stream quality (bias and lag-1 correlation). *)
   let n = 64 in
-  let restarts = match mode with Exp_common.Quick -> 4_000 | Full -> 20_000 in
+  let restarts = match mode with Exp_common.Quick -> 4_000 | Exp_common.Full -> 20_000 in
   let table4 = Stats.Table.create ~header:[ "warmup (interactions)"; "restarts"; "bias of next bit" ] in
   List.iter
     (fun warmup ->
@@ -112,7 +112,7 @@ let run ~mode ~seed ~jobs =
     (Printf.sprintf "Synthetic coins at n=%d (paper footnotes 5-6), from all-zero coins\n" n);
   Buffer.add_string buf (Stats.Table.render table4);
   Buffer.add_string buf "\n";
-  let samples = match mode with Exp_common.Quick -> 20_000 | Full -> 100_000 in
+  let samples = match mode with Exp_common.Quick -> 20_000 | Exp_common.Full -> 100_000 in
   let r =
     Processes.Synthetic_coin.measure (Prng.create ~seed:(seed + 11)) ~n ~warmup:(4 * n) ~samples
   in

@@ -29,7 +29,7 @@ let simulate_array ~protocol ~init ~jobs ~trials ~seed =
 let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment EX: exhaustive small-n validation ==\n\n";
-  let ns = match mode with Exp_common.Quick -> [ 3; 4; 5 ] | Full -> [ 3; 4; 5; 6; 7 ] in
+  let ns = match mode with Exp_common.Quick -> [ 3; 4; 5 ] | Exp_common.Full -> [ 3; 4; 5; 6; 7 ] in
   let trials = Exp_common.trials_of_mode mode ~base:3000 in
   let table =
     Stats.Table.create

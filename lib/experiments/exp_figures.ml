@@ -103,7 +103,7 @@ let run ~mode ~seed ~jobs =
      Protocol 3; the paper's figure counts ranks from 0, hence its '3, 4 or 5').\n\n";
   (* Ranking phase alone is Θ(n). *)
   let trials = Exp_common.trials_of_mode mode ~base:30 in
-  let ns = match mode with Exp_common.Quick -> [ 16; 32; 64 ] | Full -> [ 16; 32; 64; 128; 256 ] in
+  let ns = match mode with Exp_common.Quick -> [ 16; 32; 64 ] | Exp_common.Full -> [ 16; 32; 64; 128; 256 ] in
   let table = Stats.Table.create ~header:Exp_common.time_header in
   let points =
     List.map

@@ -65,14 +65,14 @@ let run ~mode ~seed ~jobs =
           ("all-followers", fun _ -> Core.Loose.all_followers ~n ~t_max);
           ("uniform", fun rng -> Core.Loose.uniform rng ~n ~t_max);
         ])
-    (match mode with Exp_common.Quick -> [ 16; 64 ] | Full -> [ 16; 32; 64 ]);
+    (match mode with Exp_common.Quick -> [ 16; 64 ] | Exp_common.Full -> [ 16; 32; 64 ]);
   Buffer.add_string buf
     "Convergence with one transition table (t_max from N=64) across population sizes\n";
   Buffer.add_string buf (Stats.Table.render table);
   Buffer.add_string buf "\n\n";
   (* Holding time vs T_max. *)
   let n = 32 in
-  let cap_time = match mode with Exp_common.Quick -> 20_000 | Full -> 200_000 in
+  let cap_time = match mode with Exp_common.Quick -> 20_000 | Exp_common.Full -> 200_000 in
   let cap = cap_time * n in
   let table2 =
     Stats.Table.create

@@ -15,7 +15,7 @@ let run ~mode ~seed ~jobs =
   let pairs =
     match mode with
     | Exp_common.Quick -> [ (8, 12); (16, 24); (32, 48) ]
-    | Full -> [ (8, 12); (16, 24); (32, 48); (64, 96); (64, 128) ]
+    | Exp_common.Full -> [ (8, 12); (16, 24); (32, 48); (64, 96); (64, 128) ]
   in
   let table =
     Stats.Table.create

@@ -6,7 +6,7 @@ let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment Q: Silent-n-state-SSR worst case ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
-  let ns = match mode with Exp_common.Quick -> [ 8; 16; 32; 64 ] | Full -> [ 8; 16; 32; 64; 128 ] in
+  let ns = match mode with Exp_common.Quick -> [ 8; 16; 32; 64 ] | Exp_common.Full -> [ 8; 16; 32; 64; 128 ] in
   let table =
     Stats.Table.create ~header:(Exp_common.time_header @ [ "theory (n-1)^2/2"; "mean/theory" ])
   in

@@ -59,7 +59,7 @@ let run ~mode ~seed ~jobs =
   let ns =
     match mode with
     | Exp_common.Quick -> [ 16; 64; 256 ]
-    | Full -> [ 16; 32; 64; 128; 256; 512; 1024 ]
+    | Exp_common.Full -> [ 16; 32; 64; 128; 256; 512; 1024 ]
   in
   let scenario_table scenario_name make_init =
     let table =

@@ -51,13 +51,13 @@ let run ~mode ~seed ~jobs =
   let ns =
     match mode with
     | Exp_common.Quick -> [ 64; 256; 1024 ]
-    | Full -> [ 64; 128; 256; 512; 1024; 2048; 4096 ]
+    | Exp_common.Full -> [ 64; 128; 256; 512; 1024; 2048; 4096 ]
   in
   measure ~scenario:"Worst case (barrier configuration; exactly n-1 productive events)"
     ~make_init:(fun _rng ~n -> Core.Scenarios.silent_worst_case ~n)
     ~ns ~jobs ~trials ~seed buf;
   let ns_uniform =
-    match mode with Exp_common.Quick -> [ 64; 256 ] | Full -> [ 64; 128; 256; 512; 1024 ]
+    match mode with Exp_common.Quick -> [ 64; 256 ] | Exp_common.Full -> [ 64; 128; 256; 512; 1024 ]
   in
   measure ~scenario:"Uniform adversarial ranks"
     ~make_init:(fun rng ~n -> Core.Scenarios.silent_uniform rng ~n)

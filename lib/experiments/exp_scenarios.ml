@@ -39,14 +39,14 @@ let run ~mode ~seed ~jobs =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "== Experiment SN: adversary catalogue ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:20 in
-  let n_silent = match mode with Exp_common.Quick -> 16 | Full -> 32 in
+  let n_silent = match mode with Exp_common.Quick -> 16 | Exp_common.Full -> 32 in
   sweep buf
     ~title:(Printf.sprintf "Silent-n-state-SSR, n=%d" n_silent)
     ~protocol:(Core.Silent_n_state.protocol ~n:n_silent)
     ~catalogue:(Core.Scenarios.silent_catalogue ~n:n_silent)
     ~expected_time:(float_of_int (n_silent * n_silent))
     ~jobs ~trials ~seed;
-  let n_opt = match mode with Exp_common.Quick -> 16 | Full -> 48 in
+  let n_opt = match mode with Exp_common.Quick -> 16 | Exp_common.Full -> 48 in
   let params = Core.Params.optimal_silent n_opt in
   sweep buf
     ~title:(Printf.sprintf "Optimal-Silent-SSR, n=%d" n_opt)
@@ -56,7 +56,7 @@ let run ~mode ~seed ~jobs =
     ~jobs ~trials ~seed:(seed + 1);
   List.iter
     (fun h ->
-      let n_sub = match mode with Exp_common.Quick -> 8 | Full -> 16 in
+      let n_sub = match mode with Exp_common.Quick -> 8 | Exp_common.Full -> 16 in
       let params = Core.Params.sublinear ~h n_sub in
       sweep buf
         ~title:(Printf.sprintf "Sublinear-Time-SSR, n=%d, H=%d" n_sub h)
@@ -65,7 +65,7 @@ let run ~mode ~seed ~jobs =
         ~expected_time:
           (float_of_int (params.Core.Params.d_max + (8 * params.Core.Params.t_h) + (8 * n_sub)))
         ~jobs ~trials ~seed:(seed + 2 + h))
-    (match mode with Exp_common.Quick -> [ 1 ] | Full -> [ 0; 1; 2 ]);
+    (match mode with Exp_common.Quick -> [ 1 ] | Exp_common.Full -> [ 0; 1; 2 ]);
   Buffer.add_string buf
     "(viol counts runs that re-entered incorrectness after first looking correct:\n\
      planted ranks or forged trees can make the monitor see a transiently\n\

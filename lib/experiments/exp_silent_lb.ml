@@ -6,7 +6,7 @@ let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment O2.2: silent lower bound ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
-  let ns = match mode with Exp_common.Quick -> [ 16; 32; 64 ] | Full -> [ 16; 32; 64; 128; 256 ] in
+  let ns = match mode with Exp_common.Quick -> [ 16; 32; 64 ] | Exp_common.Full -> [ 16; 32; 64; 128; 256 ] in
   (* Convergence from a silent configuration with a planted duplicate, for
      both silent protocols. The lower bound says mean >= ~n/3. *)
   let table =
@@ -51,8 +51,8 @@ let run ~mode ~seed ~jobs =
   (* Tail bound: P[meeting time >= alpha n ln n] vs the bound (1/2)n^{-3alpha}.
      The meeting time of the planted pair is exactly geometric, so we sample
      it directly with many trials. *)
-  let n = match mode with Exp_common.Quick -> 32 | Full -> 64 in
-  let tail_trials = match mode with Exp_common.Quick -> 20_000 | Full -> 100_000 in
+  let n = match mode with Exp_common.Quick -> 32 | Exp_common.Full -> 64 in
+  let tail_trials = match mode with Exp_common.Quick -> 20_000 | Exp_common.Full -> 100_000 in
   let rng = Prng.create ~seed:(seed + 2) in
   let samples = Processes.Coupon.meeting_times rng ~n ~trials:tail_trials in
   let hist = Stats.Histogram.of_samples ~lo:0.0 ~hi:(4.0 *. float_of_int n) ~bins:16 samples in

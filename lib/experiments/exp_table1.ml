@@ -44,7 +44,7 @@ let run ~mode ~seed ~jobs =
   Buffer.add_string buf "== Experiment T1: Table 1 ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
   (* Row 1: Silent-n-state-SSR, Θ(n²), from uniform adversarial ranks. *)
-  let ns1 = match mode with Exp_common.Quick -> [ 8; 16; 32; 64 ] | Full -> [ 8; 16; 32; 64; 128 ] in
+  let ns1 = match mode with Exp_common.Quick -> [ 8; 16; 32; 64 ] | Exp_common.Full -> [ 8; 16; 32; 64; 128 ] in
   let row1 =
     sweep ~buf ~title:"Silent-n-state-SSR (uniform adversarial ranks) — paper: Θ(n²), silent"
       ~expected_exponent:(Some 2.0) ~ns:ns1 ~measure_one:(fun n ->
@@ -60,7 +60,7 @@ let run ~mode ~seed ~jobs =
        (String.concat ", " (silence_cells row1)));
   (* Row 2: Optimal-Silent-SSR, Θ(n), from uniform adversarial states. *)
   let ns2 =
-    match mode with Exp_common.Quick -> [ 16; 32; 64; 128 ] | Full -> [ 16; 32; 64; 128; 256; 512 ]
+    match mode with Exp_common.Quick -> [ 16; 32; 64; 128 ] | Exp_common.Full -> [ 16; 32; 64; 128; 256; 512 ]
   in
   let row2 =
     sweep ~buf ~title:"Optimal-Silent-SSR (uniform adversarial states) — paper: Θ(n), silent"
@@ -80,7 +80,7 @@ let run ~mode ~seed ~jobs =
      hardest scenario (hidden name collision). Population sizes stay small:
      the state space is quasi-exponential and the history trees genuinely
      reach ~n^H nodes (see DESIGN.md). *)
-  let ns3 = match mode with Exp_common.Quick -> [ 4; 8; 12 ] | Full -> [ 4; 6; 8; 12; 16 ] in
+  let ns3 = match mode with Exp_common.Quick -> [ 4; 8; 12 ] | Exp_common.Full -> [ 4; 6; 8; 12; 16 ] in
   let _row3 =
     sweep ~buf
       ~title:
@@ -96,7 +96,7 @@ let run ~mode ~seed ~jobs =
           ~jobs ~trials ~seed:(seed + 2) ())
   in
   (* Row 4: Sublinear-Time-SSR with fixed H = 1: Θ(n^{1/2}). *)
-  let ns4 = match mode with Exp_common.Quick -> [ 8; 16; 32 ] | Full -> [ 8; 16; 32; 64; 128 ] in
+  let ns4 = match mode with Exp_common.Quick -> [ 8; 16; 32 ] | Exp_common.Full -> [ 8; 16; 32; 64; 128 ] in
   let _row4 =
     sweep ~buf
       ~title:"Sublinear-Time-SSR, H=1 (hidden name collision) — paper: Θ(H·n^{1/(H+1)}) = Θ(√n)"

@@ -32,7 +32,7 @@ let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment TP: interaction-graph topologies ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:20 in
-  let ns = match mode with Exp_common.Quick -> [ 32 ] | Full -> [ 32; 64; 128 ] in
+  let ns = match mode with Exp_common.Quick -> [ 32 ] | Exp_common.Full -> [ 32; 64; 128 ] in
   let table = Stats.Table.create ~header:[ "n"; "topology"; "mean epidemic time"; "p95" ] in
   List.iter
     (fun n ->
@@ -68,7 +68,7 @@ let run ~mode ~seed ~jobs =
   (* Recovery of Optimal-Silent-SSR from a planted duplicate, per topology:
      the duplicate sits on agents at ring-distance n/2, so on the ring the
      collision is never observed. *)
-  let n = match mode with Exp_common.Quick -> 24 | Full -> 48 in
+  let n = match mode with Exp_common.Quick -> 24 | Exp_common.Full -> 48 in
   let params = Core.Params.optimal_silent n in
   let protocol = Core.Optimal_silent.protocol ~params ~n () in
   let table2 =

@@ -40,7 +40,7 @@ let run ~mode ~seed ~jobs =
   Buffer.add_string buf "== Experiment T1.4: time/space tradeoff in H ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:30 in
   (* H sweep at fixed n: detection latency falls, state estimate explodes. *)
-  let n_fixed = match mode with Exp_common.Quick -> 32 | Full -> 64 in
+  let n_fixed = match mode with Exp_common.Quick -> 32 | Exp_common.Full -> 64 in
   let hs = [ 0; 1; 2; 3 ] in
   let table =
     Stats.Table.create
@@ -73,9 +73,9 @@ let run ~mode ~seed ~jobs =
       let ns =
         match (mode, h) with
         | Exp_common.Quick, _ -> [ 8; 16; 32 ]
-        | Full, 0 -> [ 8; 16; 32; 64; 128 ]
-        | Full, 1 -> [ 8; 16; 32; 64; 128 ]
-        | Full, _ -> [ 8; 16; 32; 64 ]
+        | Exp_common.Full, 0 -> [ 8; 16; 32; 64; 128 ]
+        | Exp_common.Full, 1 -> [ 8; 16; 32; 64; 128 ]
+        | Exp_common.Full, _ -> [ 8; 16; 32; 64 ]
       in
       let table = Stats.Table.create ~header:[ "n"; "mean detect"; "p95"; "missed" ] in
       let points =

@@ -1,12 +1,27 @@
 (* xoshiro256** 1.0 (Blackman & Vigna, public domain reference
    implementation), ported to OCaml Int64. State must never be all zero;
-   splitmix64 seeding guarantees that. *)
+   splitmix64 seeding guarantees that.
+
+   A generator can alternatively run in *scripted* mode: every bounded
+   primitive draw ([int], [bool], [bits], ...) is then served from a
+   prescribed list of choices instead of the xoshiro stream, and the
+   (choice, bound) pairs actually drawn are recorded. Static analysis uses
+   this to enumerate every synthetic-coin outcome of a randomized
+   transition exactly (see [Analysis.Coins]); the unbounded primitives
+   ([bits64], [float], [split]) have no finite choice space and raise in
+   scripted mode. *)
+
+type script = {
+  mutable pending : int list;  (* prescribed upcoming choices, in draw order *)
+  mutable trace : (int * int) list;  (* (choice, bound) drawn so far, newest first *)
+}
 
 type t = {
   mutable s0 : int64;
   mutable s1 : int64;
   mutable s2 : int64;
   mutable s3 : int64;
+  script : script option;
 }
 
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
@@ -25,13 +40,44 @@ let of_seed64 seed64 =
   let s1 = splitmix_next state in
   let s2 = splitmix_next state in
   let s3 = splitmix_next state in
-  { s0; s1; s2; s3 }
+  { s0; s1; s2; s3; script = None }
 
 let create ~seed = of_seed64 (Int64.of_int seed)
 
-let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+let scripted choices =
+  let g = of_seed64 0L in
+  { g with script = Some { pending = choices; trace = [] } }
 
-let bits64 g =
+let is_scripted g = g.script <> None
+
+let script_trace g =
+  match g.script with
+  | None -> invalid_arg "Prng.script_trace: generator is not scripted"
+  | Some s -> List.rev s.trace
+
+let script_draw s bound =
+  let choice =
+    match s.pending with
+    | [] -> 0
+    | c :: rest ->
+        s.pending <- rest;
+        if c < 0 || c >= bound then
+          invalid_arg
+            (Printf.sprintf "Prng: scripted choice %d outside [0, %d)" c bound);
+        c
+  in
+  s.trace <- (choice, bound) :: s.trace;
+  choice
+
+let copy g =
+  let script =
+    match g.script with
+    | None -> None
+    | Some s -> Some { pending = s.pending; trace = s.trace }
+  in
+  { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3; script }
+
+let raw_bits64 g =
   let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
   let t = Int64.shift_left g.s1 17 in
   g.s2 <- Int64.logxor g.s2 g.s0;
@@ -42,6 +88,11 @@ let bits64 g =
   g.s3 <- rotl g.s3 45;
   result
 
+let bits64 g =
+  match g.script with
+  | None -> raw_bits64 g
+  | Some _ -> invalid_arg "Prng.bits64: unbounded draw on a scripted generator"
+
 let split g = of_seed64 (bits64 g)
 
 let split_many g k = Array.init k (fun _ -> split g)
@@ -50,21 +101,27 @@ let split_many g k = Array.init k (fun _ -> split g)
    OCaml int range). *)
 let int g bound =
   assert (bound > 0);
-  let mask = Int64.shift_right_logical Int64.minus_one 2 in
-  (* 62 bits *)
-  let rec loop () =
-    let r = Int64.to_int (Int64.logand (bits64 g) mask) in
-    (* r is uniform on [0, 2^62). Reject the tail to avoid modulo bias. *)
-    let limit = (max_int / bound) * bound in
-    if r < limit then r mod bound else loop ()
-  in
-  loop ()
+  match g.script with
+  | Some s -> script_draw s bound
+  | None ->
+      let mask = Int64.shift_right_logical Int64.minus_one 2 in
+      (* 62 bits *)
+      let rec loop () =
+        let r = Int64.to_int (Int64.logand (raw_bits64 g) mask) in
+        (* r is uniform on [0, 2^62). Reject the tail to avoid modulo bias. *)
+        let limit = (max_int / bound) * bound in
+        if r < limit then r mod bound else loop ()
+      in
+      loop ()
 
 let int_in g lo hi =
   assert (lo <= hi);
   lo + int g (hi - lo + 1)
 
-let bool g = Int64.compare (Int64.logand (bits64 g) 1L) 0L <> 0
+let bool g =
+  match g.script with
+  | Some s -> script_draw s 2 = 1
+  | None -> Int64.compare (Int64.logand (raw_bits64 g) 1L) 0L <> 0
 
 let float g =
   (* 53 random bits into [0,1). *)
@@ -97,7 +154,17 @@ let pick g a =
   assert (Array.length a > 0);
   a.(int g (Array.length a))
 
+(* Cap on enumerable bit widths in scripted mode: the choice space of a
+   [bits] draw is 2^width and the analyzer visits all of it. *)
+let max_scripted_width = 20
+
 let bits g ~width =
   assert (width >= 0 && width <= 62);
   if width = 0 then 0
-  else Int64.to_int (Int64.shift_right_logical (bits64 g) (64 - width))
+  else
+    match g.script with
+    | Some s ->
+        if width > max_scripted_width then
+          invalid_arg "Prng.bits: width too large to enumerate on a scripted generator";
+        script_draw s (1 lsl width)
+    | None -> Int64.to_int (Int64.shift_right_logical (raw_bits64 g) (64 - width))

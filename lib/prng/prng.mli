@@ -13,6 +13,24 @@ val create : seed:int -> t
 (** [create ~seed] builds a generator deterministically from [seed]. Distinct
     seeds give (with overwhelming probability) uncorrelated streams. *)
 
+val scripted : int list -> t
+(** [scripted choices] is a generator in {e scripted} mode: each bounded
+    primitive draw ({!int}, {!bool}, {!bits}, and the derived helpers) is
+    answered by the next element of [choices] — which must lie in the
+    draw's range, or [Invalid_argument] is raised — and by [0] once
+    [choices] is exhausted. Every draw is recorded together with its bound
+    (see {!script_trace}), which lets a caller enumerate the complete
+    finite choice tree of a randomized function exactly. The unbounded
+    primitives ({!bits64}, {!float}, {!bernoulli}, {!split}) raise
+    [Invalid_argument] in scripted mode. *)
+
+val is_scripted : t -> bool
+(** [true] iff the generator was built by {!scripted}. *)
+
+val script_trace : t -> (int * int) list
+(** The [(choice, bound)] pairs drawn so far from a scripted generator, in
+    draw order. Raises [Invalid_argument] on a non-scripted generator. *)
+
 val copy : t -> t
 (** [copy g] is a generator with identical state that evolves separately. *)
 
@@ -57,4 +75,5 @@ val pick : t -> 'a array -> 'a
 
 val bits : t -> width:int -> int
 (** [bits g ~width] is a uniform [width]-bit non-negative integer,
-    [0 <= width <= 62]. *)
+    [0 <= width <= 62]. In scripted mode the width is additionally capped
+    at 20 bits (the choice space is enumerated exhaustively). *)

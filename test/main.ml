@@ -14,4 +14,5 @@ let () =
       ("core", Test_core.suite);
       ("recovery", Test_recovery.suite);
       ("experiments", Test_experiments.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -1,0 +1,415 @@
+(* Tests for the static-analysis subsystem: scripted PRNG replay, exact
+   coin-tree enumeration, configuration combinatorics, the four analyzer
+   stages (positive and negative), and trace-level invariant preservation
+   on the scenario catalogues. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let stage_of (r : Analysis.Report.t) name =
+  match List.find_opt (fun (s : Analysis.Report.stage) -> s.Analysis.Report.stage = name) r.Analysis.Report.stages with
+  | Some s -> s
+  | None -> Alcotest.failf "report for %s has no stage %s" r.Analysis.Report.key name
+
+let metric_of (s : Analysis.Report.stage) key =
+  match List.assoc_opt key s.Analysis.Report.metrics with
+  | Some v -> v
+  | None -> Alcotest.failf "stage %s has no metric %s" s.Analysis.Report.stage key
+
+let contains ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec at i = i + lsub <= ls && (String.sub s i lsub = sub || at (i + 1)) in
+  at 0
+
+let rank0 ~n r = Core.Silent_n_state.state_of_rank0 ~n r
+
+(* --- scripted Prng ---------------------------------------------------- *)
+
+let test_scripted_replay () =
+  let g = Prng.scripted [ 2; 1 ] in
+  check_int "first draw follows the script" 2 (Prng.int g 5);
+  check_bool "second draw follows the script" true (Prng.bool g);
+  check_int "exhausted script answers 0" 0 (Prng.int g 7);
+  Alcotest.(check (list (pair int int)))
+    "trace records (choice, bound) in draw order"
+    [ (2, 5); (1, 2); (0, 7) ]
+    (Prng.script_trace g)
+
+let test_scripted_rejects () =
+  let g = Prng.scripted [ 9 ] in
+  Alcotest.check_raises "out-of-range choice"
+    (Invalid_argument "Prng: scripted choice 9 outside [0, 3)") (fun () -> ignore (Prng.int g 3));
+  let g = Prng.scripted [] in
+  check_bool "unbounded draws raise" true
+    (try
+       ignore (Prng.bits64 g);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "float raises" true
+    (try
+       ignore (Prng.float g);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "split raises" true
+    (try
+       ignore (Prng.split g);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- coin-tree enumeration ------------------------------------------- *)
+
+let test_coins_deterministic () =
+  match Analysis.Coins.enumerate ~max_draws:0 (fun _rng -> 42) with
+  | [ { Analysis.Coins.value = 42; trace = [] } ] -> ()
+  | _ -> Alcotest.fail "deterministic function must have exactly one traceless outcome"
+
+let test_coins_full_tree () =
+  (* bool, then int 3 only on the true branch: 1 + 3 leaves *)
+  let outcomes =
+    Analysis.Coins.enumerate ~max_draws:2 (fun rng ->
+        if Prng.bool rng then (1, Prng.int rng 3) else (0, 99))
+  in
+  let values = List.map (fun o -> o.Analysis.Coins.value) outcomes in
+  Alcotest.(check (list (pair int int)))
+    "all leaves visited exactly once"
+    [ (0, 99); (1, 0); (1, 1); (1, 2) ]
+    (List.sort compare values);
+  check_int "leaf count" 4 (List.length values)
+
+let test_coins_draw_guard () =
+  check_bool "overdrawing raises" true
+    (try
+       ignore (Analysis.Coins.enumerate ~max_draws:1 (fun rng ->
+                   ignore (Prng.bool rng);
+                   Prng.bool rng));
+       false
+     with Analysis.Coins.Too_many_draws _ -> true)
+
+(* --- configuration combinatorics ------------------------------------- *)
+
+let test_configs_count_matches_iter () =
+  List.iter
+    (fun (s, n) ->
+      let count = ref 0 in
+      Analysis.Configs.iter ~states:s ~n (fun _ -> incr count);
+      match Analysis.Configs.count ~states:s ~n with
+      | Some c -> check_int (Printf.sprintf "C(%d+%d-1,%d)" s n n) c !count
+      | None -> Alcotest.fail "small count must not overflow")
+    [ (1, 3); (3, 3); (5, 4); (10, 2) ]
+
+let test_configs_keys_injective () =
+  let s = 5 and n = 3 in
+  let seen = Hashtbl.create 64 in
+  Analysis.Configs.iter ~states:s ~n (fun cfg ->
+      let k = Analysis.Configs.key ~states:s cfg in
+      check_bool "key unseen" false (Hashtbl.mem seen k);
+      Hashtbl.replace seen k ());
+  check_int "all keys distinct" 35 (Hashtbl.length seen)
+
+let test_configs_replace_pair () =
+  let cfg = [| 0; 1; 1; 4 |] in
+  Alcotest.(check (array int))
+    "replaces one occurrence of each and re-sorts"
+    [| 0; 1; 2; 3 |]
+    (Analysis.Configs.replace_pair cfg ~a:1 ~b:4 ~a':3 ~b':2);
+  Alcotest.(check (array int)) "input untouched" [| 0; 1; 1; 4 |] cfg
+
+(* --- the analyzer on the catalogue ----------------------------------- *)
+
+let with_pool f = Engine.Pool.with_pool ~jobs:2 f
+
+let test_catalogue_passes () =
+  (* budget high enough for every *_small instance at n = 3, low enough to
+     keep the test fast (production-parameter instances skip model check) *)
+  with_pool (fun pool ->
+      let reports =
+        Analysis.Driver.analyze_all ~pool ~max_configs:5_000 ~ns:[ 3 ] Analysis.Registry.entries
+      in
+      check_int "one report per entry" (List.length Analysis.Registry.entries)
+        (List.length reports);
+      List.iter
+        (fun r ->
+          check_bool
+            (Printf.sprintf "%s(n=%d) passes: %s" r.Analysis.Report.key r.Analysis.Report.n
+               (Analysis.Report.to_json r))
+            true (Analysis.Report.ok r))
+        reports)
+
+let test_table1_cross_check () =
+  with_pool (fun pool ->
+      List.iter
+        (fun key ->
+          let entry = Option.get (Analysis.Registry.find key) in
+          let r = Analysis.Driver.analyze_entry ~pool ~max_configs:1 ~n:4 entry in
+          let counts = stage_of r "state-count" in
+          check_bool (key ^ " state-count passes") true
+            (counts.Analysis.Report.status = Analysis.Report.Pass);
+          check_int
+            (key ^ " Table 1 count equals enumeration")
+            (int_of_string (metric_of counts "table1"))
+            (int_of_string (metric_of counts "states")))
+        [ "silent_n_state"; "optimal_silent" ])
+
+let test_model_check_silent_n_state () =
+  (* n-state SSR at n = 3: the unique bottom SCC is the single silent
+     correct ranked configuration *)
+  with_pool (fun pool ->
+      let entry = Option.get (Analysis.Registry.find "silent_n_state") in
+      let r = Analysis.Driver.analyze_entry ~pool ~max_configs:100 ~n:3 entry in
+      let mc = stage_of r "model-check" in
+      check_bool "model check passes" true (mc.Analysis.Report.status = Analysis.Report.Pass);
+      check_int "exactly one bottom SCC" 1 (int_of_string (metric_of mc "bottom"));
+      check_int "exactly one correct configuration" 1 (int_of_string (metric_of mc "correct")))
+
+let test_model_check_catches_unrestricted_baseline () =
+  (* without the >= 1 leader admissibility restriction the all-followers
+     configuration is a silent incorrect bottom SCC: the model checker must
+     refuse to certify it *)
+  let n = 3 in
+  let protocol = Core.Baseline.protocol ~n in
+  let unrestricted =
+    Engine.Enumerable.make ~protocol
+      ~states:[ Core.Baseline.Leader; Core.Baseline.Follower ]
+      ~correct:(Engine.Enumerable.unique_leader protocol)
+      ~expectation:Engine.Enumerable.Silent_stabilizing ()
+  in
+  with_pool (fun pool ->
+      let r =
+        Analysis.Driver.analyze_enumerable ~pool ~max_configs:100 ~key:"baseline-unrestricted"
+          ~table1:false unrestricted
+      in
+      let mc = stage_of r "model-check" in
+      check_bool "model check fails" true (mc.Analysis.Report.status = Analysis.Report.Fail);
+      check_bool "silence certification fails too" true
+        ((stage_of r "silence").Analysis.Report.status = Analysis.Report.Fail))
+
+let test_closure_catches_missing_state () =
+  (* declaring only states 0..n-2 of the n-state protocol: the transition
+     escapes to n-1 and closure must say so *)
+  let n = 3 in
+  let truncated =
+    Engine.Enumerable.make ~protocol:(Core.Silent_n_state.protocol ~n)
+      ~states:[ rank0 ~n 0; rank0 ~n 1 ]
+      ()
+  in
+  with_pool (fun pool ->
+      let r =
+        Analysis.Driver.analyze_enumerable ~pool ~max_configs:100 ~key:"silent-truncated"
+          ~table1:false truncated
+      in
+      check_bool "closure fails" true
+        ((stage_of r "closure").Analysis.Report.status = Analysis.Report.Fail);
+      check_bool "model check reports the escape" true
+        ((stage_of r "model-check").Analysis.Report.status = Analysis.Report.Fail))
+
+let test_lint_catches_false_invariant () =
+  let n = 3 in
+  let wrong =
+    Engine.Enumerable.make ~protocol:(Core.Silent_n_state.protocol ~n)
+      ~states:(List.init n (rank0 ~n))
+      ~invariants:
+        [ { Engine.Enumerable.iname = "bogus"; holds = (fun s -> (s :> int) < n - 1) } ]
+      ()
+  in
+  with_pool (fun pool ->
+      let r =
+        Analysis.Driver.analyze_enumerable ~pool ~max_configs:100 ~key:"silent-bogus-invariant"
+          ~table1:false wrong
+      in
+      let lint = stage_of r "invariant-lint" in
+      check_bool "lint fails" true (lint.Analysis.Report.status = Analysis.Report.Fail);
+      check_bool "counterexample names the invariant" true
+        (List.exists (fun f -> contains ~sub:{|invariant "bogus"|} f) lint.Analysis.Report.findings))
+
+let test_json_renders () =
+  with_pool (fun pool ->
+      let entry = Option.get (Analysis.Registry.find "reset") in
+      let r = Analysis.Driver.analyze_entry ~pool ~max_configs:1_000 ~n:3 entry in
+      let json = Analysis.Report.list_to_json [ r ] in
+      check_bool "mentions the key" true (contains ~sub:{|"key":"reset"|} json);
+      check_bool "reports overall verdict" true (contains ~sub:{|"ok":true|} json))
+
+(* --- silence classification edge cases -------------------------------- *)
+
+let test_silence_single_agent_vacuous () =
+  let p = Core.Silent_n_state.protocol ~n:2 in
+  check_bool "one agent has no ordered pair: silent" true
+    (Engine.Silence.configuration_is_silent p [| rank0 ~n:2 0 |])
+
+let test_silence_single_state_multiplicity () =
+  let n = 3 in
+  let p = Core.Silent_n_state.protocol ~n in
+  check_bool "same-state pair is applicable at multiplicity 2" false
+    (Engine.Silence.configuration_is_silent p (Array.make n (rank0 ~n 1)));
+  check_bool "ranked configuration is silent" true
+    (Engine.Silence.configuration_is_silent p (Array.init n (rank0 ~n)))
+
+let test_silence_asymmetric_pair () =
+  (* (s1, s0) is productive but (s0, s1) is not: the responder role must be
+     tried even when each state has multiplicity 1 *)
+  let n = 2 in
+  let s0 = rank0 ~n 0 and s1 = rank0 ~n 1 in
+  let p =
+    {
+      (Core.Silent_n_state.protocol ~n) with
+      Engine.Protocol.name = "asymmetric-probe";
+      transition = (fun _rng a b -> if a = s1 && b = s0 then (s1, s1) else (a, b));
+    }
+  in
+  check_bool "asymmetric productive pair detected" false
+    (Engine.Silence.configuration_is_silent p [| s0; s1 |]);
+  check_bool "productive order only" false
+    (Engine.Silence.configuration_is_silent p [| s1; s0 |])
+
+let test_silence_rejects_randomized () =
+  let params = Core.Sublinear.analysis_params ~n:3 in
+  let p = Core.Sublinear.protocol ~params ~n:3 ~h:0 () in
+  let init = Core.Scenarios.sublinear_fresh (Prng.create ~seed:5) ~params ~n:3 in
+  Alcotest.check_raises "randomized protocol rejected"
+    (Invalid_argument "Silence.configuration_is_silent: protocol is randomized") (fun () ->
+      ignore (Engine.Silence.configuration_is_silent p init))
+
+(* --- Protocol.validate ------------------------------------------------ *)
+
+let test_validate_rank_range () =
+  let n = 3 in
+  let p = Core.Silent_n_state.protocol ~n in
+  check_bool "in-range config accepted" true
+    (try
+       Engine.Protocol.validate ~config:(Array.init n (rank0 ~n)) p;
+       true
+     with Invalid_argument _ -> false);
+  let shifted =
+    {
+      p with
+      Engine.Protocol.rank = (fun (s : Core.Silent_n_state.state) -> Some ((s :> int) + 10));
+    }
+  in
+  check_bool "out-of-range rank rejected" true
+    (try
+       Engine.Protocol.validate ~config:[| rank0 ~n 0 |] shifted;
+       false
+     with Invalid_argument _ -> true)
+
+let test_validate_leader_consistency () =
+  let base = Core.Baseline.protocol ~n:3 in
+  let broken = { base with Engine.Protocol.is_leader = (fun _ -> true) } in
+  check_bool "leader bit must match rank-1 convention" true
+    (try
+       Engine.Protocol.validate ~config:[| Core.Baseline.Follower |] broken;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- trace-level invariant preservation (QCheck) ---------------------- *)
+
+(* One simulation property for all protocols: whenever both agents of an
+   interaction satisfied the declared invariants beforehand, they still do
+   afterwards. Adversarial scenarios may seed invariant-violating states
+   (e.g. oversized rosters); those agents are exempt until repaired. *)
+let preserves_invariants (type s) ~(protocol : s Engine.Protocol.t)
+    ~(invariants : s Engine.Enumerable.invariant list) ~init ~seed ~steps =
+  let rng = Prng.create ~seed in
+  let sim = Engine.Sim.make ~protocol ~init ~rng in
+  let n = protocol.Engine.Protocol.n in
+  let holds s = List.for_all (fun inv -> inv.Engine.Enumerable.holds s) invariants in
+  let ok = ref true in
+  for _ = 1 to steps do
+    let before = Array.init n (Engine.Sim.state sim) in
+    Engine.Sim.step sim;
+    match Engine.Sim.last_pair sim with
+    | None -> ()
+    | Some (i, j) ->
+        if holds before.(i) && holds before.(j) then
+          if not (holds (Engine.Sim.state sim i) && holds (Engine.Sim.state sim j)) then
+            ok := false
+  done;
+  !ok
+
+let qcheck_silent_trace_invariants =
+  QCheck.Test.make ~name:"silent_n_state scenarios never break declared invariants" ~count:20
+    QCheck.(pair (int_range 3 16) small_int)
+    (fun (n, seed) ->
+      let e = Core.Silent_n_state.enumerable ~n in
+      let catalogue = Core.Scenarios.silent_catalogue ~n in
+      List.for_all
+        (fun (_, gen) ->
+          preserves_invariants ~protocol:e.Engine.Enumerable.protocol
+            ~invariants:e.Engine.Enumerable.invariants
+            ~init:(gen (Prng.create ~seed:(seed + 1)))
+            ~seed ~steps:(50 * n))
+        catalogue)
+
+let qcheck_optimal_trace_invariants =
+  QCheck.Test.make ~name:"optimal_silent scenarios never break declared invariants" ~count:10
+    QCheck.(pair (int_range 3 12) small_int)
+    (fun (n, seed) ->
+      let params = Core.Params.optimal_silent n in
+      let e = Core.Optimal_silent.enumerable ~params ~n () in
+      let catalogue = Core.Scenarios.optimal_catalogue ~params ~n in
+      List.for_all
+        (fun (_, gen) ->
+          preserves_invariants ~protocol:e.Engine.Enumerable.protocol
+            ~invariants:e.Engine.Enumerable.invariants
+            ~init:(gen (Prng.create ~seed:(seed + 1)))
+            ~seed ~steps:(60 * n))
+        catalogue)
+
+let qcheck_sublinear_trace_invariants =
+  (* production parameters with history trees (H = 1): the enumerable
+     descriptor only covers H = 0, but the invariant list is parameter-
+     generic and must hold along any trace *)
+  QCheck.Test.make ~name:"sublinear scenarios never break declared invariants" ~count:6
+    QCheck.(pair (int_range 4 8) small_int)
+    (fun (n, seed) ->
+      let params = Core.Params.sublinear ~h:1 n in
+      let protocol = Core.Sublinear.protocol ~params ~n ~h:1 () in
+      let invariants = Core.Sublinear.invariants ~params ~n in
+      let catalogue = Core.Scenarios.sublinear_catalogue ~params ~n in
+      List.for_all
+        (fun (_, gen) ->
+          preserves_invariants ~protocol ~invariants
+            ~init:(gen (Prng.create ~seed:(seed + 1)))
+            ~seed ~steps:(60 * n))
+        catalogue)
+
+let qcheck_loose_trace_invariants =
+  QCheck.Test.make ~name:"loose timers stay in range from uniform starts" ~count:20
+    QCheck.(pair (int_range 3 16) small_int)
+    (fun (n, seed) ->
+      let t_max = Core.Loose.default_t_max ~upper_bound:n in
+      let e = Core.Loose.enumerable ~n ~t_max in
+      preserves_invariants ~protocol:e.Engine.Enumerable.protocol
+        ~invariants:e.Engine.Enumerable.invariants
+        ~init:(Core.Loose.uniform (Prng.create ~seed:(seed + 1)) ~n ~t_max)
+        ~seed ~steps:(50 * n))
+
+let suite =
+  [
+    Alcotest.test_case "scripted prng replays and records" `Quick test_scripted_replay;
+    Alcotest.test_case "scripted prng rejects misuse" `Quick test_scripted_rejects;
+    Alcotest.test_case "coins: deterministic" `Quick test_coins_deterministic;
+    Alcotest.test_case "coins: full tree" `Quick test_coins_full_tree;
+    Alcotest.test_case "coins: draw guard" `Quick test_coins_draw_guard;
+    Alcotest.test_case "configs: count matches enumeration" `Quick test_configs_count_matches_iter;
+    Alcotest.test_case "configs: keys injective" `Quick test_configs_keys_injective;
+    Alcotest.test_case "configs: replace_pair" `Quick test_configs_replace_pair;
+    Alcotest.test_case "catalogue passes at n=3" `Slow test_catalogue_passes;
+    Alcotest.test_case "Table 1 counts cross-check" `Quick test_table1_cross_check;
+    Alcotest.test_case "model check: silent_n_state" `Quick test_model_check_silent_n_state;
+    Alcotest.test_case "model check: unrestricted baseline fails" `Quick
+      test_model_check_catches_unrestricted_baseline;
+    Alcotest.test_case "closure: missing state detected" `Quick test_closure_catches_missing_state;
+    Alcotest.test_case "lint: false invariant detected" `Quick test_lint_catches_false_invariant;
+    Alcotest.test_case "json report renders" `Quick test_json_renders;
+    Alcotest.test_case "silence: single agent" `Quick test_silence_single_agent_vacuous;
+    Alcotest.test_case "silence: single state multiplicity" `Quick
+      test_silence_single_state_multiplicity;
+    Alcotest.test_case "silence: asymmetric ordered pair" `Quick test_silence_asymmetric_pair;
+    Alcotest.test_case "silence: randomized rejected" `Quick test_silence_rejects_randomized;
+    Alcotest.test_case "validate: rank range" `Quick test_validate_rank_range;
+    Alcotest.test_case "validate: leader consistency" `Quick test_validate_leader_consistency;
+    QCheck_alcotest.to_alcotest qcheck_silent_trace_invariants;
+    QCheck_alcotest.to_alcotest qcheck_optimal_trace_invariants;
+    QCheck_alcotest.to_alcotest qcheck_sublinear_trace_invariants;
+    QCheck_alcotest.to_alcotest qcheck_loose_trace_invariants;
+  ]
