@@ -67,7 +67,24 @@ let bench_ranking_phase () =
          let confirm = Engine.Runner.default_confirm ~n in
          ignore
            (Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
-              ~max_interactions:(1000 * n) ~confirm_interactions:confirm sim)))
+              ~max_interactions:(1000 * n) ~confirm_interactions:confirm
+              (Engine.Exec.of_sim sim))))
+
+(* Executor-interface overhead: the same per-interaction loop as
+   figure1's runner path, but driven bare vs through Exec.advance, so a
+   regression in the first-class-module indirection is visible on its
+   own. *)
+let bench_exec_overhead () =
+  let n = n_bench in
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let rng = Prng.create ~seed:11 in
+  let sim = make_sim ~protocol ~init:(Core.Scenarios.silent_uniform rng ~n) ~seed:12 in
+  let exec = Engine.Exec.of_sim sim in
+  Test.make ~name:"exec/agent-advance/1k-interactions"
+    (Staged.stage (fun () ->
+         for _ = 1 to 1000 do
+           ignore (Engine.Exec.advance exec ~until:max_int)
+         done))
 
 (* Figure 2: history-tree merge and path enumeration. *)
 let bench_history_tree () =
@@ -139,6 +156,7 @@ let micro_tests () =
       bench_sublinear ~n:32 ~h:1 ~steps:200 ~label:"table1/sublinear-h1/200-interactions";
       bench_sublinear ~n:8 ~h:3 ~steps:200 ~label:"table1/sublinear-hlog/200-interactions";
       bench_ranking_phase ();
+      bench_exec_overhead ();
       bench_history_tree ();
       bench_silence_check ();
       bench_epidemic ();

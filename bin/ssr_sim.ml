@@ -4,10 +4,11 @@
      ssr_sim -p optimal -n 64 -s uniform --seed 7
      ssr_sim -p sublinear -n 16 -H 4 -s name-collision -v
      ssr_sim -p silent -n 32 -s worst-case
-     ssr_sim -p silent -n 2048 -s worst-case --count-engine
+     ssr_sim -p silent -n 2048 -s worst-case --engine count
      ssr_sim -p loose -n 32
      ssr_sim -p optimal -n 24 -s duplicate-rank --topology ring
-     ssr_sim -p optimal -n 64 --trials 200 --jobs 4 *)
+     ssr_sim -p optimal -n 64 --trials 200 --jobs 4
+     ssr_sim -p silent -n 512 --trials 50 --engine count *)
 
 let topology_of ~n = function
   | "complete" -> None
@@ -18,45 +19,78 @@ let topology_of ~n = function
       Printf.eprintf "unknown topology '%s' (complete | ring | star | regular4)\n" other;
       exit 2
 
-let run_generic (type s) ~(protocol : s Engine.Protocol.t) ~(init : s array) ~seed ~verbose
-    ~horizon_scale ~topology =
+(* Build the requested executor. The count engine supports neither
+   randomized protocols nor restricted interaction graphs — reject both
+   up front with a real message instead of an exception trace. *)
+let make_exec (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s array) ~rng ~topology
+    : s Engine.Exec.t =
+  match (engine : Engine.Exec.kind) with
+  | Engine.Exec.Count ->
+      if topology <> "complete" then begin
+        Printf.eprintf "--engine count only supports the complete interaction graph\n";
+        exit 2
+      end;
+      if not protocol.Engine.Protocol.deterministic then begin
+        Printf.eprintf "--engine count requires a deterministic protocol (got %s)\n"
+          protocol.Engine.Protocol.name;
+        exit 2
+      end;
+      Engine.Exec.make ~kind:Engine.Exec.Count ~protocol ~init ~rng
+  | Engine.Exec.Agent ->
+      let n = protocol.Engine.Protocol.n in
+      let sim =
+        match topology_of ~n topology with
+        | None -> Engine.Sim.make ~protocol ~init ~rng
+        | Some t -> Engine.Sim.make_with ~sampler:(Engine.Topology.sampler t) ~protocol ~init ~rng
+      in
+      Engine.Exec.of_sim sim
+
+let run_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s array) ~seed
+    ~verbose ~horizon_scale ~topology =
   let n = protocol.Engine.Protocol.n in
   let rng = Prng.create ~seed in
-  let sim =
-    match topology_of ~n topology with
-    | None -> Engine.Sim.make ~protocol ~init ~rng
-    | Some t -> Engine.Sim.make_with ~sampler:(Engine.Topology.sampler t) ~protocol ~init ~rng
-  in
-  let collector = Engine.Trace.collector ~interval:(max 1 (n / 2)) () in
-  let metric s =
-    ( Engine.Sim.leader_count s,
-      Engine.Sim.ranked_agents s,
-      if Engine.Sim.ranking_correct s then "RANKED" else "" )
-  in
-  let on_step s = Engine.Trace.hook collector metric s in
+  let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
+  let collector = Engine.Instrument.collector ~interval:(max 1 (n / 2)) () in
+  if verbose then begin
+    let metric () =
+      ( Engine.Exec.leader_count exec,
+        Engine.Exec.ranked_agents exec,
+        if Engine.Exec.ranking_correct exec then "RANKED" else "" )
+    in
+    Engine.Exec.on exec (Engine.Instrument.sampled collector metric)
+  end;
   let outcome =
-    Engine.Runner.run_to_stability ~on_step ~task:Engine.Runner.Ranking
+    Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
       ~max_interactions:
         (Engine.Runner.default_horizon ~n ~expected_time:(horizon_scale *. float_of_int n))
       ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-      sim
+      exec
   in
   if verbose then begin
     Printf.printf "time       leaders  ranked  status\n";
     List.iter
-      (fun (t, (leaders, ranked, status)) -> Printf.printf "%-10.2f %-8d %-7d %s\n" t leaders ranked status)
-      (Engine.Trace.series collector)
+      (fun (t, (leaders, ranked, status)) ->
+        Printf.printf "%-10.2f %-8d %-7d %s\n" t leaders ranked status)
+      (Engine.Instrument.series collector)
   end;
   Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
+  Printf.printf "engine              : %s\n" (Engine.Exec.kind_to_string engine);
   Printf.printf "population          : %d\n" n;
   Printf.printf "converged           : %b\n" outcome.Engine.Runner.converged;
   Printf.printf "stabilization time  : %.2f (parallel time units)\n"
     outcome.Engine.Runner.convergence_time;
   Printf.printf "interactions        : %d\n" outcome.Engine.Runner.total_interactions;
+  (match engine with
+  | Engine.Exec.Count ->
+      Printf.printf "productive events   : %d\n" (Engine.Exec.events exec)
+  | Engine.Exec.Agent -> ());
   Printf.printf "correctness losses  : %d\n" outcome.Engine.Runner.violations;
-  if protocol.Engine.Protocol.deterministic && outcome.Engine.Runner.converged then
-    Printf.printf "final config silent : %b\n"
-      (Engine.Silence.configuration_is_silent protocol (Engine.Sim.snapshot sim));
+  (match Engine.Exec.silent exec with
+  | Some silent -> Printf.printf "final config silent : %b (exact oracle)\n" silent
+  | None ->
+      if protocol.Engine.Protocol.deterministic && outcome.Engine.Runner.converged then
+        Printf.printf "final config silent : %b\n"
+          (Engine.Silence.configuration_is_silent protocol (Engine.Exec.snapshot exec)));
   if outcome.Engine.Runner.converged then 0 else 1
 
 let lookup_scenario ~kind catalogue scenario =
@@ -67,47 +101,27 @@ let lookup_scenario ~kind catalogue scenario =
       Printf.eprintf "unknown %s scenario '%s' (available: %s)\n" kind scenario names;
       exit 2
 
-(* Exact run on the count-based engine (silent deterministic protocols). *)
-let run_count_engine (type s) ~(protocol : s Engine.Protocol.t) ~(init : s array) ~seed =
-  let rng = Prng.create ~seed in
-  let cs = Engine.Count_sim.make ~protocol ~init ~rng in
-  let o = Engine.Count_sim.run_to_silence cs in
-  Printf.printf "protocol            : %s (count-based engine)\n" protocol.Engine.Protocol.name;
-  Printf.printf "population          : %d\n" protocol.Engine.Protocol.n;
-  Printf.printf "silent              : %b\n" o.Engine.Count_sim.silent;
-  Printf.printf "ranking correct     : %b\n" o.Engine.Count_sim.correct;
-  Printf.printf "stabilization time  : %.2f (exact; parallel time units)\n"
-    o.Engine.Count_sim.stabilization_time;
-  Printf.printf "productive events   : %d of %d interactions\n" o.Engine.Count_sim.events
-    o.Engine.Count_sim.interactions;
-  if o.Engine.Count_sim.silent && o.Engine.Count_sim.correct then 0 else 1
-
 (* Batch mode (--trials > 1): run independent trials on a domain pool and
    print summary statistics. Each trial's PRNG child is pre-split from the
    root seed before dispatch, so the numbers are identical for every
    --jobs value; the child drives both the scenario generator and the
    simulation. *)
-let run_batch (type s) ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t -> s array) ~seed ~jobs
-    ~trials ~horizon_scale ~topology =
+let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t -> s array)
+    ~seed ~jobs ~trials ~horizon_scale ~topology =
   let n = protocol.Engine.Protocol.n in
-  let sampler = Option.map Engine.Topology.sampler (topology_of ~n topology) in
   let children = Prng.split_many (Prng.create ~seed) trials in
   let outcomes =
     Engine.Pool.with_pool ~jobs (fun pool ->
         Engine.Pool.init pool trials (fun i ->
             let rng = children.(i) in
             let init = gen rng in
-            let sim =
-              match sampler with
-              | None -> Engine.Sim.make ~protocol ~init ~rng
-              | Some sampler -> Engine.Sim.make_with ~sampler ~protocol ~init ~rng
-            in
+            let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
             Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
               ~max_interactions:
                 (Engine.Runner.default_horizon ~n
                    ~expected_time:(horizon_scale *. float_of_int n))
               ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-              sim))
+              exec))
   in
   let times =
     Array.to_list outcomes
@@ -116,6 +130,7 @@ let run_batch (type s) ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t -> s arr
   in
   let failures = trials - List.length times in
   Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
+  Printf.printf "engine              : %s\n" (Engine.Exec.kind_to_string engine);
   Printf.printf "population          : %d\n" n;
   Printf.printf "trials              : %d (on %d domain%s)\n" trials jobs
     (if jobs = 1 then "" else "s");
@@ -154,7 +169,7 @@ let run_loose ~n ~seed ~verbose =
   end;
   if Engine.Sim.leader_correct sim || verbose then 0 else 1
 
-let main protocol_name n h scenario seed verbose topology count_engine trials jobs =
+let main protocol_name n h scenario seed verbose topology engine_name count_engine trials jobs =
   let jobs = match jobs with Some j -> j | None -> Engine.Pool.default_jobs () in
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
@@ -164,42 +179,57 @@ let main protocol_name n h scenario seed verbose topology count_engine trials jo
     Printf.eprintf "--trials must be >= 1 (got %d)\n" trials;
     exit 2
   end;
+  let engine =
+    if count_engine then Engine.Exec.Count
+    else
+      match engine_name with
+      | "agent" -> Engine.Exec.Agent
+      | "count" -> Engine.Exec.Count
+      | other ->
+          Printf.eprintf "unknown engine '%s' (agent | count)\n" other;
+          exit 2
+  in
   let batch = trials > 1 in
-  if batch && count_engine then begin
-    Printf.eprintf "--trials is not supported together with --count-engine\n";
-    exit 2
-  end;
   let scen_rng = Prng.create ~seed:(seed + 1000) in
   match protocol_name with
   | "silent" ->
       let protocol = Core.Silent_n_state.protocol ~n in
       let gen = lookup_scenario ~kind:"silent" (Core.Scenarios.silent_catalogue ~n) scenario in
       if batch then
-        run_batch ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:(float_of_int n) ~topology
-      else if count_engine then run_count_engine ~protocol ~init:(gen scen_rng) ~seed
-      else
-        run_generic ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:(float_of_int n)
+        run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:(float_of_int n)
           ~topology
+      else
+        run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose
+          ~horizon_scale:(float_of_int n) ~topology
   | "optimal" ->
       let params = Core.Params.optimal_silent n in
       let protocol = Core.Optimal_silent.protocol ~params ~n () in
       let gen =
         lookup_scenario ~kind:"optimal" (Core.Scenarios.optimal_catalogue ~params ~n) scenario
       in
-      if batch then run_batch ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
-      else if count_engine then run_count_engine ~protocol ~init:(gen scen_rng) ~seed
-      else run_generic ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0 ~topology
+      if batch then
+        run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
+      else
+        run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0
+          ~topology
   | "sublinear" ->
       let params = Core.Params.sublinear ~h n in
       let protocol = Core.Sublinear.protocol ~params ~n ~h () in
       let gen =
         lookup_scenario ~kind:"sublinear" (Core.Scenarios.sublinear_catalogue ~params ~n) scenario
       in
-      if batch then run_batch ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
-      else run_generic ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0 ~topology
+      if batch then
+        run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
+      else
+        run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0
+          ~topology
   | "loose" ->
       if batch then begin
         Printf.eprintf "--trials is not supported for the loose protocol\n";
+        exit 2
+      end;
+      if engine = Engine.Exec.Count then begin
+        Printf.eprintf "--engine count is not supported for the loose protocol\n";
         exit 2
       end;
       run_loose ~n ~seed ~verbose
@@ -234,11 +264,20 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let topology_arg =
-  let doc = "Interaction graph: complete, ring, star or regular4." in
+  let doc = "Interaction graph: complete, ring, star or regular4 (agent engine only)." in
   Arg.(value & opt string "complete" & info [ "topology" ] ~docv:"GRAPH" ~doc)
 
+let engine_arg =
+  let doc =
+    "Executor: agent (every interaction simulated) or count (exact count-based engine with \
+     silence oracle; deterministic protocols on the complete graph only — practical for \
+     protocols with a compact state closure such as $(b,-p silent), where it reaches \
+     populations in the thousands)."
+  in
+  Arg.(value & opt string "agent" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let count_engine_arg =
-  let doc = "Use the exact count-based engine (silent protocols; ignores --topology)." in
+  let doc = "Deprecated alias for $(b,--engine count)." in
   Arg.(value & flag & info [ "count-engine" ] ~doc)
 
 let trials_arg =
@@ -260,6 +299,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ protocol_arg $ n_arg $ h_arg $ scenario_arg $ seed_arg $ verbose_arg
-      $ topology_arg $ count_engine_arg $ trials_arg $ jobs_arg)
+      $ topology_arg $ engine_arg $ count_engine_arg $ trials_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

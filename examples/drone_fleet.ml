@@ -68,6 +68,7 @@ let () =
     Array.init n (fun i -> { ranking = ranking.(i); battery = batteries.(i); subtree_min = batteries.(i) })
   in
   let sim = Engine.Sim.make ~protocol ~init ~rng in
+  let exec = Engine.Exec.of_sim sim in
   let stabilize label =
     let start = Engine.Sim.parallel_time sim in
     let o =
@@ -76,7 +77,7 @@ let () =
           (Engine.Sim.interactions sim
           + Engine.Runner.default_horizon ~n ~expected_time:(float_of_int (20 * n)))
         ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-        sim
+        exec
     in
     Printf.printf "%s: ranked fleet after %.1f time units\n" label
       (o.Engine.Runner.convergence_time -. start)

@@ -30,16 +30,18 @@ let () =
       if Engine.Sim.ranking_correct sim then "RANKED" else "collecting"
     else Printf.sprintf "resetting (%d/%d agents)" !resetting n
   in
-  let collector = Engine.Trace.collector ~interval:(n / 2) () in
+  (* Timeline via the Instrument event layer: a collector subscribed to
+     the executor samples the phase description every n/2 interactions. *)
+  let exec = Engine.Exec.of_sim sim in
+  let collector = Engine.Instrument.collector ~interval:(n / 2) () in
+  Engine.Exec.on exec (Engine.Instrument.sampled collector phase);
   let outcome =
-    Engine.Runner.run_to_stability
-      ~on_step:(fun s -> Engine.Trace.hook collector (fun _ -> phase ()) s)
-      ~task:Engine.Runner.Ranking
+    Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
       ~max_interactions:
         (Engine.Runner.default_horizon ~n
            ~expected_time:(float_of_int (params.Core.Params.d_max + (8 * params.Core.Params.t_h))))
       ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-      sim
+      exec
   in
   (* Print the timeline, collapsing runs of identical phases. *)
   let previous = ref "" in
@@ -49,7 +51,7 @@ let () =
         Printf.printf "t=%6.1f  %s\n" t p;
         previous := p
       end)
-    (Engine.Trace.series collector);
+    (Engine.Instrument.series collector);
   Printf.printf "\nstabilized in %.1f parallel time units (%d interactions, %d re-checks failed)\n"
     outcome.Engine.Runner.convergence_time outcome.Engine.Runner.total_interactions
     outcome.Engine.Runner.violations;

@@ -14,28 +14,29 @@ let () =
      configuration works; take independently uniform adversarial states. *)
   let rng = Prng.create ~seed in
   let init = Core.Scenarios.optimal_uniform rng ~params ~n in
-  (* 3. Simulate until the ranking stabilizes. *)
-  let sim = Engine.Sim.make ~protocol ~init ~rng in
+  (* 3. Simulate until the ranking stabilizes. The agent engine handles any
+     protocol; for deterministic protocols with compact state spaces the
+     count engine (~kind:Engine.Exec.Count) scales to thousands of agents. *)
+  let exec = Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol ~init ~rng in
   let outcome =
     Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
       ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time:(float_of_int (20 * n)))
-      ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-      sim
+      ~confirm_interactions:(Engine.Runner.default_confirm ~n) exec
   in
   Printf.printf "stabilized: %b after %.1f parallel time (%d interactions)\n"
     outcome.Engine.Runner.converged outcome.Engine.Runner.convergence_time
     outcome.Engine.Runner.total_interactions;
   (* 4. Inspect the result: a unique leader and ranks 1..n. *)
-  let leaders = Core.Leader_election.leader_indices protocol (Engine.Sim.snapshot sim) in
+  let leaders = Core.Leader_election.leader_indices protocol (Engine.Exec.snapshot exec) in
   Printf.printf "leader agent: %s\n"
     (String.concat ", " (List.map string_of_int leaders));
   Printf.printf "agent ranks : ";
   for i = 0 to n - 1 do
-    match protocol.Engine.Protocol.rank (Engine.Sim.state sim i) with
+    match protocol.Engine.Protocol.rank (Engine.Exec.state exec i) with
     | Some r -> Printf.printf "%d " r
     | None -> Printf.printf "? "
   done;
   print_newline ();
   (* 5. The final configuration is silent: no interaction changes it. *)
   Printf.printf "final configuration silent: %b\n"
-    (Engine.Silence.configuration_is_silent protocol (Engine.Sim.snapshot sim))
+    (Engine.Silence.configuration_is_silent protocol (Engine.Exec.snapshot exec))

@@ -30,11 +30,12 @@ type 'a t = {
   mutable weight : int;  (* W *)
   mutable interactions : int;
   mutable events : int;
-  (* ranking/leader monitoring over counts *)
-  rank_counts : int array;
-  mutable singletons : int;
-  mutable leaders : int;
+  (* ranking/leader monitoring shared with the agent engine, fed with
+     multiset deltas instead of per-agent updates *)
+  monitor : 'a Monitor.t;
 }
+
+let protocol t = t.protocol
 
 let n t = t.n
 
@@ -44,29 +45,15 @@ let parallel_time t = float_of_int t.interactions /. float_of_int t.n
 
 let events t = t.events
 
-let leader_count t = t.leaders
+let leader_count t = Monitor.leader_count t.monitor
 
-let leader_correct t = t.leaders = 1
+let leader_correct t = Monitor.leader_correct t.monitor
 
-let ranking_correct t = t.singletons = t.n
+let ranking_correct t = Monitor.ranking_correct t.monitor
+
+let ranked_agents t = Monitor.ranked_agents t.monitor
 
 let is_silent t = t.weight = 0
-
-let observe t state delta =
-  (match t.protocol.Protocol.rank state with
-  | Some r when r >= 1 && r <= t.n ->
-      let c = t.rank_counts.(r) + delta in
-      t.rank_counts.(r) <- c;
-      if delta > 0 then begin
-        if c = 1 then t.singletons <- t.singletons + 1
-        else if c = 2 then t.singletons <- t.singletons - 1
-      end
-      else begin
-        if c = 1 then t.singletons <- t.singletons + 1
-        else if c = 0 then t.singletons <- t.singletons - 1
-      end
-  | Some _ | None -> ());
-  if t.protocol.Protocol.is_leader state then t.leaders <- t.leaders + delta
 
 let stride = 1 lsl 20
 
@@ -123,7 +110,8 @@ let change_count t k delta =
   t.weight <- t.weight - contribution t k;
   t.counts.(k) <- t.counts.(k) + delta;
   t.weight <- t.weight + contribution t k;
-  observe t t.states.(k) delta
+  if delta > 0 then for _ = 1 to delta do Monitor.add t.monitor t.states.(k) done
+  else for _ = 1 to -delta do Monitor.remove t.monitor t.states.(k) done
 
 (* Probe one ordered pair; record productivity. Interning of the result
    states may grow [d]; [ensure_probed] loops until a fixpoint, visiting
@@ -174,9 +162,7 @@ let make ~protocol ~init ~rng =
       weight = 0;
       interactions = 0;
       events = 0;
-      rank_counts = Array.make (protocol.Protocol.n + 1) 0;
-      singletons = 0;
-      leaders = 0;
+      monitor = Monitor.create protocol [||];
     }
   in
   Array.iter
@@ -198,39 +184,122 @@ let apply_event t i j =
       ensure_probed t;
       t.events <- t.events + 1
 
+(* Null interactions before the next productive one: geometric with
+   success probability W / (n·(n−1)). *)
+let sample_skip t =
+  let pairs = float_of_int (t.n * (t.n - 1)) in
+  let p = float_of_int t.weight /. pairs in
+  if p >= 1.0 then 0
+  else begin
+    let u = Prng.float t.rng in
+    int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
+  end
+
+(* Select the productive ordered state pair proportionally to weight and
+   execute it. *)
+let select_and_apply t =
+  let target = Prng.int t.rng t.weight in
+  let exception Found of int * int in
+  try
+    let acc = ref 0 in
+    for i = 0 to t.d - 1 do
+      if t.counts.(i) > 0 then
+        List.iter
+          (fun j ->
+            let w = pair_weight t i j in
+            if w > 0 then begin
+              acc := !acc + w;
+              if !acc > target then raise (Found (i, j))
+            end)
+          t.outgoing.(i)
+    done;
+    invalid_arg "Count_sim.step_event: weight accounting broke"
+  with Found (i, j) -> apply_event t i j
+
 let step_event t =
   if t.weight > 0 then begin
-    (* Null interactions before the next productive one: geometric with
-       success probability W / (n·(n−1)). *)
-    let pairs = float_of_int (t.n * (t.n - 1)) in
-    let p = float_of_int t.weight /. pairs in
-    let skip =
-      if p >= 1.0 then 0
-      else begin
-        let u = Prng.float t.rng in
-        int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
-      end
-    in
+    let skip = sample_skip t in
     t.interactions <- t.interactions + skip + 1;
-    (* Select the productive ordered state pair proportionally to weight. *)
-    let target = Prng.int t.rng t.weight in
-    let exception Found of int * int in
-    try
-      let acc = ref 0 in
-      for i = 0 to t.d - 1 do
-        if t.counts.(i) > 0 then
-          List.iter
-            (fun j ->
-              let w = pair_weight t i j in
-              if w > 0 then begin
-                acc := !acc + w;
-                if !acc > target then raise (Found (i, j))
-              end)
-            t.outgoing.(i)
-      done;
-      invalid_arg "Count_sim.step_event: weight accounting broke"
-    with Found (i, j) -> apply_event t i j
+    select_and_apply t
   end
+
+let advance t ~until =
+  if t.weight = 0 then begin
+    (* Every remaining interaction is null: fast-forward the clock. *)
+    if t.interactions < until then t.interactions <- until;
+    false
+  end
+  else begin
+    let skip = sample_skip t in
+    let next = t.interactions + skip + 1 in
+    if next > until then
+      (* The sampled event lands beyond [until]. Stop the clock there and
+         discard the sample: the geometric skip is memoryless, so
+         resampling from [until] later is distributed identically. *)
+      t.interactions <- until
+    else begin
+      t.interactions <- next;
+      select_and_apply t
+    end;
+    true
+  end
+
+(* Fault injection. Agent identities are a view over the multiset: agent
+   [i] holds the [i]-th state of the configuration enumerated in interning
+   order (the same order [snapshot] uses). Under the uniform scheduler
+   agents are exchangeable, so this fixed enumeration gives [inject] and
+   [corrupt] the same semantics as on the agent engine. *)
+
+let owner_of_agent t i =
+  if i < 0 || i >= t.n then invalid_arg "Count_sim: agent index out of range";
+  let rec find k acc =
+    if k >= t.d then invalid_arg "Count_sim: count accounting broke"
+    else if acc + t.counts.(k) > i then k
+    else find (k + 1) (acc + t.counts.(k))
+  in
+  find 0 0
+
+let state t i = t.states.(owner_of_agent t i)
+
+let snapshot t =
+  let out = Array.make t.n t.states.(0) in
+  let idx = ref 0 in
+  for k = 0 to t.d - 1 do
+    for _ = 1 to t.counts.(k) do
+      out.(!idx) <- t.states.(k);
+      incr idx
+    done
+  done;
+  out
+
+let replace t ~old_index ~new_state =
+  let k_new = intern t new_state in
+  (* probe the new state's pairs before any count moves, so the incremental
+     weight bookkeeping in [change_count] sees the full adjacency *)
+  ensure_probed t;
+  change_count t old_index (-1);
+  change_count t k_new 1
+
+let inject t i s =
+  let k_old = owner_of_agent t i in
+  replace t ~old_index:k_old ~new_state:s
+
+let corrupt t ~rng ~fraction gen =
+  if not (fraction >= 0.0 && fraction <= 1.0) then
+    invalid_arg "Count_sim.corrupt: fraction outside [0,1]";
+  let count =
+    if fraction = 0.0 then 0
+    else max 1 (int_of_float (Float.round (fraction *. float_of_int t.n)))
+  in
+  let victims = Prng.permutation rng t.n in
+  (* resolve all victims against the pre-corruption configuration: the
+     indices are distinct, so each removal is backed by the old multiset *)
+  let before = snapshot t in
+  for k = 0 to count - 1 do
+    let old_index = intern t before.(victims.(k)) in
+    replace t ~old_index ~new_state:(gen rng)
+  done;
+  count
 
 type outcome = {
   silent : bool;

@@ -17,7 +17,12 @@
     As a bonus, silence (Observation 2.2's notion) is an O(1) observation
     here: the configuration is silent exactly when [W = 0], so
     stabilization of silent protocols is measured {e exactly}, with no
-    confirmation window. *)
+    confirmation window.
+
+    Correctness is tracked incrementally through the same {!Monitor} the
+    agent engine uses, fed with multiset deltas, and the engine supports
+    the full fault-injection surface ({!inject}, {!corrupt}) so recovery
+    experiments run at populations the agent engine cannot reach. *)
 
 type 'a t
 
@@ -27,6 +32,8 @@ val make : protocol:'a Protocol.t -> init:'a array -> rng:Prng.t -> 'a t
     [Hashtbl.hash], so the protocol's [equal] must coincide with structural
     equality — true for the plain-data states of the deterministic
     protocols in this repository. *)
+
+val protocol : 'a t -> 'a Protocol.t
 
 val n : 'a t -> int
 
@@ -45,9 +52,48 @@ val ranking_correct : 'a t -> bool
 val leader_correct : 'a t -> bool
 val leader_count : 'a t -> int
 
+val ranked_agents : 'a t -> int
+(** Agents currently observing some rank (with multiplicity). *)
+
 val step_event : 'a t -> unit
 (** Advance past the (geometrically many) null interactions to the next
     productive one and execute it. No-op on a silent configuration. *)
+
+val advance : 'a t -> until:int -> bool
+(** [advance t ~until] moves the interaction clock forward by at most one
+    productive event, never past interaction [until].
+
+    - If the configuration is silent, the clock jumps to [until] and the
+      result is [false] (nothing can ever happen again).
+    - Otherwise a geometric skip is sampled. If the next productive
+      interaction lands at or before [until] it is executed; if it lands
+      beyond, the clock stops at [until] and the sample is discarded —
+      exact in law, because the geometric skip is memoryless. Returns
+      [true].
+
+    This is the primitive {!Runner} drives: calling [advance] in a loop
+    with a fixed [until] eventually parks the clock at [until], which is
+    how a confirmation window elapses over a silent suffix. *)
+
+(** {2 Configuration access and fault injection}
+
+    Agent identities are a deterministic view over the state multiset:
+    agent [i] holds the [i]-th state when the configuration is enumerated
+    in state-interning order (the order {!snapshot} uses). Agents are
+    exchangeable under the uniform scheduler, so this gives [inject] and
+    [corrupt] the same distributional semantics as on {!Sim}. *)
+
+val state : 'a t -> int -> 'a
+val snapshot : 'a t -> 'a array
+
+val inject : 'a t -> int -> 'a -> unit
+(** [inject t i s] overwrites agent [i]'s state with [s]. *)
+
+val corrupt : 'a t -> rng:Prng.t -> fraction:float -> (Prng.t -> 'a) -> int
+(** [corrupt t ~rng ~fraction gen] overwrites [max 1 (round (fraction·n))]
+    distinct agents (0 when [fraction = 0.]) with states drawn from [gen].
+    Returns the number of corrupted agents. Same contract as
+    {!Sim.corrupt}. *)
 
 val distinct_states : 'a t -> ('a * int) list
 (** Present states with their multiplicities. *)

@@ -1,0 +1,58 @@
+type event =
+  | Step of { interactions : int; time : float }
+  | Correct_entered of { interactions : int; time : float }
+  | Correct_lost of { interactions : int; time : float }
+  | Silence of { interactions : int; time : float }
+  | Fault of { agents : int; interactions : int; time : float }
+
+let interactions = function
+  | Step { interactions; _ }
+  | Correct_entered { interactions; _ }
+  | Correct_lost { interactions; _ }
+  | Silence { interactions; _ }
+  | Fault { interactions; _ } ->
+      interactions
+
+let time = function
+  | Step { time; _ }
+  | Correct_entered { time; _ }
+  | Correct_lost { time; _ }
+  | Silence { time; _ }
+  | Fault { time; _ } ->
+      time
+
+let pp fmt = function
+  | Step { interactions; time } -> Format.fprintf fmt "step@%d (t=%.2f)" interactions time
+  | Correct_entered { interactions; time } ->
+      Format.fprintf fmt "correct-entered@%d (t=%.2f)" interactions time
+  | Correct_lost { interactions; time } ->
+      Format.fprintf fmt "correct-lost@%d (t=%.2f)" interactions time
+  | Silence { interactions; time } -> Format.fprintf fmt "silence@%d (t=%.2f)" interactions time
+  | Fault { agents; interactions; time } ->
+      Format.fprintf fmt "fault(%d agents)@%d (t=%.2f)" agents interactions time
+
+type 'b collector = {
+  interval : int;
+  mutable next_at : int;
+  mutable samples : (float * 'b) list;  (* reversed *)
+}
+
+let collector ~interval () =
+  if interval <= 0 then invalid_arg "Instrument.collector: interval must be positive";
+  { interval; next_at = 0; samples = [] }
+
+let record c ~time value = c.samples <- (time, value) :: c.samples
+
+let sampled c metric event =
+  match event with
+  | Step { interactions; time } ->
+      if interactions >= c.next_at then begin
+        record c ~time (metric ());
+        c.next_at <- interactions + c.interval
+      end
+  | Fault { time; _ } ->
+      (* faults are always worth a sample: they bound recovery timelines *)
+      record c ~time (metric ())
+  | Correct_entered _ | Correct_lost _ | Silence _ -> ()
+
+let series c = List.rev c.samples

@@ -1,0 +1,53 @@
+(** Structured execution events.
+
+    Executors ({!Exec}) and the measurement policy ({!Runner}) publish what
+    happens during a run — interactions executed, correctness gained and
+    lost, silence reached, faults injected — as a typed event stream that
+    observers subscribe to with {!Exec.on}. This replaces the ad-hoc
+    [?on_step] callback the runner used to take (and supersedes {!Trace},
+    which only understood the per-interaction agent engine): the same
+    subscriber works unchanged on both the agent engine and the count-based
+    engine, where time advances in jumps.
+
+    Events are monomorphic (they carry clock readings, not states);
+    handlers that need configuration detail close over the executor and
+    query it. *)
+
+type event =
+  | Step of { interactions : int; time : float }
+      (** a state-changing interaction was executed; on the count-based
+          engine this is a productive interaction and the clock includes
+          the skipped null interactions before it *)
+  | Correct_entered of { interactions : int; time : float }
+      (** the runner's correctness predicate became true *)
+  | Correct_lost of { interactions : int; time : float }
+      (** correctness was lost again — a violation *)
+  | Silence of { interactions : int; time : float }
+      (** the configuration became provably silent (count engine only) *)
+  | Fault of { agents : int; interactions : int; time : float }
+      (** [agents] states were adversarially overwritten *)
+
+val interactions : event -> int
+val time : event -> float
+val pp : Format.formatter -> event -> unit
+
+(** {2 Sampled time series}
+
+    The generalization of {!Trace} to the event layer: a collector
+    subscribes via [Exec.on exec (Instrument.sampled c metric)] and records
+    [metric ()] every [interval] interactions (plus once per fault, so
+    recovery timelines keep their discontinuities). *)
+
+type 'b collector
+
+val collector : interval:int -> unit -> 'b collector
+(** Samples every [interval] interactions (and at the first event). *)
+
+val sampled : 'b collector -> (unit -> 'b) -> event -> unit
+(** [sampled c metric] is an event handler feeding [c]. *)
+
+val record : 'b collector -> time:float -> 'b -> unit
+(** Force-record a sample now (e.g. right after a fault injection). *)
+
+val series : 'b collector -> (float * 'b) list
+(** Chronological [(parallel_time, value)] samples. *)

@@ -34,6 +34,18 @@ let remove_rank t = function
         else if c = 0 then t.singletons <- t.singletons - 1
       end
 
+let add t state =
+  add_rank t (t.rank state);
+  if t.is_leader state then t.leaders <- t.leaders + 1
+
+let remove t state =
+  remove_rank t (t.rank state);
+  if t.is_leader state then t.leaders <- t.leaders - 1
+
+let update t ~old_state ~new_state =
+  remove t old_state;
+  add t new_state
+
 let create (protocol : 'a Protocol.t) population =
   let t =
     {
@@ -46,18 +58,8 @@ let create (protocol : 'a Protocol.t) population =
       leaders = 0;
     }
   in
-  Array.iter
-    (fun s ->
-      add_rank t (t.rank s);
-      if t.is_leader s then t.leaders <- t.leaders + 1)
-    population;
+  Array.iter (add t) population;
   t
-
-let update t ~old_state ~new_state =
-  remove_rank t (t.rank old_state);
-  add_rank t (t.rank new_state);
-  if t.is_leader old_state then t.leaders <- t.leaders - 1;
-  if t.is_leader new_state then t.leaders <- t.leaders + 1
 
 let ranking_correct t = t.singletons = t.n
 

@@ -15,10 +15,19 @@ type 'a t
 
 val create : 'a Protocol.t -> 'a array -> 'a t
 (** [create protocol population] scans the initial population once. The
-    array is only read; the monitor keeps no reference to it. *)
+    array is only read; the monitor keeps no reference to it. Pass [[||]]
+    for an empty monitor to be filled with {!add} (the count-based engine
+    accounts agents through its state multiset). *)
 
 val update : 'a t -> old_state:'a -> new_state:'a -> unit
 (** Report that one agent moved from [old_state] to [new_state]. *)
+
+val add : 'a t -> 'a -> unit
+(** Account one more agent observing [state] (multiset view; [update] is
+    [remove] followed by [add]). *)
+
+val remove : 'a t -> 'a -> unit
+(** Account one fewer agent observing [state]. *)
 
 val ranking_correct : 'a t -> bool
 val leader_correct : 'a t -> bool

@@ -8,19 +8,40 @@
     correctness and then keeps simulating for a confirmation window,
     restarting the clock if correctness is ever lost. An execution that ends
     its confirmation window unscathed is reported as converged at the entry
-    point, not at the end of the window. *)
+    point, not at the end of the window.
+
+    The runner is engine-polymorphic: it drives any {!Exec.t}. On the
+    count-based engine it additionally uses the exact-silence oracle
+    ({!Exec.silent}): a silent configuration can never change again, so
+    its correctness status is final and the confirmation window is skipped
+    (W = 0 — the window would pass vacuously). The reported entry point is
+    identical either way; only wasted simulation is avoided. Disable with
+    [~silence_oracle:false] to force confirmation-window semantics (the
+    differential tests do, to check the two agree).
+
+    Progress reporting goes through the {!Instrument} event stream: the
+    runner emits [Correct_entered] / [Correct_lost] on the executor, and
+    subscribers attached with {!Exec.on} also see the executor's own
+    [Step] / [Silence] / [Fault] events. This replaces the [?on_step]
+    callback of earlier versions. *)
 
 type task = Ranking | Leader
 
 type outcome = {
   converged : bool;
-      (** [true] iff correctness held for the whole confirmation window *)
+      (** [true] iff correctness held for the whole confirmation window, or
+          the executor proved silence while correct *)
   convergence_interactions : int;
-      (** interaction index at the final entry into correctness (0 when the
-          initial configuration is already correct); meaningful only when
-          [converged] *)
+      (** when [converged]: interaction index of the final entry into
+          correctness (0 when the initial configuration is already
+          correct). When not [converged]: the pending unconfirmed entry if
+          the run ended correct mid-window, else [total_interactions] —
+          never a fabricated 0, so censored-observation analyses stay
+          conservative. *)
   convergence_time : float;  (** [convergence_interactions / n] *)
-  total_interactions : int;  (** interactions actually simulated *)
+  total_interactions : int;
+      (** interaction-clock reading at the end of the run (on the count
+          engine this includes skipped null interactions) *)
   violations : int;
       (** number of times a previously-correct execution became incorrect
           again (counts adversarial recoveries and protocol re-resets) *)
@@ -36,14 +57,15 @@ val default_horizon : n:int -> expected_time:float -> int
     tails fit. *)
 
 val run_to_stability :
-  ?on_step:('a Sim.t -> unit) ->
+  ?silence_oracle:bool ->
   task:task ->
   max_interactions:int ->
   confirm_interactions:int ->
-  'a Sim.t ->
+  'a Exec.t ->
   outcome
-(** Steps the simulation until correctness has held for
-    [confirm_interactions] consecutive interactions, or until
-    [max_interactions] total. [on_step] runs after every interaction. *)
+(** Advances the executor until correctness has held for
+    [confirm_interactions] consecutive interactions, the executor proves
+    silence ([silence_oracle], default [true]), or [max_interactions]
+    total elapse. *)
 
-val is_correct : task:task -> 'a Sim.t -> bool
+val is_correct : task:task -> 'a Exec.t -> bool

@@ -1,9 +1,13 @@
 (** Time-series collection from running simulations.
 
-    A collector samples a user metric every fixed number of interactions;
-    plug its [hook] into {!Runner.run_to_stability}'s [on_step] (or call it
-    manually) and read the accumulated [(parallel_time, value)] series
-    afterwards. Used by the examples to show recovery timelines. *)
+    {b Superseded.} This module predates the {!Instrument} event layer and
+    only understands the agent engine ({!Sim}): a collector samples a user
+    metric every fixed number of interactions via a [hook] called manually
+    after each step. New code should subscribe an {!Instrument.collector}
+    to an executor with [Exec.on exec (Instrument.sampled c metric)] — the
+    same collector then works on both engines, including the count-based
+    one where time advances in jumps. [Trace] is kept for existing
+    call sites and tests. *)
 
 type 'b t
 

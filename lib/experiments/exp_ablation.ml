@@ -35,7 +35,7 @@ let measure_optimal ~n ~params ~jobs ~trials ~seed =
             ~max_interactions:
               (Engine.Runner.default_horizon ~n ~expected_time:(float_of_int (40 * n)))
             ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-            sim
+            (Engine.Exec.of_sim sim)
         in
         if o.Engine.Runner.converged then
           Some (o.Engine.Runner.convergence_time, float_of_int !counter)

@@ -4,6 +4,7 @@ type measurement = {
   label : string;
   n : int;
   times : float array;
+  events : int array;
   failures : int;
   violations : int;
   silent_checked : int;
@@ -27,12 +28,13 @@ let run_trials ?jobs ?pool ~trials ~seed body =
 (* Per-trial record folded (in trial order) into a [measurement]. *)
 type trial = {
   time : float option;  (* convergence time, when the trial converged *)
+  trial_events : int;  (* state-changing interactions executed *)
   trial_violations : int;
   silent : bool option;  (* silence of the final config, when checked *)
 }
 
-let measure ~label ~protocol ~init ~task ~expected_time ?check_silence ?jobs ?pool ~trials ~seed
-    () =
+let measure ~label ~protocol ~init ~task ~expected_time ?(engine = Engine.Exec.Agent)
+    ?check_silence ?jobs ?pool ~trials ~seed () =
   let n = protocol.Engine.Protocol.n in
   let check_silence =
     match check_silence with Some b -> b | None -> protocol.Engine.Protocol.deterministic
@@ -40,26 +42,36 @@ let measure ~label ~protocol ~init ~task ~expected_time ?check_silence ?jobs ?po
   let outcomes =
     run_trials ?jobs ?pool ~trials ~seed (fun rng ->
         let config = init rng in
-        let sim = Engine.Sim.make ~protocol ~init:config ~rng in
+        let exec = Engine.Exec.make ~kind:engine ~protocol ~init:config ~rng in
         let outcome =
           Engine.Runner.run_to_stability ~task
             ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time)
             ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-            sim
+            exec
         in
-        if outcome.Engine.Runner.converged then
-          {
-            time = Some outcome.Engine.Runner.convergence_time;
-            trial_violations = outcome.Engine.Runner.violations;
-            silent =
-              (if check_silence then
-                 Some (Engine.Silence.configuration_is_silent protocol (Engine.Sim.snapshot sim))
-               else None);
-          }
-        else
-          { time = None; trial_violations = outcome.Engine.Runner.violations; silent = None })
+        let silent =
+          if outcome.Engine.Runner.converged && check_silence then
+            (* the count engine answers through its exact oracle; the agent
+               engine needs the O(d²) configuration scan *)
+            match Engine.Exec.silent exec with
+            | Some b -> Some b
+            | None ->
+                Some
+                  (Engine.Silence.configuration_is_silent protocol (Engine.Exec.snapshot exec))
+          else None
+        in
+        {
+          time =
+            (if outcome.Engine.Runner.converged then
+               Some outcome.Engine.Runner.convergence_time
+             else None);
+          trial_events = Engine.Exec.events exec;
+          trial_violations = outcome.Engine.Runner.violations;
+          silent;
+        })
   in
   let times = ref [] in
+  let events = ref [] in
   let failures = ref 0 in
   let violations = ref 0 in
   let silent_checked = ref 0 in
@@ -67,7 +79,11 @@ let measure ~label ~protocol ~init ~task ~expected_time ?check_silence ?jobs ?po
   Array.iter
     (fun t ->
       violations := !violations + t.trial_violations;
-      (match t.time with Some time -> times := time :: !times | None -> incr failures);
+      (match t.time with
+      | Some time ->
+          times := time :: !times;
+          events := t.trial_events :: !events
+      | None -> incr failures);
       match t.silent with
       | Some ok ->
           incr silent_checked;
@@ -78,6 +94,7 @@ let measure ~label ~protocol ~init ~task ~expected_time ?check_silence ?jobs ?po
     label;
     n;
     times = Array.of_list (List.rev !times);
+    events = Array.of_list (List.rev !events);
     failures = !failures;
     violations = !violations;
     silent_checked = !silent_checked;

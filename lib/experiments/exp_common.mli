@@ -15,6 +15,10 @@ type measurement = {
   label : string;
   n : int;
   times : float array;  (** convergence parallel times of converged trials *)
+  events : int array;
+      (** state-changing interactions of converged trials, aligned with
+          [times]; on the agent engine every interaction counts (nulls are
+          not detected there) *)
   failures : int;  (** trials that missed the interaction horizon *)
   violations : int;  (** total correctness losses after first entry *)
   silent_checked : int;  (** converged trials whose final config was checked *)
@@ -37,6 +41,7 @@ val measure :
   init:(Prng.t -> 'a array) ->
   task:Engine.Runner.task ->
   expected_time:float ->
+  ?engine:Engine.Exec.kind ->
   ?check_silence:bool ->
   ?jobs:int ->
   ?pool:Engine.Pool.t ->
@@ -47,10 +52,15 @@ val measure :
 (** Runs [trials] independent simulations (child generators split from
     [seed], one per trial, executed via {!run_trials}), each until
     stability or until the horizon
-    [Engine.Runner.default_horizon ~n ~expected_time]. When
-    [check_silence] (default: the protocol's [deterministic] flag) the
-    final configuration of each converged trial is tested for silence.
-    The measurement is identical for every [jobs] value. *)
+    [Engine.Runner.default_horizon ~n ~expected_time]. [engine] picks the
+    executor (default [Agent]; [Count] requires a deterministic protocol
+    and exploits the exact-silence oracle, reaching populations the agent
+    engine cannot). When [check_silence] (default: the protocol's
+    [deterministic] flag) the final configuration of each converged trial
+    is tested for silence — exactly via the oracle on the count engine, by
+    configuration scan on the agent engine. The measurement is identical
+    for every [jobs] value (but differs between engines: they follow
+    different random trajectories, equal only in distribution). *)
 
 val summary : measurement -> Stats.Summary.t
 (** Summary of the convergence times; raises if no trial converged. *)

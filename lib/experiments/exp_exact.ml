@@ -2,25 +2,20 @@ let name = "exact"
 
 let description = "Exhaustive Markov-chain validation of Silent-n-state-SSR at small n"
 
-let simulate_count ~protocol ~init ~jobs ~trials ~seed =
-  let times =
-    Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
-        let cs = Engine.Count_sim.make ~protocol ~init ~rng in
-        let o = Engine.Count_sim.run_to_silence cs in
-        o.Engine.Count_sim.stabilization_time)
-  in
-  Stats.Summary.mean times
-
-let simulate_array ~protocol ~init ~jobs ~trials ~seed =
+(* Both engines run through the same measurement policy; only the executor
+   kind differs. On [Count] the exact-silence oracle reports stabilization
+   with no confirmation window (for Silent-n-state-SSR correctness and
+   silence coincide, so the entry point equals the silence time). *)
+let simulate ~engine ~protocol ~init ~jobs ~trials ~seed =
   let n = protocol.Engine.Protocol.n in
   let times =
     Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
-        let sim = Engine.Sim.make ~protocol ~init ~rng in
+        let exec = Engine.Exec.make ~kind:engine ~protocol ~init ~rng in
         let o =
           Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
             ~max_interactions:(1000 * n * n)
             ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-            sim
+            exec
         in
         o.Engine.Runner.convergence_time)
   in
@@ -45,9 +40,12 @@ let run ~mode ~seed ~jobs =
       let codec = Exact.Chain.silent_n_state_codec ~n in
       let a = Exact.Chain.analyze ~protocol ~codec in
       let exact, witness = Exact.Chain.worst_expected_time a in
-      let count_mean = simulate_count ~protocol ~init:witness ~jobs ~trials ~seed in
+      let count_mean =
+        simulate ~engine:Engine.Exec.Count ~protocol ~init:witness ~jobs ~trials ~seed
+      in
       let array_mean =
-        simulate_array ~protocol ~init:witness ~jobs ~trials:(trials / 10) ~seed:(seed + 1)
+        simulate ~engine:Engine.Exec.Agent ~protocol ~init:witness ~jobs
+          ~trials:(trials / 10) ~seed:(seed + 1)
       in
       Stats.Table.add_row table
         [

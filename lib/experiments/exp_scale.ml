@@ -2,6 +2,10 @@ let name = "scale"
 
 let description = "Table 1 row 1 at scale: exact Θ(n²) stabilization via the count-based engine"
 
+(* Same measurement policy as every other experiment ([Exp_common.measure]
+   driving [Engine.Runner]), just on the count-based executor: the
+   exact-silence oracle reports stabilization with no confirmation window,
+   so populations of several thousands stay cheap. *)
 let measure ~scenario ~make_init ~ns ~jobs ~trials ~seed buf =
   let table =
     Stats.Table.create
@@ -11,18 +15,19 @@ let measure ~scenario ~make_init ~ns ~jobs ~trials ~seed buf =
     List.map
       (fun n ->
         let protocol = Core.Silent_n_state.protocol ~n in
-        let samples =
-          Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
-              let init = make_init rng ~n in
-              let cs = Engine.Count_sim.make ~protocol ~init ~rng in
-              let o = Engine.Count_sim.run_to_silence cs in
-              if not (o.Engine.Count_sim.silent && o.Engine.Count_sim.correct) then
-                failwith "count engine failed to reach the silent correct configuration";
-              (o.Engine.Count_sim.stabilization_time, float_of_int o.Engine.Count_sim.events))
-        in
-        let t = Stats.Summary.of_array (Array.map fst samples) in
-        let e = Stats.Summary.of_array (Array.map snd samples) in
         let theory = Stats.Theory.quadratic_barrier_time n in
+        let m =
+          Exp_common.measure ~label:"silent-n-state-scale" ~protocol
+            ~init:(fun rng -> make_init rng ~n)
+            ~task:Engine.Runner.Ranking ~expected_time:theory
+            ~engine:Engine.Exec.Count ~jobs ~trials ~seed ()
+        in
+        if m.Exp_common.failures > 0 || m.Exp_common.silent_ok < m.Exp_common.silent_checked
+        then failwith "count engine failed to reach the silent correct configuration";
+        let t = Stats.Summary.of_array m.Exp_common.times in
+        let e =
+          Stats.Summary.of_array (Array.map float_of_int m.Exp_common.events)
+        in
         Stats.Table.add_row table
           [
             string_of_int n;

@@ -21,17 +21,77 @@ let row_of_measurement scenario (m : Exp_common.measurement) trials =
     ]
   end
 
-let sweep buf ~title ~protocol ~catalogue ~expected_time ~jobs ~trials ~seed =
+let sweep ?(engine = Engine.Exec.Agent) buf ~title ~protocol ~catalogue ~expected_time ~jobs
+    ~trials ~seed =
   let table = Stats.Table.create ~header:scenario_header in
   List.iter
     (fun (scenario, gen) ->
       let m =
         Exp_common.measure ~label:scenario ~protocol ~init:gen ~task:Engine.Runner.Ranking
-          ~expected_time ~jobs ~trials ~seed ()
+          ~expected_time ~engine ~jobs ~trials ~seed ()
       in
       Stats.Table.add_row table (row_of_measurement scenario m trials))
     catalogue;
   Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (Stats.Table.render table);
+  Buffer.add_string buf "\n\n"
+
+(* Transient-fault recovery at populations only the count engine reaches:
+   start from the correct silent ranking, corrupt a fraction of the agents,
+   and measure re-stabilization. Exercises the count engine's fault
+   injection and the runner's exact-silence shortcut end to end. *)
+let recovery_at_scale buf ~n ~fraction ~jobs ~trials ~seed =
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let table =
+    Stats.Table.create
+      ~header:[ "n"; "corrupted"; "trials"; "mean recovery"; "p95"; "fail"; "events mean" ]
+  in
+  let samples =
+    Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
+        let exec =
+          Engine.Exec.make ~kind:Engine.Exec.Count ~protocol
+            ~init:(Core.Scenarios.silent_correct ~n) ~rng
+        in
+        let corrupted =
+          Engine.Exec.corrupt exec ~rng ~fraction (fun rng ->
+              Core.Silent_n_state.state_of_rank0 (Prng.int rng n) ~n)
+        in
+        let o =
+          Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+            ~max_interactions:
+              (Engine.Runner.default_horizon ~n
+                 ~expected_time:(float_of_int (n * n) /. 2.0))
+            ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+            exec
+        in
+        (corrupted, o, Engine.Exec.events exec))
+  in
+  let corrupted = match samples.(0) with c, _, _ -> c in
+  let times =
+    Array.to_list samples
+    |> List.filter_map (fun (_, o, _) ->
+           if o.Engine.Runner.converged then Some o.Engine.Runner.convergence_time else None)
+  in
+  let failures = trials - List.length times in
+  let events_mean =
+    Array.fold_left (fun acc (_, _, e) -> acc +. float_of_int e) 0.0 samples
+    /. float_of_int trials
+  in
+  let s = Stats.Summary.of_list times in
+  Stats.Table.add_row table
+    [
+      string_of_int n;
+      string_of_int corrupted;
+      string_of_int trials;
+      Stats.Table.cell_float s.Stats.Summary.mean;
+      Stats.Table.cell_float s.Stats.Summary.p95;
+      string_of_int failures;
+      Stats.Table.cell_float events_mean;
+    ];
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Recovery from a %.0f%% corruption burst (count engine, exact stabilization)\n"
+       (fraction *. 100.0));
   Buffer.add_string buf (Stats.Table.render table);
   Buffer.add_string buf "\n\n"
 
@@ -46,6 +106,16 @@ let run ~mode ~seed ~jobs =
     ~catalogue:(Core.Scenarios.silent_catalogue ~n:n_silent)
     ~expected_time:(float_of_int (n_silent * n_silent))
     ~jobs ~trials ~seed;
+  (* The same catalogue at a population the agent engine cannot sweep:
+     the count engine's silence oracle keeps each trial at Θ(events). *)
+  let n_scale = match mode with Exp_common.Quick -> 256 | Exp_common.Full -> 2048 in
+  sweep ~engine:Engine.Exec.Count buf
+    ~title:(Printf.sprintf "Silent-n-state-SSR at scale (count engine), n=%d" n_scale)
+    ~protocol:(Core.Silent_n_state.protocol ~n:n_scale)
+    ~catalogue:(Core.Scenarios.silent_catalogue ~n:n_scale)
+    ~expected_time:(float_of_int (n_scale * n_scale))
+    ~jobs ~trials ~seed:(seed + 10);
+  recovery_at_scale buf ~n:n_scale ~fraction:0.1 ~jobs ~trials ~seed:(seed + 11);
   let n_opt = match mode with Exp_common.Quick -> 16 | Exp_common.Full -> 48 in
   let params = Core.Params.optimal_silent n_opt in
   sweep buf

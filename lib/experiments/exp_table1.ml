@@ -46,19 +46,24 @@ let run ~mode ~seed ~jobs =
   (* Row 1: Silent-n-state-SSR, Θ(n²), from uniform adversarial ranks. *)
   let ns1 = match mode with Exp_common.Quick -> [ 8; 16; 32; 64 ] | Exp_common.Full -> [ 8; 16; 32; 64; 128 ] in
   let row1 =
-    sweep ~buf ~title:"Silent-n-state-SSR (uniform adversarial ranks) — paper: Θ(n²), silent"
+    sweep ~buf
+      ~title:"Silent-n-state-SSR (uniform adversarial ranks, count engine) — paper: Θ(n²), silent"
       ~expected_exponent:(Some 2.0) ~ns:ns1 ~measure_one:(fun n ->
         let protocol = Core.Silent_n_state.protocol ~n in
         Exp_common.measure ~label:"silent-n-state" ~protocol
           ~init:(fun rng -> Core.Scenarios.silent_uniform rng ~n)
           ~task:Engine.Runner.Ranking
           ~expected_time:(float_of_int (n * n) /. 2.0)
-          ~jobs ~trials ~seed ())
+          ~engine:Engine.Exec.Count ~jobs ~trials ~seed ())
   in
   Buffer.add_string buf
     (Printf.sprintf "silence of final configurations: %s\n\n"
        (String.concat ", " (silence_cells row1)));
-  (* Row 2: Optimal-Silent-SSR, Θ(n), from uniform adversarial states. *)
+  (* Row 2: Optimal-Silent-SSR, Θ(n), from uniform adversarial states.
+     Stays on the agent engine: the count engine's probe fixpoint interns
+     the transition closure of every state it sees, and Optimal-Silent's
+     counter-carrying states make that closure explode (see ROADMAP open
+     items: graph-restricted/batched count kernels). *)
   let ns2 =
     match mode with Exp_common.Quick -> [ 16; 32; 64; 128 ] | Exp_common.Full -> [ 16; 32; 64; 128; 256; 512 ]
   in

@@ -91,7 +91,7 @@ let run ~mode ~seed ~jobs =
               Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
                 ~max_interactions:(2000 * n)
                 ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-                sim
+                (Engine.Exec.of_sim sim)
             in
             if o.Engine.Runner.converged then Some o.Engine.Runner.convergence_time else None)
       in

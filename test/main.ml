@@ -4,6 +4,7 @@ let () =
       ("prng", Test_prng.suite);
       ("stats", Test_stats.suite);
       ("engine", Test_engine.suite);
+      ("exec", Test_exec.suite);
       ("pool", Test_pool.suite);
       ("cross_engine", Test_cross_engine.suite);
       ("count_sim", Test_count_sim.suite);

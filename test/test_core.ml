@@ -409,7 +409,7 @@ let converge ?(task = Engine.Runner.Ranking) ~protocol ~init ~seed ~expected_tim
     Engine.Runner.run_to_stability ~task
       ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time)
       ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-      sim
+      (Engine.Exec.of_sim sim)
   in
   (o, sim)
 

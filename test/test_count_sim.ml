@@ -66,7 +66,7 @@ let test_agrees_with_array_engine () =
         Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
           ~max_interactions:(100 * n * n * n)
           ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-          sim
+          (Engine.Exec.of_sim sim)
       in
       acc := !acc +. o.Engine.Runner.convergence_time
     done;
@@ -103,7 +103,7 @@ let test_distribution_matches_array_engine () =
           Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
             ~max_interactions:(100 * n * n * n)
             ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-            sim
+            (Engine.Exec.of_sim sim)
         in
         o.Engine.Runner.convergence_time)
   in

@@ -177,7 +177,7 @@ let test_runner_already_correct () =
   let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2; 3; 4 |] ~rng:(Prng.create ~seed:1) in
   let o =
     Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking ~max_interactions:10_000
-      ~confirm_interactions:100 sim
+      ~confirm_interactions:100 (Engine.Exec.of_sim sim)
   in
   check_bool "converged" true o.Engine.Runner.converged;
   check_int "time zero" 0 o.Engine.Runner.convergence_interactions;
@@ -192,7 +192,7 @@ let test_runner_baseline_leader () =
   let o =
     Engine.Runner.run_to_stability ~task:Engine.Runner.Leader ~max_interactions:1_000_000
       ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-      sim
+      (Engine.Exec.of_sim sim)
   in
   check_bool "elects a leader" true o.Engine.Runner.converged;
   check_bool "positive time" true (o.Engine.Runner.convergence_time > 0.0);
@@ -206,36 +206,42 @@ let test_runner_never_correct () =
   in
   let o =
     Engine.Runner.run_to_stability ~task:Engine.Runner.Leader ~max_interactions:5_000
-      ~confirm_interactions:100 sim
+      ~confirm_interactions:100 (Engine.Exec.of_sim sim)
   in
   check_bool "cannot converge from all followers" false o.Engine.Runner.converged;
   check_int "horizon exhausted" 5_000 o.Engine.Runner.total_interactions
 
 let test_runner_violation_counting () =
-  (* Use on_step to inject a fault right after the run first becomes
-     correct, and verify the violation is counted and recovery re-times. *)
+  (* Subscribe a Step handler that injects a fault right after the run
+     first becomes correct, and verify the violation is counted and
+     recovery re-times. *)
   let n = 4 in
   let p = Core.Silent_n_state.protocol ~n in
   let init = Array.map (Core.Silent_n_state.state_of_rank0 ~n) [| 0; 0; 2; 3 |] in
-  let sim = Engine.Sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:9) in
+  let exec =
+    Engine.Exec.of_sim (Engine.Sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:9))
+  in
   let injected = ref false in
   let seen_correct = ref false in
-  (* The runner records correctness after on_step, so inject one step after
-     it was first observed: the runner has then already entered the correct
-     phase and must count the loss. *)
-  let on_step sim =
-    if (not !injected) && Engine.Sim.ranking_correct sim then begin
-      if !seen_correct then begin
-        injected := true;
-        (* duplicate agent 1's state onto agent 0: guaranteed violation *)
-        Engine.Sim.inject sim 0 (Engine.Sim.state sim 1)
-      end
-      else seen_correct := true
-    end
-  in
+  (* Step handlers run inside advance, before the runner's correctness
+     check, so inject one step after correctness was first observed: the
+     runner has then already entered the correct phase and must count the
+     loss. *)
+  Engine.Exec.on exec (fun event ->
+      match event with
+      | Engine.Instrument.Step _ ->
+          if (not !injected) && Engine.Exec.ranking_correct exec then begin
+            if !seen_correct then begin
+              injected := true;
+              (* duplicate agent 1's state onto agent 0: guaranteed violation *)
+              Engine.Exec.inject exec 0 (Engine.Exec.state exec 1)
+            end
+            else seen_correct := true
+          end
+      | _ -> ());
   let o =
-    Engine.Runner.run_to_stability ~on_step ~task:Engine.Runner.Ranking ~max_interactions:200_000
-      ~confirm_interactions:500 sim
+    Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking ~max_interactions:200_000
+      ~confirm_interactions:500 exec
   in
   check_bool "eventually stable" true o.Engine.Runner.converged;
   check_bool "violation recorded" true (o.Engine.Runner.violations >= 1)

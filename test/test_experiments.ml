@@ -69,6 +69,7 @@ let test_scaling_fit () =
         Experiments.Exp_common.label = "x";
         n;
         times = [| mean; mean |];
+        events = [| 0; 0 |];
         failures = 0;
         violations = 0;
         silent_checked = 0;

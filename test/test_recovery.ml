@@ -10,7 +10,7 @@ let stabilize ~task ~expected_time sim =
       ~max_interactions:
         (Engine.Sim.interactions sim + Engine.Runner.default_horizon ~n ~expected_time)
       ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-      sim
+      (Engine.Exec.of_sim sim)
   in
   o.Engine.Runner.converged
 
