@@ -187,6 +187,42 @@ let run_micro_benchmarks () =
   Stats.Table.print table;
   print_newline ()
 
+(* Engine-counter deltas printed next to the timings: one seeded
+   worst-case run of Silent-n-state-SSR on each engine, with the counters
+   both engines keep anyway (Engine.Exec.stats). Makes a throughput
+   regression attributable — e.g. null-skipping getting less effective
+   shows up here before it shows up in the micro-benchmark table. *)
+let run_metrics_section () =
+  print_endline "== Engine metrics (silent protocol, n=256, worst-case, seed 2024) ==\n";
+  let n = 256 in
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let run kind =
+    let rng = Prng.create ~seed:2024 in
+    let init = Core.Scenarios.silent_worst_case ~n in
+    let exec = Engine.Exec.make ~kind ~protocol ~init ~rng in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+         ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time:(float_of_int n))
+         ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+         exec);
+    (Engine.Exec.stats exec, Unix.gettimeofday () -. t0)
+  in
+  let agent, agent_s = run Engine.Exec.Agent in
+  let count, count_s = run Engine.Exec.Count in
+  let names =
+    List.sort_uniq compare (List.map fst agent @ List.map fst count)
+  in
+  let cell stats name =
+    match List.assoc_opt name stats with Some v -> Printf.sprintf "%.0f" v | None -> "-"
+  in
+  let table = Stats.Table.create ~header:[ "metric"; "agent"; "count" ] in
+  List.iter (fun name -> Stats.Table.add_row table [ name; cell agent name; cell count name ]) names;
+  Stats.Table.add_row table
+    [ "wall clock (s)"; Printf.sprintf "%.3f" agent_s; Printf.sprintf "%.3f" count_s ];
+  Stats.Table.print table;
+  print_newline ()
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* --jobs N: domain-pool width for the experiment sections (identical
@@ -233,4 +269,7 @@ let () =
         print_newline ())
       selected
   end;
-  if names = [] then run_micro_benchmarks ()
+  if names = [] then begin
+    run_micro_benchmarks ();
+    run_metrics_section ()
+  end

@@ -3,9 +3,19 @@
      experiments_main                 run every experiment (quick mode)
      experiments_main --full          full-size sweeps (slow)
      experiments_main -e table1 ...   run selected experiments
-     experiments_main --jobs 4       run trials on 4 domains (same output) *)
+     experiments_main --jobs 4        run trials on 4 domains (same output)
+     experiments_main --out-dir DIR   also write per-experiment manifests
+                                      and metrics (telemetry) into DIR *)
 
-let main list_only full names seed jobs out =
+let ensure_dir path =
+  match Unix.mkdir path 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "--out-dir %s: %s\n" path (Unix.error_message e);
+      exit 2
+
+let main list_only full names seed jobs out out_dir =
   if list_only then begin
     List.iter
       (fun e ->
@@ -34,14 +44,48 @@ let main list_only full names seed jobs out =
                 exit 2)
           names
   in
+  Option.iter ensure_dir out_dir;
   let body =
     String.concat "\n"
       (List.map
          (fun e ->
+           let name = e.Experiments.Report.name in
+           (* Install an ambient registry per experiment so the trial
+              runner and engines record into it; uninstall before writing
+              so a crash in one experiment never leaks into the next. *)
+           let reg =
+             Option.map
+               (fun _ ->
+                 let reg = Telemetry.Metrics.create () in
+                 Telemetry.Metrics.install reg;
+                 reg)
+               out_dir
+           in
            let t0 = Unix.gettimeofday () in
-           let b = e.Experiments.Report.run ~mode ~seed ~jobs in
-           Printf.sprintf "%s\n(experiment '%s' took %.1f s wall clock)\n" b
-             e.Experiments.Report.name (Unix.gettimeofday () -. t0))
+           let b =
+             Fun.protect
+               ~finally:(fun () -> if reg <> None then Telemetry.Metrics.uninstall ())
+               (fun () -> e.Experiments.Report.run ~mode ~seed ~jobs)
+           in
+           let wall_clock_s = Unix.gettimeofday () -. t0 in
+           Option.iter
+             (fun dir ->
+               let reg = Option.get reg in
+               Telemetry.Metrics.write ~path:(Filename.concat dir (name ^ ".metrics.json")) reg;
+               let manifest =
+                 Telemetry.Manifest.make ~run:name ~seed ~jobs
+                   ~params:
+                     [
+                       ( "mode",
+                         Telemetry.Json.String (if full then "full" else "quick") );
+                     ]
+                   ~wall_clock_s ()
+               in
+               Telemetry.Manifest.write
+                 ~path:(Filename.concat dir (name ^ ".manifest.json"))
+                 manifest)
+             out_dir;
+           Printf.sprintf "%s\n(experiment '%s' took %.1f s wall clock)\n" b name wall_clock_s)
          selected)
   in
   (match out with
@@ -82,9 +126,19 @@ let out_arg =
   let doc = "Write the report to a file instead of stdout." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let out_dir_arg =
+  let doc =
+    "Write per-experiment telemetry into $(docv) (created if missing): \
+     $(i,NAME).manifest.json (what ran: seed, jobs, wall clock, git revision) and \
+     $(i,NAME).metrics.json (engine counters, per-trial wall-time histogram)."
+  in
+  Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR" ~doc)
+
 let cmd =
   let doc = "regenerate the paper-reproduction experiment reports" in
   let info = Cmd.info "experiments_main" ~version:"1.0" ~doc in
-  Cmd.v info Term.(const main $ list_arg $ full_arg $ names_arg $ seed_arg $ jobs_arg $ out_arg)
+  Cmd.v info
+    Term.(
+      const main $ list_arg $ full_arg $ names_arg $ seed_arg $ jobs_arg $ out_arg $ out_dir_arg)
 
 let () = exit (Cmd.eval' cmd)

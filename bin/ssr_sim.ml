@@ -45,11 +45,37 @@ let make_exec (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s arra
       in
       Engine.Exec.of_sim sim
 
+(* Step events are thinned to roughly two samples per unit of parallel
+   time; landmark events (correctness transitions, silence, faults) are
+   always written. *)
+let step_interval ~n = max 1 (n / 2)
+
+let scrape_engine_stats reg exec =
+  List.iter
+    (fun (name, v) -> Telemetry.Metrics.add reg ("engine." ^ name) v)
+    (Engine.Exec.stats exec)
+
+let write_manifest ~events_path ~protocol ~engine ~n ~seed ~trials ~jobs ~params ~wall_clock_s =
+  let manifest =
+    Telemetry.Manifest.make ~run:"ssr_sim" ~protocol
+      ~engine:(Engine.Exec.kind_to_string engine) ~n ~seed ~trials ~jobs ~params ~wall_clock_s ()
+  in
+  Telemetry.Manifest.write ~path:(events_path ^ ".manifest.json") manifest
+
 let run_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s array) ~seed
-    ~verbose ~horizon_scale ~topology =
+    ~verbose ~horizon_scale ~topology ~events ~metrics ~scenario =
   let n = protocol.Engine.Protocol.n in
+  let t0 = Unix.gettimeofday () in
   let rng = Prng.create ~seed in
   let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
+  let sink = Option.map Telemetry.Sink.file events in
+  Option.iter
+    (fun sink ->
+      let run =
+        Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name ~n ~seed ()
+      in
+      Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run sink)
+    sink;
   let collector = Engine.Instrument.collector ~interval:(max 1 (n / 2)) () in
   if verbose then begin
     let metric () =
@@ -91,6 +117,31 @@ let run_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s arr
       if protocol.Engine.Protocol.deterministic && outcome.Engine.Runner.converged then
         Printf.printf "final config silent : %b\n"
           (Engine.Silence.configuration_is_silent protocol (Engine.Exec.snapshot exec)));
+  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  Option.iter
+    (fun sink ->
+      Telemetry.Sink.close sink;
+      write_manifest
+        ~events_path:(Option.get events)
+        ~protocol:protocol.Engine.Protocol.name ~engine ~n ~seed ~trials:1 ~jobs:1
+        ~params:
+          [
+            ("scenario", Telemetry.Json.String scenario);
+            ("topology", Telemetry.Json.String topology);
+            ("horizon_scale", Telemetry.Json.Float horizon_scale);
+          ]
+        ~wall_clock_s)
+    sink;
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      let reg = Telemetry.Metrics.create () in
+      scrape_engine_stats reg exec;
+      Telemetry.Metrics.observe reg "trial_wall_s" wall_clock_s;
+      Telemetry.Metrics.set reg "converged"
+        (if outcome.Engine.Runner.converged then 1.0 else 0.0);
+      Telemetry.Metrics.set reg "violations" (float_of_int outcome.Engine.Runner.violations);
+      Telemetry.Metrics.write ~path reg);
   if outcome.Engine.Runner.converged then 0 else 1
 
 let lookup_scenario ~kind catalogue scenario =
@@ -107,21 +158,47 @@ let lookup_scenario ~kind catalogue scenario =
    --jobs value; the child drives both the scenario generator and the
    simulation. *)
 let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t -> s array)
-    ~seed ~jobs ~trials ~horizon_scale ~topology =
+    ~seed ~jobs ~trials ~horizon_scale ~topology ~events ~metrics ~scenario =
   let n = protocol.Engine.Protocol.n in
+  let t0 = Unix.gettimeofday () in
   let children = Prng.split_many (Prng.create ~seed) trials in
-  let outcomes =
+  (* Each trial writes into its own buffer sink; the buffers are flushed
+     to the events file in trial order afterwards, so the file content is
+     identical for every --jobs value. *)
+  let buffers =
+    if events = None then [||] else Array.init trials (fun _ -> Telemetry.Sink.buffer ())
+  in
+  let reg = Telemetry.Metrics.create () in
+  let outcomes, pool_stats =
     Engine.Pool.with_pool ~jobs (fun pool ->
-        Engine.Pool.init pool trials (fun i ->
-            let rng = children.(i) in
-            let init = gen rng in
-            let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
-            Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
-              ~max_interactions:
-                (Engine.Runner.default_horizon ~n
-                   ~expected_time:(horizon_scale *. float_of_int n))
-              ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-              exec))
+        let outcomes =
+          Engine.Pool.init pool trials (fun i ->
+              let trial_t0 = Unix.gettimeofday () in
+              let rng = children.(i) in
+              let init = gen rng in
+              let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
+              if events <> None then begin
+                let run =
+                  Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name ~n
+                    ~seed ~trial:i ()
+                in
+                Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run buffers.(i)
+              end;
+              let outcome =
+                Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+                  ~max_interactions:
+                    (Engine.Runner.default_horizon ~n
+                       ~expected_time:(horizon_scale *. float_of_int n))
+                  ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+                  exec
+              in
+              if metrics <> None then begin
+                scrape_engine_stats reg exec;
+                Telemetry.Metrics.observe reg "trial_wall_s" (Unix.gettimeofday () -. trial_t0)
+              end;
+              outcome)
+        in
+        (outcomes, Engine.Pool.stats pool))
   in
   let times =
     Array.to_list outcomes
@@ -140,6 +217,38 @@ let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t 
     Printf.printf "stabilization time  : mean %.2f  median %.2f  p95 %.2f  max %.2f\n"
       s.Stats.Summary.mean s.Stats.Summary.median s.Stats.Summary.p95 s.Stats.Summary.max
   end;
+  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  (match events with
+  | None -> ()
+  | Some path ->
+      let sink = Telemetry.Sink.file path in
+      Array.iter
+        (fun buffer ->
+          String.split_on_char '\n' (Telemetry.Sink.contents buffer)
+          |> List.iter (fun line -> if line <> "" then Telemetry.Sink.write_line sink line))
+        buffers;
+      Telemetry.Sink.close sink;
+      write_manifest ~events_path:path ~protocol:protocol.Engine.Protocol.name ~engine ~n ~seed
+        ~trials ~jobs
+        ~params:
+          [
+            ("scenario", Telemetry.Json.String scenario);
+            ("topology", Telemetry.Json.String topology);
+            ("horizon_scale", Telemetry.Json.Float horizon_scale);
+          ]
+        ~wall_clock_s);
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      Array.iteri
+        (fun slot { Engine.Pool.tasks; busy_s } ->
+          Telemetry.Metrics.set reg (Printf.sprintf "pool.domain%d.tasks" slot)
+            (float_of_int tasks);
+          Telemetry.Metrics.set reg (Printf.sprintf "pool.domain%d.busy_s" slot) busy_s)
+        pool_stats;
+      Telemetry.Metrics.set reg "converged" (float_of_int (List.length times));
+      Telemetry.Metrics.set reg "trials" (float_of_int trials);
+      Telemetry.Metrics.write ~path reg);
   if failures = 0 then 0 else 1
 
 let run_loose ~n ~seed ~verbose =
@@ -169,7 +278,8 @@ let run_loose ~n ~seed ~verbose =
   end;
   if Engine.Sim.leader_correct sim || verbose then 0 else 1
 
-let main protocol_name n h scenario seed verbose topology engine_name count_engine trials jobs =
+let main protocol_name n h scenario seed verbose topology engine_name count_engine trials jobs
+    events metrics =
   let jobs = match jobs with Some j -> j | None -> Engine.Pool.default_jobs () in
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
@@ -179,6 +289,8 @@ let main protocol_name n h scenario seed verbose topology engine_name count_engi
     Printf.eprintf "--trials must be >= 1 (got %d)\n" trials;
     exit 2
   end;
+  if count_engine then
+    Printf.eprintf "warning: --count-engine is deprecated; use --engine count\n%!";
   let engine =
     if count_engine then Engine.Exec.Count
     else
@@ -197,10 +309,10 @@ let main protocol_name n h scenario seed verbose topology engine_name count_engi
       let gen = lookup_scenario ~kind:"silent" (Core.Scenarios.silent_catalogue ~n) scenario in
       if batch then
         run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:(float_of_int n)
-          ~topology
+          ~topology ~events ~metrics ~scenario
       else
         run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose
-          ~horizon_scale:(float_of_int n) ~topology
+          ~horizon_scale:(float_of_int n) ~topology ~events ~metrics ~scenario
   | "optimal" ->
       let params = Core.Params.optimal_silent n in
       let protocol = Core.Optimal_silent.protocol ~params ~n () in
@@ -209,9 +321,10 @@ let main protocol_name n h scenario seed verbose topology engine_name count_engi
       in
       if batch then
         run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
+          ~events ~metrics ~scenario
       else
         run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0
-          ~topology
+          ~topology ~events ~metrics ~scenario
   | "sublinear" ->
       let params = Core.Params.sublinear ~h n in
       let protocol = Core.Sublinear.protocol ~params ~n ~h () in
@@ -220,9 +333,10 @@ let main protocol_name n h scenario seed verbose topology engine_name count_engi
       in
       if batch then
         run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
+          ~events ~metrics ~scenario
       else
         run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0
-          ~topology
+          ~topology ~events ~metrics ~scenario
   | "loose" ->
       if batch then begin
         Printf.eprintf "--trials is not supported for the loose protocol\n";
@@ -230,6 +344,10 @@ let main protocol_name n h scenario seed verbose topology engine_name count_engi
       end;
       if engine = Engine.Exec.Count then begin
         Printf.eprintf "--engine count is not supported for the loose protocol\n";
+        exit 2
+      end;
+      if events <> None || metrics <> None then begin
+        Printf.eprintf "--events/--metrics are not supported for the loose protocol\n";
         exit 2
       end;
       run_loose ~n ~seed ~verbose
@@ -293,12 +411,29 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
+let events_arg =
+  let doc =
+    "Write the run's instrumentation events to $(docv) as JSONL (schema v1; see DESIGN.md \
+     \"Telemetry\"). A run manifest is written next to it as $(docv).manifest.json. With \
+     --trials, every trial's events land in the same file, tagged with their trial index, in \
+     trial order regardless of --jobs."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a JSON metrics summary (engine counters, per-trial wall times, pool utilization) \
+     to $(docv) at the end of the run."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "simulate self-stabilizing ranking / leader election population protocols" in
   let info = Cmd.info "ssr_sim" ~version:"1.0" ~doc in
   Cmd.v info
     Term.(
       const main $ protocol_arg $ n_arg $ h_arg $ scenario_arg $ seed_arg $ verbose_arg
-      $ topology_arg $ engine_arg $ count_engine_arg $ trials_arg $ jobs_arg)
+      $ topology_arg $ engine_arg $ count_engine_arg $ trials_arg $ jobs_arg $ events_arg
+      $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,50 @@
+(* timeline: fold a JSONL events file (ssr_sim --events, experiment runs)
+   into a per-run recovery summary. Examples:
+
+     ssr_sim -p silent -n 64 -s worst-case --events run.jsonl
+     timeline run.jsonl
+     timeline - < run.jsonl *)
+
+let main path =
+  let ic, close =
+    if path = "-" then (stdin, fun () -> ())
+    else
+      match open_in path with
+      | ic -> (ic, fun () -> close_in ic)
+      | exception Sys_error msg ->
+          Printf.eprintf "timeline: %s\n" msg;
+          exit 2
+  in
+  let result = Telemetry.Timeline.load ic in
+  close ();
+  match result with
+  | Error msg ->
+      Printf.eprintf "timeline: %s\n" msg;
+      1
+  | Ok [] ->
+      Printf.eprintf "timeline: no events in %s\n" (if path = "-" then "stdin" else path);
+      1
+  | Ok events ->
+      let summaries = Telemetry.Timeline.fold events in
+      List.iteri
+        (fun i summary ->
+          if i > 0 then print_newline ();
+          Format.printf "%a@." Telemetry.Timeline.pp_summary summary)
+        summaries;
+      Printf.printf "%d run%s, %d events\n" (List.length summaries)
+        (if List.length summaries = 1 then "" else "s")
+        (List.length events);
+      0
+
+open Cmdliner
+
+let path_arg =
+  let doc = "JSONL events file produced by ssr_sim --events (schema v1); - reads stdin." in
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "summarize a telemetry events file: convergence, violations, fault recovery" in
+  let info = Cmd.info "timeline" ~version:"1.0" ~doc in
+  Cmd.v info Term.(const main $ path_arg)
+
+let () = exit (Cmd.eval' cmd)

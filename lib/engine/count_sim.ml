@@ -53,7 +53,19 @@ let ranking_correct t = Monitor.ranking_correct t.monitor
 
 let ranked_agents t = Monitor.ranked_agents t.monitor
 
+let monitor_updates t = Monitor.updates t.monitor
+
 let is_silent t = t.weight = 0
+
+let closure_size t = t.d
+
+let probed_states t = t.probed
+
+let productive_pairs t = Hashtbl.length t.results
+
+let productive_weight t = t.weight
+
+let null_skipped t = t.interactions - t.events
 
 let stride = 1 lsl 20
 

@@ -55,6 +55,34 @@ val leader_count : 'a t -> int
 val ranked_agents : 'a t -> int
 (** Agents currently observing some rank (with multiplicity). *)
 
+(** {2 Engine counters}
+
+    Plain O(1) reads over state the engine keeps anyway; the telemetry
+    layer scrapes them through [Exec.stats]. *)
+
+val monitor_updates : 'a t -> int
+(** Correctness-monitor re-checks (multiset deltas processed). *)
+
+val closure_size : 'a t -> int
+(** Distinct states interned by the probe fixpoint so far — the size of
+    the discovered transition closure (counter-carrying protocols explode
+    here; see ROADMAP). *)
+
+val probed_states : 'a t -> int
+(** States whose ordered pairs have all been probed ([≤ closure_size];
+    equal after every public operation). *)
+
+val productive_pairs : 'a t -> int
+(** Ordered state pairs discovered to have a non-null transition. *)
+
+val productive_weight : 'a t -> int
+(** Current [W]: ordered {e agent} pairs whose interaction would change
+    state. [0] iff {!is_silent}. *)
+
+val null_skipped : 'a t -> int
+(** [interactions - events]: null interactions skipped (or fast-forwarded
+    over) rather than simulated. *)
+
 val step_event : 'a t -> unit
 (** Advance past the (geometrically many) null interactions to the next
     productive one and execute it. No-op on a silent configuration. *)

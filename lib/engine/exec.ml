@@ -17,6 +17,7 @@ module type INSTANCE = sig
   val corrupt : rng:Prng.t -> fraction:float -> (Prng.t -> state) -> int
   val on : (Instrument.event -> unit) -> unit
   val emit : Instrument.event -> unit
+  val stats : unit -> (string * float) list
 end
 
 type 'a t = (module INSTANCE with type state = 'a)
@@ -69,6 +70,13 @@ let of_sim (type a) (sim : a Sim.t) : a t =
           (Instrument.Fault
              { agents; interactions = Sim.interactions sim; time = Sim.parallel_time sim });
       agents
+
+    let stats () =
+      [
+        ("interactions", float_of_int (Sim.interactions sim));
+        ("events", float_of_int (Sim.interactions sim));
+        ("monitor_updates", float_of_int (Sim.monitor_updates sim));
+      ]
   end)
 
 let of_count_sim (type a) (cs : a Count_sim.t) : a t =
@@ -139,6 +147,18 @@ let of_count_sim (type a) (cs : a Count_sim.t) : a t =
       let agents = Count_sim.corrupt cs ~rng ~fraction gen in
       if agents > 0 then after_fault agents;
       agents
+
+    let stats () =
+      [
+        ("interactions", float_of_int (Count_sim.interactions cs));
+        ("events", float_of_int (Count_sim.events cs));
+        ("null_skipped", float_of_int (Count_sim.null_skipped cs));
+        ("closure_size", float_of_int (Count_sim.closure_size cs));
+        ("probed_states", float_of_int (Count_sim.probed_states cs));
+        ("productive_pairs", float_of_int (Count_sim.productive_pairs cs));
+        ("productive_weight", float_of_int (Count_sim.productive_weight cs));
+        ("monitor_updates", float_of_int (Count_sim.monitor_updates cs));
+      ]
   end)
 
 let make ~kind ~protocol ~init ~rng =
@@ -163,3 +183,4 @@ let inject (type a) ((module E) : a t) i s = E.inject i s
 let corrupt (type a) ((module E) : a t) ~rng ~fraction gen = E.corrupt ~rng ~fraction gen
 let on (type a) ((module E) : a t) h = E.on h
 let emit (type a) ((module E) : a t) ev = E.emit ev
+let stats (type a) ((module E) : a t) = E.stats ()

@@ -75,6 +75,15 @@ module type INSTANCE = sig
   (** Publish an event to the subscribers — used by drivers ({!Runner})
       to put policy-level events ([Correct_entered], [Correct_lost]) on
       the same stream. *)
+
+  val stats : unit -> (string * float) list
+  (** Engine-internal counters, scraped by the telemetry layer into its
+      metrics registry. Both engines report [interactions], [events] and
+      [monitor_updates]; the count engine adds [null_skipped],
+      [closure_size] (probe-fixpoint interned states), [probed_states],
+      [productive_pairs] and [productive_weight]. All are O(1) reads of
+      counters the engines keep anyway — calling this costs nothing on a
+      hot path and not calling it costs nothing at all. *)
 end
 
 type 'a t = (module INSTANCE with type state = 'a)
@@ -118,3 +127,4 @@ val inject : 'a t -> int -> 'a -> unit
 val corrupt : 'a t -> rng:Prng.t -> fraction:float -> (Prng.t -> 'a) -> int
 val on : 'a t -> (Instrument.event -> unit) -> unit
 val emit : 'a t -> Instrument.event -> unit
+val stats : 'a t -> (string * float) list

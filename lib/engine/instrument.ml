@@ -21,6 +21,13 @@ let time = function
   | Fault { time; _ } ->
       time
 
+let label = function
+  | Step _ -> "step"
+  | Correct_entered _ -> "correct_entered"
+  | Correct_lost _ -> "correct_lost"
+  | Silence _ -> "silence"
+  | Fault _ -> "fault"
+
 let pp fmt = function
   | Step { interactions; time } -> Format.fprintf fmt "step@%d (t=%.2f)" interactions time
   | Correct_entered { interactions; time } ->

@@ -4,14 +4,19 @@
     happens during a run — interactions executed, correctness gained and
     lost, silence reached, faults injected — as a typed event stream that
     observers subscribe to with {!Exec.on}. This replaces the ad-hoc
-    [?on_step] callback the runner used to take (and supersedes {!Trace},
-    which only understood the per-interaction agent engine): the same
-    subscriber works unchanged on both the agent engine and the count-based
-    engine, where time advances in jumps.
+    [?on_step] callback the runner used to take (and the deleted [Trace]
+    module, which only understood the per-interaction agent engine): the
+    same subscriber works unchanged on both the agent engine and the
+    count-based engine, where time advances in jumps.
 
     Events are monomorphic (they carry clock readings, not states);
     handlers that need configuration detail close over the executor and
-    query it. *)
+    query it.
+
+    For machine consumption, the telemetry library ([Telemetry.Events])
+    encodes this stream as versioned JSONL, one self-describing object per
+    event ([ssr_sim --events FILE]); {!label} provides the stable [type]
+    discriminator of that schema. *)
 
 type event =
   | Step of { interactions : int; time : float }
@@ -31,12 +36,16 @@ val interactions : event -> int
 val time : event -> float
 val pp : Format.formatter -> event -> unit
 
+val label : event -> string
+(** Stable lowercase discriminator (["step"], ["correct_entered"],
+    ["correct_lost"], ["silence"], ["fault"]) — the [type] field of the
+    JSONL schema. *)
+
 (** {2 Sampled time series}
 
-    The generalization of {!Trace} to the event layer: a collector
-    subscribes via [Exec.on exec (Instrument.sampled c metric)] and records
-    [metric ()] every [interval] interactions (plus once per fault, so
-    recovery timelines keep their discontinuities). *)
+    A collector subscribes via [Exec.on exec (Instrument.sampled c metric)]
+    and records [metric ()] every [interval] interactions (plus once per
+    fault, so recovery timelines keep their discontinuities). *)
 
 type 'b collector
 

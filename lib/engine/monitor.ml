@@ -6,6 +6,7 @@ type 'a t = {
   mutable singletons : int;  (* ranks in 1..n with count exactly 1 *)
   mutable ranked : int;  (* agents observing any rank *)
   mutable leaders : int;
+  mutable updates : int;  (* add/remove operations processed (telemetry) *)
 }
 
 (* Out-of-range ranks are counted as unranked: a protocol bug or adversarial
@@ -35,10 +36,12 @@ let remove_rank t = function
       end
 
 let add t state =
+  t.updates <- t.updates + 1;
   add_rank t (t.rank state);
   if t.is_leader state then t.leaders <- t.leaders + 1
 
 let remove t state =
+  t.updates <- t.updates + 1;
   remove_rank t (t.rank state);
   if t.is_leader state then t.leaders <- t.leaders - 1
 
@@ -56,6 +59,7 @@ let create (protocol : 'a Protocol.t) population =
       singletons = 0;
       ranked = 0;
       leaders = 0;
+      updates = 0;
     }
   in
   Array.iter (add t) population;
@@ -70,3 +74,5 @@ let leader_count t = t.leaders
 let ranked_agents t = t.ranked
 
 let distinct_singleton_ranks t = t.singletons
+
+let updates t = t.updates

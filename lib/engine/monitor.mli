@@ -38,3 +38,8 @@ val ranked_agents : 'a t -> int
 
 val distinct_singleton_ranks : 'a t -> int
 (** Number of ranks in [1..n] held by exactly one agent. *)
+
+val updates : 'a t -> int
+(** Re-check counter: total {!add}/{!remove} operations processed
+    (an {!update} counts as two). Scraped by the telemetry layer via
+    [Exec.stats]; a plain increment, so it costs nothing to keep. *)

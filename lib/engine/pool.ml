@@ -10,7 +10,34 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  (* Per-domain utilization (telemetry): slot 0 is the submitting domain,
+     slots 1..jobs-1 the workers. Guarded by [stats_mutex], touched once
+     per task — not per interaction. *)
+  stats_mutex : Mutex.t;
+  tasks_run : int array;
+  busy_s : float array;
 }
+
+type domain_stats = { tasks : int; busy_s : float }
+
+let record_task pool slot dt =
+  Mutex.lock pool.stats_mutex;
+  pool.tasks_run.(slot) <- pool.tasks_run.(slot) + 1;
+  pool.busy_s.(slot) <- pool.busy_s.(slot) +. dt;
+  Mutex.unlock pool.stats_mutex
+
+let run_task pool slot thunk =
+  let t0 = Unix.gettimeofday () in
+  thunk ();
+  record_task pool slot (Unix.gettimeofday () -. t0)
+
+let stats pool =
+  Mutex.lock pool.stats_mutex;
+  let out =
+    Array.init pool.jobs (fun i -> { tasks = pool.tasks_run.(i); busy_s = pool.busy_s.(i) })
+  in
+  Mutex.unlock pool.stats_mutex;
+  out
 
 let default_jobs () =
   match Sys.getenv_opt "REPRO_JOBS" with
@@ -26,7 +53,7 @@ let jobs pool = pool.jobs
 
 (* Workers block on [work_available]; [closed] with an empty queue means
    exit. Tasks never raise: batch thunks trap exceptions into their slot. *)
-let rec worker_loop pool =
+let rec worker_loop pool slot =
   Mutex.lock pool.mutex;
   let rec take () =
     if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
@@ -41,8 +68,8 @@ let rec worker_loop pool =
   match task with
   | None -> ()
   | Some thunk ->
-      thunk ();
-      worker_loop pool
+      run_task pool slot thunk;
+      worker_loop pool slot
 
 let create ~jobs =
   if jobs < 1 then invalid_arg "Engine.Pool.create: jobs must be >= 1";
@@ -54,9 +81,13 @@ let create ~jobs =
       queue = Queue.create ();
       closed = false;
       workers = [];
+      stats_mutex = Mutex.create ();
+      tasks_run = Array.make jobs 0;
+      busy_s = Array.make jobs 0.0;
     }
   in
-  pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool.workers <-
+    List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
 
 let shutdown pool =
@@ -106,7 +137,7 @@ let run pool tasks =
       Mutex.unlock pool.mutex;
       match task with
       | Some thunk ->
-          thunk ();
+          run_task pool 0 thunk;
           help ()
       | None -> ()
     in

@@ -55,6 +55,19 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 val init : t -> int -> (int -> 'a) -> 'a array
 (** [init pool k f] is the parallel [Array.init k f]. *)
 
+type domain_stats = {
+  tasks : int;  (** tasks this domain executed *)
+  busy_s : float;  (** wall-clock seconds it spent inside tasks *)
+}
+
+val stats : t -> domain_stats array
+(** Per-domain utilization since the pool was created, indexed by domain
+    slot: slot 0 is the submitting domain, slots [1..jobs-1] the workers.
+    Updated once per task (not per interaction), so keeping it costs
+    nothing measurable; scraped into the telemetry metrics dump to show
+    how evenly a trial batch spread. Safe to call while a batch runs
+    (a consistent snapshot of completed tasks). *)
+
 val shutdown : t -> unit
 (** Signals the workers to exit once the queue is empty and joins them.
     Idempotent. Subsequent [run]/[map]/[init] calls raise. *)

@@ -66,6 +66,8 @@ let leader_count t = Monitor.leader_count t.monitor
 
 let ranked_agents t = Monitor.ranked_agents t.monitor
 
+let monitor_updates t = Monitor.updates t.monitor
+
 let state t i = t.states.(i)
 
 let inject t i s =

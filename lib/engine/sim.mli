@@ -46,6 +46,9 @@ val leader_correct : 'a t -> bool
 val leader_count : 'a t -> int
 val ranked_agents : 'a t -> int
 
+val monitor_updates : 'a t -> int
+(** Correctness-monitor re-checks so far (see {!Monitor.updates}). *)
+
 val state : 'a t -> int -> 'a
 (** [state sim i] is agent [i]'s current state. *)
 

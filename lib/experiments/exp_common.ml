@@ -15,15 +15,26 @@ type measurement = {
    exclusively from child generator [i], which is pre-split from the root
    before anything is dispatched to the pool — see the seeding discipline
    in [Engine.Pool]'s documentation — so the returned array depends only
-   on [seed] and [trials], never on [jobs]. *)
+   on [seed] and [trials], never on [jobs]. When an ambient metrics
+   registry is installed (experiments_main --out-dir), each trial's wall
+   time is observed into it; otherwise the cost is one atomic read per
+   trial. *)
 let run_trials ?jobs ?pool ~trials ~seed body =
   let children = Prng.split_many (Prng.create ~seed) trials in
+  let trial i =
+    match Telemetry.Metrics.ambient () with
+    | None -> body children.(i)
+    | Some reg ->
+        let t0 = Unix.gettimeofday () in
+        let result = body children.(i) in
+        Telemetry.Metrics.observe reg "trial_wall_s" (Unix.gettimeofday () -. t0);
+        result
+  in
   match pool with
-  | Some pool -> Engine.Pool.init pool trials (fun i -> body children.(i))
+  | Some pool -> Engine.Pool.init pool trials trial
   | None ->
       let jobs = match jobs with Some j -> j | None -> Engine.Pool.default_jobs () in
-      Engine.Pool.with_pool ~jobs (fun pool ->
-          Engine.Pool.init pool trials (fun i -> body children.(i)))
+      Engine.Pool.with_pool ~jobs (fun pool -> Engine.Pool.init pool trials trial)
 
 (* Per-trial record folded (in trial order) into a [measurement]. *)
 type trial = {
@@ -60,6 +71,12 @@ let measure ~label ~protocol ~init ~task ~expected_time ?(engine = Engine.Exec.A
                   (Engine.Silence.configuration_is_silent protocol (Engine.Exec.snapshot exec))
           else None
         in
+        (match Telemetry.Metrics.ambient () with
+        | None -> ()
+        | Some reg ->
+            List.iter
+              (fun (name, v) -> Telemetry.Metrics.add reg ("engine." ^ name) v)
+              (Engine.Exec.stats exec));
         {
           time =
             (if outcome.Engine.Runner.converged then

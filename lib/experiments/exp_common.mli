@@ -33,7 +33,12 @@ val run_trials :
     trial order. Child generators are pre-split from [seed] {e before}
     dispatch — one per trial index — so the result array is bit-for-bit
     identical for every [jobs] value. [body] must draw randomness only
-    from its argument. *)
+    from its argument.
+
+    When an ambient metrics registry is installed
+    ([Telemetry.Metrics.install], as [experiments_main --out-dir] does),
+    every trial observes its wall time into the ["trial_wall_s"] histogram;
+    with none installed the overhead is one atomic read per trial. *)
 
 val measure :
   label:string ->
@@ -60,7 +65,10 @@ val measure :
     is tested for silence — exactly via the oracle on the count engine, by
     configuration scan on the agent engine. The measurement is identical
     for every [jobs] value (but differs between engines: they follow
-    different random trajectories, equal only in distribution). *)
+    different random trajectories, equal only in distribution). With an
+    ambient metrics registry installed, each trial additionally folds its
+    engine counters ([Engine.Exec.stats], prefixed ["engine."]) into the
+    registry. *)
 
 val summary : measurement -> Stats.Summary.t
 (** Summary of the convergence times; raises if no trial converged. *)

@@ -1,0 +1,98 @@
+let version = 1
+
+type run = {
+  id : string;
+  engine : string;
+  protocol : string;
+  n : int;
+  seed : int;
+  trial : int option;
+}
+
+let run_id ~engine ~protocol ~n ~seed ?trial () =
+  let base =
+    Printf.sprintf "%s-%s-n%d-s%d" (String.lowercase_ascii protocol) engine n seed
+  in
+  match trial with None -> base | Some t -> Printf.sprintf "%s-t%d" base t
+
+let make_run ~engine ~protocol ~n ~seed ?trial () =
+  let engine = Engine.Exec.kind_to_string engine in
+  { id = run_id ~engine ~protocol ~n ~seed ?trial (); engine; protocol; n; seed; trial }
+
+let to_json ~run event =
+  let payload =
+    match (event : Engine.Instrument.event) with
+    | Engine.Instrument.Step { interactions; time }
+    | Engine.Instrument.Correct_entered { interactions; time }
+    | Engine.Instrument.Correct_lost { interactions; time }
+    | Engine.Instrument.Silence { interactions; time } ->
+        [ ("interactions", Json.Int interactions); ("time", Json.Float time) ]
+    | Engine.Instrument.Fault { agents; interactions; time } ->
+        [
+          ("interactions", Json.Int interactions);
+          ("time", Json.Float time);
+          ("agents", Json.Int agents);
+        ]
+  in
+  Json.Obj
+    ([
+       ("v", Json.Int version);
+       ("run", Json.String run.id);
+       ("engine", Json.String run.engine);
+       ("protocol", Json.String run.protocol);
+       ("n", Json.Int run.n);
+       ("seed", Json.Int run.seed);
+     ]
+    @ (match run.trial with Some t -> [ ("trial", Json.Int t) ] | None -> [])
+    @ (("type", Json.String (Engine.Instrument.label event)) :: payload))
+
+let field name conv json =
+  match Option.bind (Json.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let ( let* ) = Result.bind
+
+let of_json json =
+  let* v = field "v" Json.to_int json in
+  if v <> version then Error (Printf.sprintf "unsupported schema version %d (expected %d)" v version)
+  else
+    let* id = field "run" Json.to_string_opt json in
+    let* engine = field "engine" Json.to_string_opt json in
+    let* protocol = field "protocol" Json.to_string_opt json in
+    let* n = field "n" Json.to_int json in
+    let* seed = field "seed" Json.to_int json in
+    let trial = Option.bind (Json.member "trial" json) Json.to_int in
+    let run = { id; engine; protocol; n; seed; trial } in
+    let* kind = field "type" Json.to_string_opt json in
+    let* interactions = field "interactions" Json.to_int json in
+    let* time = field "time" Json.to_float json in
+    let* event =
+      match kind with
+      | "step" -> Ok (Engine.Instrument.Step { interactions; time })
+      | "correct_entered" -> Ok (Engine.Instrument.Correct_entered { interactions; time })
+      | "correct_lost" -> Ok (Engine.Instrument.Correct_lost { interactions; time })
+      | "silence" -> Ok (Engine.Instrument.Silence { interactions; time })
+      | "fault" ->
+          let* agents = field "agents" Json.to_int json in
+          Ok (Engine.Instrument.Fault { agents; interactions; time })
+      | other -> Error (Printf.sprintf "unknown event type %S" other)
+    in
+    Ok (run, event)
+
+let of_line line =
+  let* json = Json.parse line in
+  of_json json
+
+let attach ?(step_interval = 1) exec ~run sink =
+  if step_interval < 1 then
+    invalid_arg "Telemetry.Events.attach: step_interval must be positive";
+  let steps = ref 0 in
+  Engine.Exec.on exec (fun event ->
+      match event with
+      | Engine.Instrument.Step _ ->
+          incr steps;
+          if !steps mod step_interval = 0 then Sink.write sink (to_json ~run event)
+      | Engine.Instrument.Correct_entered _ | Engine.Instrument.Correct_lost _
+      | Engine.Instrument.Silence _ | Engine.Instrument.Fault _ ->
+          Sink.write sink (to_json ~run event))

@@ -1,0 +1,55 @@
+(** Versioned JSONL encoding of the {!Engine.Instrument} event stream.
+
+    Each event encodes as one self-describing JSON object carrying both
+    the event payload and the identity of the run that produced it, so a
+    file of concatenated runs (e.g. a parallel trial batch) still
+    plots/decodes without side tables. Schema v1 (see DESIGN.md
+    "Telemetry" for the normative field table):
+
+    {v
+    {"v":1,"run":"silent-agent-n64-s1","engine":"agent",
+     "protocol":"Silent-n-state-SSR","n":64,"seed":1,
+     "type":"step","interactions":128,"time":2.0}
+    v}
+
+    [trial] is present only for batch runs; [agents] only on [fault]
+    events. Decoding is total: {!of_json} returns [Error] (never raises)
+    on unknown versions, types, or missing fields, so external files can
+    be validated by round-tripping. *)
+
+val version : int
+(** Current schema version (1). *)
+
+type run = {
+  id : string;  (** globally unique within a file; see {!run_id} *)
+  engine : string;  (** [Engine.Exec.kind_to_string] of the executor *)
+  protocol : string;
+  n : int;
+  seed : int;
+  trial : int option;  (** trial index within a batch *)
+}
+
+val run_id : engine:string -> protocol:string -> n:int -> seed:int -> ?trial:int -> unit -> string
+(** Deterministic human-readable id: ["<protocol>-<engine>-n<n>-s<seed>[-t<trial>]"]
+    with the protocol name lowercased. *)
+
+val make_run :
+  engine:Engine.Exec.kind -> protocol:string -> n:int -> seed:int -> ?trial:int -> unit -> run
+(** Builds a [run] with its {!run_id}. *)
+
+val to_json : run:run -> Engine.Instrument.event -> Json.t
+
+val of_json : Json.t -> (run * Engine.Instrument.event, string) result
+
+val of_line : string -> (run * Engine.Instrument.event, string) result
+(** Parse + decode one JSONL line. *)
+
+val attach : ?step_interval:int -> 'a Engine.Exec.t -> run:run -> Sink.t -> unit
+(** Subscribes a handler that writes every subsequent event of the
+    executor (including [Correct_entered]/[Correct_lost] emitted through
+    it by the runner) to the sink as one line. [step_interval] (default 1)
+    thins the [Step] stream: only every [step_interval]-th [Step] event is
+    written — on the agent engine [Step] fires once per interaction, so an
+    unthinned file of a long run is enormous. Landmark events
+    ([Correct_entered], [Correct_lost], [Silence], [Fault]) are never
+    thinned. Raises [Invalid_argument] if [step_interval < 1]. *)

@@ -1,0 +1,308 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Encoding *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    (* shortest representation that round-trips *)
+    let s = Printf.sprintf "%.17g" f in
+    let shorter = Printf.sprintf "%.15g" f in
+    if float_of_string shorter = f then shorter else s
+
+let rec encode buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if not (Float.is_finite f) then Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_to_string f)
+  | String s -> escape_string buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          encode buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          encode buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 128 in
+  encode buf v;
+  Buffer.contents buf
+
+(* Parsing: a plain recursive-descent parser over the input string. *)
+
+exception Parse_error of int * string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg = raise (Parse_error (cur.pos, msg))
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.src
+    && match cur.src.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance cur
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | Some c' -> fail cur (Printf.sprintf "expected '%c', found '%c'" c c')
+  | None -> fail cur (Printf.sprintf "expected '%c', found end of input" c)
+
+let literal cur word value =
+  let len = String.length word in
+  if cur.pos + len <= String.length cur.src && String.sub cur.src cur.pos len = word then begin
+    cur.pos <- cur.pos + len;
+    value
+  end
+  else fail cur (Printf.sprintf "invalid literal (expected %s)" word)
+
+let parse_hex4 cur =
+  if cur.pos + 4 > String.length cur.src then fail cur "truncated \\u escape";
+  let s = String.sub cur.src cur.pos 4 in
+  match int_of_string_opt ("0x" ^ s) with
+  | Some code ->
+      cur.pos <- cur.pos + 4;
+      code
+  | None -> fail cur "invalid \\u escape"
+
+(* Encode a Unicode code point as UTF-8 (surrogate pairs are combined by
+   the caller). *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+        advance cur;
+        (match peek cur with
+        | Some '"' -> advance cur; Buffer.add_char buf '"'
+        | Some '\\' -> advance cur; Buffer.add_char buf '\\'
+        | Some '/' -> advance cur; Buffer.add_char buf '/'
+        | Some 'b' -> advance cur; Buffer.add_char buf '\b'
+        | Some 'f' -> advance cur; Buffer.add_char buf '\012'
+        | Some 'n' -> advance cur; Buffer.add_char buf '\n'
+        | Some 'r' -> advance cur; Buffer.add_char buf '\r'
+        | Some 't' -> advance cur; Buffer.add_char buf '\t'
+        | Some 'u' ->
+            advance cur;
+            let code = parse_hex4 cur in
+            let code =
+              if code >= 0xD800 && code <= 0xDBFF
+                 && cur.pos + 1 < String.length cur.src
+                 && cur.src.[cur.pos] = '\\'
+                 && cur.src.[cur.pos + 1] = 'u'
+              then begin
+                cur.pos <- cur.pos + 2;
+                let low = parse_hex4 cur in
+                0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+              end
+              else code
+            in
+            add_utf8 buf code
+        | Some c -> fail cur (Printf.sprintf "invalid escape '\\%c'" c)
+        | None -> fail cur "unterminated escape");
+        loop ()
+    | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  let consume () =
+    let rec go () =
+      match peek cur with
+      | Some ('0' .. '9' | '-' | '+') -> advance cur; go ()
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance cur;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  consume ();
+  let s = String.sub cur.src start (cur.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail cur (Printf.sprintf "invalid number %S" s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        (* integer out of native range: fall back to float *)
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail cur (Printf.sprintf "invalid number %S" s))
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> String (parse_string cur)
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              items (v :: acc)
+          | Some ']' ->
+              advance cur;
+              List.rev (v :: acc)
+          | _ -> fail cur "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws cur;
+          let k = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              fields (kv :: acc)
+          | Some '}' ->
+              advance cur;
+              List.rev (kv :: acc)
+          | _ -> fail cur "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character '%c'" c)
+
+let parse s =
+  let cur = { src = s; pos = 0 } in
+  match
+    let v = parse_value cur in
+    skip_ws cur;
+    if cur.pos <> String.length s then fail cur "trailing garbage after document";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (pos, msg) -> Error (Printf.sprintf "JSON parse error at byte %d: %s" pos msg)
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b || (Float.is_nan a && Float.is_nan b)
+  | Int a, Float b | Float b, Int a -> float_of_int a = b
+  | String a, String b -> a = b
+  | List a, List b -> ( try List.for_all2 equal a b with Invalid_argument _ -> false)
+  | Obj a, Obj b ->
+      List.length a = List.length b
+      && List.for_all
+           (fun (k, v) -> match List.assoc_opt k b with Some v' -> equal v v' | None -> false)
+           a
+  | _ -> false
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f && Float.abs f <= 2. ** 52. -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None

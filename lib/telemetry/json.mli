@@ -1,0 +1,42 @@
+(** Minimal JSON values: just enough for the telemetry layer.
+
+    The container ships no JSON library, and the telemetry formats are
+    deliberately small (flat event records, one manifest object, a metrics
+    summary), so this module hand-rolls the encoder and a strict parser.
+    Encoding is canonical single-line output — exactly what a JSONL sink
+    needs — and the parser accepts standard JSON (RFC 8259) so files
+    written by this module and by external tools round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** field order is preserved on encode *)
+
+val to_string : t -> string
+(** Canonical compact encoding on one line (no newlines anywhere, so a
+    value per line is valid JSONL). Floats encode with enough digits to
+    round-trip; non-finite floats encode as [null] (JSON has no lexeme
+    for them). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON document (surrounding whitespace allowed).
+    Numbers without [.], [e] or [E] parse as [Int], others as [Float].
+    On failure, returns a message with the byte offset. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Obj] fields compare order-insensitively. *)
+
+(** {2 Accessors} (all total: wrong shape yields [None]) *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+(** Accepts [Int] and integral [Float] (a JSON writer may emit [3.0]). *)
+
+val to_float : t -> float option
+val to_string_opt : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

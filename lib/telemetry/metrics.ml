@@ -1,0 +1,98 @@
+type t = {
+  mutex : Mutex.t;
+  counters : (string, float ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, float list ref) Hashtbl.t;  (* reversed *)
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add tbl name r;
+      r
+
+let add t name by = locked t (fun () -> let r = cell t.counters name in r := !r +. by)
+
+let incr t name = add t name 1.0
+
+let set t name v = locked t (fun () -> let r = cell t.gauges name in r := v)
+
+let observe t name v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.histograms name with
+      | Some r -> r := v :: !r
+      | None -> Hashtbl.add t.histograms name (ref [ v ]))
+
+let counter_value t name =
+  locked t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.counters name))
+
+let gauge_value t name = locked t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.gauges name))
+
+let observations t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.histograms name with
+      | Some r -> Array.of_list (List.rev !r)
+      | None -> [||])
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+(* Counters that hold an integral value dump as JSON integers. *)
+let number f = if Float.is_integer f && Float.abs f < 1e15 then Json.Int (int_of_float f) else Json.Float f
+
+let to_json t =
+  locked t (fun () ->
+      let scalars tbl = List.map (fun (k, r) -> (k, number !r)) (sorted_bindings tbl) in
+      let histogram (name, r) =
+        let xs = Array.of_list (List.rev !r) in
+        let s = Stats.Summary.of_array xs in
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Int s.Stats.Summary.count);
+              ("min", Json.Float s.Stats.Summary.min);
+              ("max", Json.Float s.Stats.Summary.max);
+              ("mean", Json.Float s.Stats.Summary.mean);
+              ("p50", Json.Float s.Stats.Summary.median);
+              ("p95", Json.Float s.Stats.Summary.p95);
+              ("total", Json.Float (Array.fold_left ( +. ) 0.0 xs));
+            ] )
+      in
+      Json.Obj
+        [
+          ("v", Json.Int 1);
+          ("counters", Json.Obj (scalars t.counters));
+          ("gauges", Json.Obj (scalars t.gauges));
+          ("histograms", Json.Obj (List.map histogram (sorted_bindings t.histograms)));
+        ])
+
+let write ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+(* Ambient registry. [Atomic] so pool domains read a consistent value. *)
+let installed : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set installed (Some t)
+
+let uninstall () = Atomic.set installed None
+
+let ambient () = Atomic.get installed

@@ -1,0 +1,45 @@
+type backing = File of out_channel | Memory of Buffer.t
+
+type t = {
+  backing : backing;
+  mutex : Mutex.t;
+  mutable written : int;
+  mutable closed : bool;
+}
+
+let file path =
+  { backing = File (open_out path); mutex = Mutex.create (); written = 0; closed = false }
+
+let buffer () =
+  { backing = Memory (Buffer.create 4096); mutex = Mutex.create (); written = 0; closed = false }
+
+let write_line t line =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    (match t.backing with
+    | File oc ->
+        output_string oc line;
+        output_char oc '\n'
+    | Memory buf ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n');
+    t.written <- t.written + 1
+  end;
+  Mutex.unlock t.mutex
+
+let write t json = write_line t (Json.to_string json)
+
+let lines t = t.written
+
+let contents t =
+  match t.backing with
+  | Memory buf -> Buffer.contents buf
+  | File _ -> invalid_arg "Telemetry.Sink.contents: file sink"
+
+let close t =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    t.closed <- true;
+    match t.backing with File oc -> close_out oc | Memory _ -> ()
+  end;
+  Mutex.unlock t.mutex

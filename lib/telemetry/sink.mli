@@ -1,0 +1,41 @@
+(** JSONL sinks: one JSON document per line.
+
+    A sink is where the telemetry layer appends encoded records — the
+    {!Events} stream, primarily. Two backings:
+
+    - {!file}: an append-only file on disk (the [--events FILE] format);
+    - {!buffer}: an in-memory buffer, used by tests and by parallel trial
+      batches, where each trial writes into its own buffer and the batch
+      driver concatenates them in trial order afterwards (writing straight
+      to a shared file from pool domains would interleave lines
+      nondeterministically).
+
+    Writes are mutex-guarded, so sharing one sink between domains is safe
+    (ordering is then scheduler-dependent; prefer per-trial buffers when
+    determinism matters). *)
+
+type t
+
+val file : string -> t
+(** Opens (truncates) [path] for writing. Raises [Sys_error] like
+    [open_out]. *)
+
+val buffer : unit -> t
+
+val write : t -> Json.t -> unit
+(** Appends one encoded line. No-op on a closed sink. *)
+
+val write_line : t -> string -> unit
+(** Appends a pre-encoded line (must not contain newlines). Used to
+    replay buffered lines into a file sink in deterministic order. *)
+
+val lines : t -> int
+(** Lines written so far. *)
+
+val contents : t -> string
+(** Everything written so far. For a buffer sink this is the accumulated
+    JSONL text; for a file sink, raises [Invalid_argument]. *)
+
+val close : t -> unit
+(** Flushes and closes a file sink; idempotent. Buffer sinks keep their
+    contents readable after close. *)

@@ -1,0 +1,175 @@
+type burst = {
+  faults : int;
+  agents : int;
+  first_at : float;
+  last_at : float;
+  broke : bool;
+  recovered_at : float option;
+}
+
+type summary = {
+  run : Events.run;
+  events : int;
+  steps : int;
+  first_correct_at : float option;
+  last_correct_at : float option;
+  violations : int;
+  silent_at : float option;
+  end_time : float;
+  end_interactions : int;
+  bursts : burst list;
+}
+
+type acc = {
+  a_run : Events.run;
+  mutable a_events : int;
+  mutable a_steps : int;
+  mutable a_first_correct : float option;
+  mutable a_last_correct : float option;
+  mutable a_violations : int;
+  mutable a_silent : float option;
+  mutable a_end_time : float;
+  mutable a_end_interactions : int;
+  mutable a_bursts : burst list;  (* reversed *)
+  mutable a_open : burst option;  (* burst awaiting its Correct_entered *)
+}
+
+let close_burst acc recovered_at =
+  match acc.a_open with
+  | None -> ()
+  | Some b ->
+      acc.a_bursts <- { b with recovered_at } :: acc.a_bursts;
+      acc.a_open <- None
+
+let feed acc (event : Engine.Instrument.event) =
+  acc.a_events <- acc.a_events + 1;
+  acc.a_end_time <- Float.max acc.a_end_time (Engine.Instrument.time event);
+  acc.a_end_interactions <- max acc.a_end_interactions (Engine.Instrument.interactions event);
+  match event with
+  | Engine.Instrument.Step _ -> acc.a_steps <- acc.a_steps + 1
+  | Engine.Instrument.Correct_entered { time; _ } ->
+      if acc.a_first_correct = None then acc.a_first_correct <- Some time;
+      acc.a_last_correct <- Some time;
+      close_burst acc (Some time)
+  | Engine.Instrument.Correct_lost _ ->
+      acc.a_violations <- acc.a_violations + 1;
+      (match acc.a_open with Some b -> acc.a_open <- Some { b with broke = true } | None -> ())
+  | Engine.Instrument.Silence { time; _ } -> acc.a_silent <- Some time
+  | Engine.Instrument.Fault { agents; time; _ } -> (
+      match acc.a_open with
+      | Some b ->
+          acc.a_open <-
+            Some { b with faults = b.faults + 1; agents = b.agents + agents; last_at = time }
+      | None ->
+          acc.a_open <-
+            Some
+              {
+                faults = 1;
+                agents;
+                first_at = time;
+                last_at = time;
+                broke = false;
+                recovered_at = None;
+              })
+
+let fold events =
+  let table : (string, acc) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun ((run : Events.run), event) ->
+      let acc =
+        match Hashtbl.find_opt table run.Events.id with
+        | Some acc -> acc
+        | None ->
+            let acc =
+              {
+                a_run = run;
+                a_events = 0;
+                a_steps = 0;
+                a_first_correct = None;
+                a_last_correct = None;
+                a_violations = 0;
+                a_silent = None;
+                a_end_time = 0.0;
+                a_end_interactions = 0;
+                a_bursts = [];
+                a_open = None;
+              }
+            in
+            Hashtbl.add table run.Events.id acc;
+            order := run.Events.id :: !order;
+            acc
+      in
+      feed acc event)
+    events;
+  List.rev_map
+    (fun id ->
+      let acc = Hashtbl.find table id in
+      close_burst acc None;
+      {
+        run = acc.a_run;
+        events = acc.a_events;
+        steps = acc.a_steps;
+        first_correct_at = acc.a_first_correct;
+        last_correct_at = acc.a_last_correct;
+        violations = acc.a_violations;
+        silent_at = acc.a_silent;
+        end_time = acc.a_end_time;
+        end_interactions = acc.a_end_interactions;
+        bursts = List.rev acc.a_bursts;
+      })
+    !order
+
+let load ic =
+  let rec loop lineno acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | line when String.trim line = "" -> loop (lineno + 1) acc
+    | line -> (
+        match Events.of_line line with
+        | Ok decoded -> loop (lineno + 1) (decoded :: acc)
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  loop 1 []
+
+let recovery_time b =
+  match b.recovered_at with Some t -> Some (t -. b.last_at) | None -> None
+
+let pp_opt_time fmt = function
+  | Some t -> Format.fprintf fmt "t=%.2f" t
+  | None -> Format.pp_print_string fmt "never"
+
+let pp_summary fmt s =
+  let r = s.run in
+  Format.fprintf fmt "run %s (%s engine, protocol %s, n=%d, seed=%d%s)@\n" r.Events.id
+    r.Events.engine r.Events.protocol r.Events.n r.Events.seed
+    (match r.Events.trial with Some t -> Printf.sprintf ", trial %d" t | None -> "");
+  Format.fprintf fmt "  events            : %d (%d steps)@\n" s.events s.steps;
+  Format.fprintf fmt "  first correct     : %a@\n" pp_opt_time s.first_correct_at;
+  if s.last_correct_at <> s.first_correct_at then
+    Format.fprintf fmt "  final convergence : %a@\n" pp_opt_time s.last_correct_at;
+  Format.fprintf fmt "  correctness losses: %d@\n" s.violations;
+  (match s.silent_at with
+  | Some t -> Format.fprintf fmt "  silent            : t=%.2f@\n" t
+  | None -> ());
+  Format.fprintf fmt "  end of stream     : t=%.2f (interaction %d)@\n" s.end_time
+    s.end_interactions;
+  if s.bursts <> [] then begin
+    Format.fprintf fmt "  fault bursts      : %d@\n" (List.length s.bursts);
+    List.iteri
+      (fun i b ->
+        Format.fprintf fmt "    burst %d: %d agent%s in %d fault%s @@ t=%.2f" (i + 1) b.agents
+          (if b.agents = 1 then "" else "s")
+          b.faults
+          (if b.faults = 1 then "" else "s")
+          b.last_at;
+        (if not b.broke then Format.fprintf fmt " — correctness held"
+         else
+           match recovery_time b with
+           | Some dt ->
+               Format.fprintf fmt " — re-correct at t=%.2f (recovery %.2f)"
+                 (Option.get b.recovered_at) dt
+           | None -> Format.fprintf fmt " — NOT recovered by end of stream");
+        Format.pp_print_newline fmt ())
+      s.bursts
+  end

@@ -1,0 +1,54 @@
+(** Fold an events stream into a per-run recovery summary.
+
+    This is the analysis behind [bin/timeline]: given the decoded events
+    of a JSONL file (possibly several interleaved runs — a trial batch),
+    it reconstructs, per run, the convergence and recovery story the
+    paper's time claims are about: when correctness was first entered,
+    how often it was lost, how long each burst of injected faults took to
+    recover from, and when the configuration went silent.
+
+    A {e fault burst} is a maximal group of [Fault] events with no
+    intervening [Correct_entered]: the repeated-corruption experiments
+    inject several faults back to back, and recovery is only meaningful
+    once the stream re-enters correctness. A burst that is never followed
+    by a [Correct_lost] did not break correctness (the protocol absorbed
+    it); one that is, recovers at the next [Correct_entered]. *)
+
+type burst = {
+  faults : int;  (** [Fault] events in the burst *)
+  agents : int;  (** total agents overwritten *)
+  first_at : float;  (** parallel time of the first fault *)
+  last_at : float;  (** …and of the last *)
+  broke : bool;  (** a [Correct_lost] followed before recovery *)
+  recovered_at : float option;
+      (** time of the next [Correct_entered]; [None] if the stream ends
+          first (only a failure if [broke]) *)
+}
+
+type summary = {
+  run : Events.run;
+  events : int;  (** events seen for this run *)
+  steps : int;
+  first_correct_at : float option;  (** first [Correct_entered] *)
+  last_correct_at : float option;  (** last [Correct_entered] (final convergence) *)
+  violations : int;  (** [Correct_lost] count *)
+  silent_at : float option;  (** first [Silence] of the final silent stretch *)
+  end_time : float;
+  end_interactions : int;
+  bursts : burst list;  (** chronological *)
+}
+
+val fold : (Events.run * Engine.Instrument.event) list -> summary list
+(** Groups by run id (summaries in first-appearance order; events of
+    different runs may interleave freely). *)
+
+val load : in_channel -> ((Events.run * Engine.Instrument.event) list, string) result
+(** Reads a JSONL stream to EOF. Empty lines are skipped; the first
+    undecodable line fails the whole load with its line number. *)
+
+val recovery_time : burst -> float option
+(** [recovered_at - last_at], the time-to-correct the recovery tables
+    report. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable block, one per run. *)

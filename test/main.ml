@@ -14,6 +14,7 @@ let () =
       ("processes", Test_processes.suite);
       ("core", Test_core.suite);
       ("recovery", Test_recovery.suite);
+      ("telemetry", Test_telemetry.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
     ]

@@ -1,5 +1,6 @@
 (* Tests for the simulation engine: protocol records, monitors, the
-   stepping simulator, convergence policies, silence checking, tracing. *)
+   stepping simulator, convergence policies, silence checking, and the
+   Instrument event collectors. *)
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -275,31 +276,76 @@ let test_distinct_states () =
   let d = Engine.Silence.distinct_states Int.equal [| 1; 2; 1; 3; 2; 1 |] in
   Alcotest.(check (list (pair int int))) "counts" [ (1, 3); (2, 2); (3, 1) ] d
 
-(* Trace tests *)
+(* Instrument collector tests (Trace's successor; the collector subscribes
+   to the executor event stream instead of hooking Sim manually) *)
 
-let test_trace_sampling () =
+let test_collector_sampling () =
   let p = toy_protocol 4 in
   let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2; 3; 4 |] ~rng:(Prng.create ~seed:1) in
-  let c = Engine.Trace.collector ~interval:5 () in
+  let exec = Engine.Exec.of_sim sim in
+  let c = Engine.Instrument.collector ~interval:5 () in
+  Engine.Exec.on exec (Engine.Instrument.sampled c (fun () -> Engine.Exec.interactions exec));
   for _ = 1 to 20 do
-    Engine.Sim.step sim;
-    Engine.Trace.hook c Engine.Sim.interactions sim
+    ignore (Engine.Exec.advance exec ~until:max_int)
   done;
-  let series = Engine.Trace.series c in
+  let series = Engine.Instrument.series c in
   check_int "sampled every 5 interactions" 4 (List.length series);
   let times = List.map fst series in
   check_bool "times increasing" true (List.sort compare times = times)
 
-let test_trace_mark () =
-  let p = toy_protocol 2 in
-  let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2 |] ~rng:(Prng.create ~seed:1) in
-  let c = Engine.Trace.collector ~interval:1000 () in
-  Engine.Trace.mark c sim "fault";
-  Alcotest.(check int) "marked" 1 (List.length (Engine.Trace.series c))
+let test_collector_interval_one () =
+  (* interval = 1 degenerates to sampling every single step *)
+  let p = toy_protocol 4 in
+  let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2; 3; 4 |] ~rng:(Prng.create ~seed:1) in
+  let exec = Engine.Exec.of_sim sim in
+  let c = Engine.Instrument.collector ~interval:1 () in
+  Engine.Exec.on exec (Engine.Instrument.sampled c (fun () -> Engine.Exec.interactions exec));
+  for _ = 1 to 7 do
+    ignore (Engine.Exec.advance exec ~until:max_int)
+  done;
+  check_int "one sample per step" 7 (List.length (Engine.Instrument.series c));
+  check_bool "values are 1..7" true
+    (List.map snd (Engine.Instrument.series c) = [ 1; 2; 3; 4; 5; 6; 7 ])
 
-let test_trace_bad_interval () =
-  Alcotest.check_raises "zero interval" (Invalid_argument "Trace.collector: interval must be positive")
-    (fun () -> ignore (Engine.Trace.collector ~interval:0 ()))
+let test_collector_fault_force_record () =
+  (* A fault forces a sample even mid-interval, and the forced sample lands
+     in series order relative to the interval samples around it. *)
+  let p = toy_protocol 4 in
+  let sim = Engine.Sim.make ~protocol:p ~init:[| 1; 2; 3; 4 |] ~rng:(Prng.create ~seed:1) in
+  let exec = Engine.Exec.of_sim sim in
+  let c = Engine.Instrument.collector ~interval:1000 () in
+  Engine.Exec.on exec (Engine.Instrument.sampled c (fun () -> Engine.Exec.interactions exec));
+  ignore (Engine.Exec.advance exec ~until:max_int);
+  (* interaction 1: first Step samples (next_at starts at 0) *)
+  ignore (Engine.Exec.advance exec ~until:max_int);
+  (* interaction 2: inside the interval, no sample *)
+  Engine.Exec.inject exec 0 9;
+  (* Fault: forced sample at interaction 2 *)
+  ignore (Engine.Exec.advance exec ~until:max_int);
+  let series = Engine.Instrument.series c in
+  check_int "interval sample + forced fault sample" 2 (List.length series);
+  check_bool "forced sample recorded after the interval sample" true
+    (List.map snd series = [ 1; 2 ]);
+  let times = List.map fst series in
+  check_bool "series stays chronological" true (List.sort compare times = times)
+
+let test_collector_empty_series () =
+  (* No events at all: the series is empty, not a phantom initial sample. *)
+  let c : int Engine.Instrument.collector = Engine.Instrument.collector ~interval:10 () in
+  check_int "empty series" 0 (List.length (Engine.Instrument.series c));
+  (* Non-Step, non-Fault events never sample either. *)
+  Engine.Instrument.sampled c
+    (fun () -> Alcotest.fail "metric must not be called")
+    (Engine.Instrument.Silence { interactions = 5; time = 1.0 });
+  Engine.Instrument.sampled c
+    (fun () -> Alcotest.fail "metric must not be called")
+    (Engine.Instrument.Correct_entered { interactions = 5; time = 1.0 });
+  check_int "still empty" 0 (List.length (Engine.Instrument.series c))
+
+let test_collector_bad_interval () =
+  Alcotest.check_raises "zero interval"
+    (Invalid_argument "Instrument.collector: interval must be positive") (fun () ->
+      ignore (Engine.Instrument.collector ~interval:0 ()))
 
 let suite =
   [
@@ -327,7 +373,9 @@ let suite =
     Alcotest.test_case "silence detection" `Quick test_silence_detects;
     Alcotest.test_case "silence rejects randomized" `Quick test_silence_randomized_rejected;
     Alcotest.test_case "distinct states" `Quick test_distinct_states;
-    Alcotest.test_case "trace sampling" `Quick test_trace_sampling;
-    Alcotest.test_case "trace mark" `Quick test_trace_mark;
-    Alcotest.test_case "trace bad interval" `Quick test_trace_bad_interval;
+    Alcotest.test_case "collector sampling" `Quick test_collector_sampling;
+    Alcotest.test_case "collector interval one" `Quick test_collector_interval_one;
+    Alcotest.test_case "collector fault force-record" `Quick test_collector_fault_force_record;
+    Alcotest.test_case "collector empty series" `Quick test_collector_empty_series;
+    Alcotest.test_case "collector bad interval" `Quick test_collector_bad_interval;
   ]
