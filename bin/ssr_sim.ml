@@ -251,6 +251,202 @@ let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t 
       Telemetry.Metrics.write ~path reg);
   if failures = 0 then 0 else 1
 
+(* Chaos mode (--chaos SPEC): soak the executor under a sustained fault
+   schedule instead of running to stability, and report availability. *)
+
+let pt ~n i = float_of_int i /. float_of_int n
+
+let pp_soak_report ~n (r : Chaos.Soak.report) =
+  Printf.printf "horizon             : %.2f time units (%d interactions)\n" (pt ~n r.Chaos.Soak.horizon)
+    r.Chaos.Soak.horizon;
+  Printf.printf "availability        : %.4f (%d of %d interactions correct)\n"
+    r.Chaos.Soak.availability r.Chaos.Soak.correct_interactions r.Chaos.Soak.total_interactions;
+  Printf.printf "schedule firings    : %d (%d agent states overwritten%s)\n" r.Chaos.Soak.firings
+    r.Chaos.Soak.faults_applied
+    (if r.Chaos.Soak.repins > 0 then Printf.sprintf ", %d re-pins" r.Chaos.Soak.repins else "");
+  Printf.printf "fault bursts        : %d (%d absorbed, %d recovered, %d censored)\n"
+    r.Chaos.Soak.bursts r.Chaos.Soak.absorbed r.Chaos.Soak.recoveries r.Chaos.Soak.sla.Chaos.Soak.censored;
+  Printf.printf "correctness losses  : %d\n" r.Chaos.Soak.violations;
+  (match (Chaos.Soak.mean_recovery r, Chaos.Soak.p95_recovery r, Chaos.Soak.max_recovery r) with
+  | Some mean, Some p95, Some mx ->
+      Printf.printf "recovery time       : mean %.2f  p95 %.2f  max %.2f (time units)\n" mean p95 mx
+  | _ -> ());
+  let sla = r.Chaos.Soak.sla in
+  Printf.printf "SLA                 : budget %.2f time units — %s\n" (pt ~n sla.Chaos.Soak.budget)
+    (if sla.Chaos.Soak.met then "MET"
+     else
+       Printf.sprintf "MISSED (%d over budget, %d censored)" sla.Chaos.Soak.misses
+         sla.Chaos.Soak.censored)
+
+let chaos_manifest_params ~scenario ~topology ~spec ~(report : Chaos.Soak.report) =
+  [
+    ("scenario", Telemetry.Json.String scenario);
+    ("topology", Telemetry.Json.String topology);
+    ("chaos", Telemetry.Json.String spec);
+    ("horizon_interactions", Telemetry.Json.Int report.Chaos.Soak.horizon);
+    ("sla_budget_interactions", Telemetry.Json.Int report.Chaos.Soak.sla.Chaos.Soak.budget);
+  ]
+
+let run_chaos_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s array)
+    ~(random_state : Prng.t -> s) ~seed ~topology ~events ~metrics ~scenario ~spec ~schedule
+    ~adversary ~sla_budget ~horizon =
+  let n = protocol.Engine.Protocol.n in
+  let t0 = Unix.gettimeofday () in
+  let rng = Prng.create ~seed in
+  let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
+  let sink = Option.map Telemetry.Sink.file events in
+  Option.iter
+    (fun sink ->
+      let run =
+        Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name ~n ~seed ()
+      in
+      Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run sink)
+    sink;
+  let reg = if metrics = None then None else Some (Telemetry.Metrics.create ()) in
+  Option.iter Telemetry.Metrics.install reg;
+  let report =
+    Fun.protect
+      ~finally:(fun () -> if reg <> None then Telemetry.Metrics.uninstall ())
+      (fun () -> Chaos.Soak.run ?sla_budget ~schedule ~adversary ~random_state ~rng ~horizon exec)
+  in
+  Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
+  Printf.printf "engine              : %s\n" (Engine.Exec.kind_to_string engine);
+  Printf.printf "population          : %d\n" n;
+  Printf.printf "chaos               : %s\n" spec;
+  pp_soak_report ~n report;
+  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  Option.iter
+    (fun sink ->
+      Telemetry.Sink.close sink;
+      write_manifest
+        ~events_path:(Option.get events)
+        ~protocol:protocol.Engine.Protocol.name ~engine ~n ~seed ~trials:1 ~jobs:1
+        ~params:(chaos_manifest_params ~scenario ~topology ~spec ~report)
+        ~wall_clock_s)
+    sink;
+  (match (metrics, reg) with
+  | Some path, Some reg ->
+      scrape_engine_stats reg exec;
+      Telemetry.Metrics.observe reg "trial_wall_s" wall_clock_s;
+      Telemetry.Metrics.set reg "availability" report.Chaos.Soak.availability;
+      Telemetry.Metrics.write ~path reg
+  | _ -> ());
+  (* Chaos mode reports; the SLA verdict is data, not an exit code. *)
+  0
+
+let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t -> s array)
+    ~(random_state : Prng.t -> s) ~seed ~jobs ~trials ~topology ~events ~metrics ~scenario ~spec
+    ~schedule ~adversary ~sla_budget ~horizon =
+  let n = protocol.Engine.Protocol.n in
+  let t0 = Unix.gettimeofday () in
+  let children = Prng.split_many (Prng.create ~seed) trials in
+  let buffers =
+    if events = None then [||] else Array.init trials (fun _ -> Telemetry.Sink.buffer ())
+  in
+  let reg = Telemetry.Metrics.create () in
+  if metrics <> None then Telemetry.Metrics.install reg;
+  let reports, pool_stats =
+    Fun.protect
+      ~finally:(fun () -> if metrics <> None then Telemetry.Metrics.uninstall ())
+      (fun () ->
+        Engine.Pool.with_pool ~jobs (fun pool ->
+            let reports =
+              Engine.Pool.init pool trials (fun i ->
+                  let trial_t0 = Unix.gettimeofday () in
+                  let rng = children.(i) in
+                  let init = gen rng in
+                  let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
+                  if events <> None then begin
+                    let run =
+                      Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name
+                        ~n ~seed ~trial:i ()
+                    in
+                    Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run
+                      buffers.(i)
+                  end;
+                  let report =
+                    Chaos.Soak.run ?sla_budget ~schedule ~adversary ~random_state ~rng ~horizon
+                      exec
+                  in
+                  if metrics <> None then begin
+                    scrape_engine_stats reg exec;
+                    Telemetry.Metrics.observe reg "trial_wall_s"
+                      (Unix.gettimeofday () -. trial_t0)
+                  end;
+                  report)
+            in
+            (reports, Engine.Pool.stats pool)))
+  in
+  let rs = Array.to_list reports in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rs in
+  let avail = Stats.Summary.of_list (List.map (fun r -> r.Chaos.Soak.availability) rs) in
+  let pooled = List.concat_map (fun r -> Array.to_list r.Chaos.Soak.recovery_times) rs in
+  let met = List.length (List.filter (fun r -> r.Chaos.Soak.sla.Chaos.Soak.met) rs) in
+  let misses = sum (fun r -> r.Chaos.Soak.sla.Chaos.Soak.misses) in
+  let censored = sum (fun r -> r.Chaos.Soak.sla.Chaos.Soak.censored) in
+  Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
+  Printf.printf "engine              : %s\n" (Engine.Exec.kind_to_string engine);
+  Printf.printf "population          : %d\n" n;
+  Printf.printf "chaos               : %s\n" spec;
+  Printf.printf "trials              : %d (on %d domain%s)\n" trials jobs
+    (if jobs = 1 then "" else "s");
+  Printf.printf "horizon             : %.2f time units each (%d interactions)\n" (pt ~n horizon)
+    horizon;
+  Printf.printf "availability        : mean %.4f  min %.4f  max %.4f\n" avail.Stats.Summary.mean
+    avail.Stats.Summary.min avail.Stats.Summary.max;
+  Printf.printf "schedule firings    : %d (%d agent states overwritten)\n"
+    (sum (fun r -> r.Chaos.Soak.firings))
+    (sum (fun r -> r.Chaos.Soak.faults_applied));
+  Printf.printf "fault bursts        : %d (%d absorbed, %d recovered, %d censored)\n"
+    (sum (fun r -> r.Chaos.Soak.bursts))
+    (sum (fun r -> r.Chaos.Soak.absorbed))
+    (sum (fun r -> r.Chaos.Soak.recoveries))
+    censored;
+  if pooled <> [] then begin
+    let s = Stats.Summary.of_list pooled in
+    Printf.printf "recovery time       : mean %.2f  p95 %.2f  max %.2f (pooled, time units)\n"
+      s.Stats.Summary.mean s.Stats.Summary.p95 s.Stats.Summary.max
+  end;
+  (match rs with
+  | first :: _ ->
+      Printf.printf "SLA                 : budget %.2f time units — %d/%d trials met"
+        (pt ~n first.Chaos.Soak.sla.Chaos.Soak.budget) met trials;
+      if met < trials then Printf.printf " (%d over budget, %d censored)" misses censored;
+      print_newline ()
+  | [] -> ());
+  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  (match events with
+  | None -> ()
+  | Some path ->
+      let sink = Telemetry.Sink.file path in
+      Array.iter
+        (fun buffer ->
+          String.split_on_char '\n' (Telemetry.Sink.contents buffer)
+          |> List.iter (fun line -> if line <> "" then Telemetry.Sink.write_line sink line))
+        buffers;
+      Telemetry.Sink.close sink;
+      write_manifest ~events_path:path ~protocol:protocol.Engine.Protocol.name ~engine ~n ~seed
+        ~trials ~jobs
+        ~params:
+          (match rs with
+          | first :: _ -> chaos_manifest_params ~scenario ~topology ~spec ~report:first
+          | [] -> [])
+        ~wall_clock_s);
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      Array.iteri
+        (fun slot { Engine.Pool.tasks; busy_s } ->
+          Telemetry.Metrics.set reg (Printf.sprintf "pool.domain%d.tasks" slot)
+            (float_of_int tasks);
+          Telemetry.Metrics.set reg (Printf.sprintf "pool.domain%d.busy_s" slot) busy_s)
+        pool_stats;
+      Telemetry.Metrics.set reg "trials" (float_of_int trials);
+      Telemetry.Metrics.set reg "availability_mean" avail.Stats.Summary.mean;
+      Telemetry.Metrics.set reg "sla_trials_met" (float_of_int met);
+      Telemetry.Metrics.write ~path reg);
+  0
+
 let run_loose ~n ~seed ~verbose =
   let t_max = 4 * n in
   let protocol = Core.Loose.protocol ~n ~t_max in
@@ -278,8 +474,8 @@ let run_loose ~n ~seed ~verbose =
   end;
   if Engine.Sim.leader_correct sim || verbose then 0 else 1
 
-let main protocol_name n h scenario seed verbose topology engine_name count_engine trials jobs
-    events metrics =
+let main protocol_name n h scenario seed verbose topology engine_name trials jobs events metrics
+    chaos sla horizon =
   let jobs = match jobs with Some j -> j | None -> Engine.Pool.default_jobs () in
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
@@ -289,17 +485,43 @@ let main protocol_name n h scenario seed verbose topology engine_name count_engi
     Printf.eprintf "--trials must be >= 1 (got %d)\n" trials;
     exit 2
   end;
-  if count_engine then
-    Printf.eprintf "warning: --count-engine is deprecated; use --engine count\n%!";
   let engine =
-    if count_engine then Engine.Exec.Count
-    else
-      match engine_name with
-      | "agent" -> Engine.Exec.Agent
-      | "count" -> Engine.Exec.Count
-      | other ->
-          Printf.eprintf "unknown engine '%s' (agent | count)\n" other;
+    match engine_name with
+    | "agent" -> Engine.Exec.Agent
+    | "count" -> Engine.Exec.Count
+    | other ->
+        Printf.eprintf "unknown engine '%s' (agent | count)\n" other;
+        exit 2
+  in
+  let chaos =
+    match chaos with
+    | None ->
+        if sla <> None || horizon <> None then begin
+          Printf.eprintf "--sla and --horizon require --chaos\n";
           exit 2
+        end;
+        None
+    | Some spec -> (
+        match Chaos.Spec.parse spec with
+        | Ok (schedule, adversary) -> Some (spec, schedule, adversary)
+        | Error msg ->
+            Printf.eprintf "--chaos: %s\n" msg;
+            exit 2)
+  in
+  (* --sla and --horizon are given in parallel time units; the soak runner
+     works on the interaction clock. *)
+  let to_interactions ~flag = function
+    | None -> None
+    | Some t when t > 0.0 -> Some (max 1 (int_of_float (Float.ceil (t *. float_of_int n))))
+    | Some t ->
+        Printf.eprintf "--%s must be > 0 time units (got %g)\n" flag t;
+        exit 2
+  in
+  let sla_budget = to_interactions ~flag:"sla" sla in
+  let horizon =
+    match to_interactions ~flag:"horizon" horizon with
+    | Some i -> i
+    | None -> 8 * Engine.Runner.default_confirm ~n
   in
   let batch = trials > 1 in
   let scen_rng = Prng.create ~seed:(seed + 1000) in
@@ -307,36 +529,66 @@ let main protocol_name n h scenario seed verbose topology engine_name count_engi
   | "silent" ->
       let protocol = Core.Silent_n_state.protocol ~n in
       let gen = lookup_scenario ~kind:"silent" (Core.Scenarios.silent_catalogue ~n) scenario in
-      if batch then
-        run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:(float_of_int n)
-          ~topology ~events ~metrics ~scenario
-      else
-        run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose
-          ~horizon_scale:(float_of_int n) ~topology ~events ~metrics ~scenario
+      let random_state rng = Core.Scenarios.silent_random_state rng ~n in
+      (match chaos with
+      | Some (spec, schedule, adversary) ->
+          if batch then
+            run_chaos_batch ~engine ~protocol ~gen ~random_state ~seed ~jobs ~trials ~topology
+              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
+          else
+            run_chaos_single ~engine ~protocol ~init:(gen scen_rng) ~random_state ~seed ~topology
+              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
+      | None ->
+          if batch then
+            run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:(float_of_int n)
+              ~topology ~events ~metrics ~scenario
+          else
+            run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose
+              ~horizon_scale:(float_of_int n) ~topology ~events ~metrics ~scenario)
   | "optimal" ->
       let params = Core.Params.optimal_silent n in
       let protocol = Core.Optimal_silent.protocol ~params ~n () in
       let gen =
         lookup_scenario ~kind:"optimal" (Core.Scenarios.optimal_catalogue ~params ~n) scenario
       in
-      if batch then
-        run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
-          ~events ~metrics ~scenario
-      else
-        run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0
-          ~topology ~events ~metrics ~scenario
+      let random_state rng = Core.Scenarios.optimal_random_state rng ~params ~n in
+      (match chaos with
+      | Some (spec, schedule, adversary) ->
+          if batch then
+            run_chaos_batch ~engine ~protocol ~gen ~random_state ~seed ~jobs ~trials ~topology
+              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
+          else
+            run_chaos_single ~engine ~protocol ~init:(gen scen_rng) ~random_state ~seed ~topology
+              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
+      | None ->
+          if batch then
+            run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
+              ~events ~metrics ~scenario
+          else
+            run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0
+              ~topology ~events ~metrics ~scenario)
   | "sublinear" ->
       let params = Core.Params.sublinear ~h n in
       let protocol = Core.Sublinear.protocol ~params ~n ~h () in
       let gen =
         lookup_scenario ~kind:"sublinear" (Core.Scenarios.sublinear_catalogue ~params ~n) scenario
       in
-      if batch then
-        run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
-          ~events ~metrics ~scenario
-      else
-        run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0
-          ~topology ~events ~metrics ~scenario
+      let random_state rng = Core.Scenarios.sublinear_random_state rng ~params ~n in
+      (match chaos with
+      | Some (spec, schedule, adversary) ->
+          if batch then
+            run_chaos_batch ~engine ~protocol ~gen ~random_state ~seed ~jobs ~trials ~topology
+              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
+          else
+            run_chaos_single ~engine ~protocol ~init:(gen scen_rng) ~random_state ~seed ~topology
+              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
+      | None ->
+          if batch then
+            run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
+              ~events ~metrics ~scenario
+          else
+            run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0
+              ~topology ~events ~metrics ~scenario)
   | "loose" ->
       if batch then begin
         Printf.eprintf "--trials is not supported for the loose protocol\n";
@@ -348,6 +600,10 @@ let main protocol_name n h scenario seed verbose topology engine_name count_engi
       end;
       if events <> None || metrics <> None then begin
         Printf.eprintf "--events/--metrics are not supported for the loose protocol\n";
+        exit 2
+      end;
+      if chaos <> None then begin
+        Printf.eprintf "--chaos is not supported for the loose protocol\n";
         exit 2
       end;
       run_loose ~n ~seed ~verbose
@@ -394,10 +650,6 @@ let engine_arg =
   in
   Arg.(value & opt string "agent" & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
-let count_engine_arg =
-  let doc = "Deprecated alias for $(b,--engine count)." in
-  Arg.(value & flag & info [ "count-engine" ] ~doc)
-
 let trials_arg =
   let doc =
     "Run this many independent trials and print summary statistics instead of a single timeline."
@@ -427,13 +679,36 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let chaos_arg =
+  let doc =
+    "Soak the run under a sustained fault schedule instead of running to stability, and report \
+     availability and recovery SLAs. $(docv) is a comma-separated spec combining schedule \
+     clauses (burst:AT, periodic:EVERY, poisson:RATE — RATE in faults per parallel time unit; \
+     compose with +) with exactly one adversary clause (corrupt:F, kill-leader, duplicate-rank, \
+     stuck:AGENTS:DURATION). Example: $(b,--chaos poisson:0.1,corrupt:0.05)."
+  in
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+
+let sla_arg =
+  let doc =
+    "Recovery SLA budget in parallel time units (chaos mode only). A burst that breaks \
+     correctness must recover within the budget; default: 4 confirmation windows."
+  in
+  Arg.(value & opt (some float) None & info [ "sla" ] ~docv:"TIME" ~doc)
+
+let horizon_arg =
+  let doc =
+    "Soak length in parallel time units (chaos mode only; default: 8 confirmation windows)."
+  in
+  Arg.(value & opt (some float) None & info [ "horizon" ] ~docv:"TIME" ~doc)
+
 let cmd =
   let doc = "simulate self-stabilizing ranking / leader election population protocols" in
   let info = Cmd.info "ssr_sim" ~version:"1.0" ~doc in
   Cmd.v info
     Term.(
       const main $ protocol_arg $ n_arg $ h_arg $ scenario_arg $ seed_arg $ verbose_arg
-      $ topology_arg $ engine_arg $ count_engine_arg $ trials_arg $ jobs_arg $ events_arg
-      $ metrics_arg)
+      $ topology_arg $ engine_arg $ trials_arg $ jobs_arg $ events_arg $ metrics_arg $ chaos_arg
+      $ sla_arg $ horizon_arg)
 
 let () = exit (Cmd.eval' cmd)

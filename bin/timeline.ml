@@ -3,9 +3,15 @@
 
      ssr_sim -p silent -n 64 -s worst-case --events run.jsonl
      timeline run.jsonl
+     timeline --sla 48 run.jsonl
      timeline - < run.jsonl *)
 
-let main path =
+let main sla_budget path =
+  (match sla_budget with
+  | Some b when not (b > 0.0) ->
+      Printf.eprintf "timeline: --sla budget must be > 0 (got %g)\n" b;
+      exit 2
+  | _ -> ());
   let ic, close =
     if path = "-" then (stdin, fun () -> ())
     else
@@ -29,11 +35,26 @@ let main path =
       List.iteri
         (fun i summary ->
           if i > 0 then print_newline ();
-          Format.printf "%a@." Telemetry.Timeline.pp_summary summary)
+          Format.printf "%a@." (Telemetry.Timeline.pp_summary ?sla_budget) summary)
         summaries;
       Printf.printf "%d run%s, %d events\n" (List.length summaries)
         (if List.length summaries = 1 then "" else "s")
         (List.length events);
+      (match sla_budget with
+      | None -> ()
+      | Some budget ->
+          let misses, censored =
+            List.fold_left
+              (fun (m, c) s ->
+                let v = Telemetry.Timeline.check_sla ~budget s in
+                (m + v.Telemetry.Timeline.sla_misses, c + v.Telemetry.Timeline.sla_censored))
+              (0, 0) summaries
+          in
+          if misses = 0 && censored = 0 then
+            Printf.printf "SLA (budget %.2f): MET across all runs\n" budget
+          else
+            Printf.printf "SLA (budget %.2f): MISSED (%d over budget, %d never recovered)\n"
+              budget misses censored);
       0
 
 open Cmdliner
@@ -42,9 +63,17 @@ let path_arg =
   let doc = "JSONL events file produced by ssr_sim --events (schema v1); - reads stdin." in
   Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
 
+let sla_arg =
+  let doc =
+    "Recovery budget in parallel time units. Each burst that broke correctness is checked \
+     against it: recoveries over budget are SLA misses, bursts never recovered are censored \
+     misses, and a per-run and aggregate verdict is printed."
+  in
+  Arg.(value & opt (some float) None & info [ "sla" ] ~docv:"BUDGET" ~doc)
+
 let cmd =
   let doc = "summarize a telemetry events file: convergence, violations, fault recovery" in
   let info = Cmd.info "timeline" ~version:"1.0" ~doc in
-  Cmd.v info Term.(const main $ path_arg)
+  Cmd.v info Term.(const main $ sla_arg $ path_arg)
 
 let () = exit (Cmd.eval' cmd)

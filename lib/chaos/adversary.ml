@@ -1,0 +1,73 @@
+type t =
+  | Corrupt of float
+  | Kill_leader
+  | Duplicate_rank
+  | Stuck of { agents : int; duration : int }
+
+let corrupt ~fraction =
+  if not (fraction >= 0.0 && fraction <= 1.0) then
+    invalid_arg "Chaos.Adversary.corrupt: fraction outside [0,1]";
+  Corrupt fraction
+
+let kill_leader = Kill_leader
+
+let duplicate_rank = Duplicate_rank
+
+let stuck ~agents ~duration =
+  if agents < 1 then invalid_arg "Chaos.Adversary.stuck: agents must be >= 1";
+  if duration < 1 then invalid_arg "Chaos.Adversary.stuck: duration must be >= 1";
+  Stuck { agents; duration }
+
+let to_string = function
+  | Corrupt fraction -> Printf.sprintf "corrupt:%g" fraction
+  | Kill_leader -> "kill-leader"
+  | Duplicate_rank -> "duplicate-rank"
+  | Stuck { agents; duration } -> Printf.sprintf "stuck:%d:%d" agents duration
+
+type 'a pin = { agent : int; state : 'a; expires_at : int }
+
+(* Uniform index distinct from [avoid]. *)
+let other_than rng ~n ~avoid =
+  let k = Prng.int rng (n - 1) in
+  if k >= avoid then k + 1 else k
+
+let apply (type a) ~rng ~(random_state : Prng.t -> a) ~now (exec : a Engine.Exec.t) adversary =
+  let protocol = Engine.Exec.protocol exec in
+  let n = protocol.Engine.Protocol.n in
+  match adversary with
+  | Corrupt fraction -> (Engine.Exec.corrupt exec ~rng ~fraction random_state, [])
+  | Kill_leader ->
+      let snapshot = Engine.Exec.snapshot exec in
+      let victim = ref None in
+      Array.iteri
+        (fun i s ->
+          if !victim = None && protocol.Engine.Protocol.rank s = Some 1 then victim := Some i)
+        snapshot;
+      let victim = match !victim with Some i -> i | None -> Prng.int rng n in
+      Engine.Exec.inject exec victim (random_state rng);
+      (1, [])
+  | Duplicate_rank ->
+      let snapshot = Engine.Exec.snapshot exec in
+      let ranked = ref [] in
+      Array.iteri
+        (fun i s -> if protocol.Engine.Protocol.rank s <> None then ranked := i :: !ranked)
+        snapshot;
+      let source =
+        match !ranked with
+        | [] -> Prng.int rng n
+        | ranked -> Prng.pick rng (Array.of_list (List.rev ranked))
+      in
+      let target = other_than rng ~n ~avoid:source in
+      Engine.Exec.inject exec target snapshot.(source);
+      (1, [])
+  | Stuck { agents; duration } ->
+      let agents = min agents n in
+      let victims = Prng.permutation rng n in
+      let pins = ref [] in
+      for k = 0 to agents - 1 do
+        let agent = victims.(k) in
+        let state = random_state rng in
+        Engine.Exec.inject exec agent state;
+        pins := { agent; state; expires_at = now + duration } :: !pins
+      done;
+      (agents, List.rev !pins)

@@ -1,0 +1,58 @@
+(** What a fault does when a {!Schedule} arrival fires.
+
+    Every action goes through the executor's public fault surface
+    ([Exec.inject] / [Exec.corrupt]), so each one emits
+    [Instrument.Fault] and works identically on both engines — no engine
+    surgery. The actions:
+
+    - {!corrupt}: overwrite a uniformly chosen fraction of the agents
+      with adversarially drawn states ([Exec.corrupt]);
+    - {!kill_leader}: re-inject the current rank-1 agent with an
+      adversarial state (a targeted attack on the elected leader); when no
+      agent currently holds rank 1 a uniformly random agent is hit
+      instead — a sustained adversary does not idle;
+    - {!duplicate_rank}: copy one ranked agent's state onto another
+      agent, manufacturing the rank collision the protocols' error
+      detection exists for;
+    - {!stuck}: pin [agents] agents to an adversarially drawn state for
+      [duration] interactions. Population protocols have no notion of a
+      crashed agent, so a stuck agent is modeled {e inside} the model by
+      re-injection: whenever the pinned agent's state drifts (it was
+      picked by the scheduler), the pin overwrites it again — see
+      {!Soak}, which owns the pin lifetime. Each re-injection is a
+      [Fault] event. On the count engine agent identity is the multiset
+      enumeration slot (see [Count_sim]), so a pin holds a slot rather
+      than a trajectory-stable identity; distributions over exchangeable
+      agents are unaffected, but cross-engine differential tests should
+      prefer the other adversaries. *)
+
+type t =
+  | Corrupt of float  (** fraction in [0,1] *)
+  | Kill_leader
+  | Duplicate_rank
+  | Stuck of { agents : int; duration : int }
+
+val corrupt : fraction:float -> t
+(** Requires [fraction] in [[0,1]]. *)
+
+val kill_leader : t
+val duplicate_rank : t
+
+val stuck : agents:int -> duration:int -> t
+(** Requires [agents >= 1] and [duration >= 1]. *)
+
+val to_string : t -> string
+(** Spec syntax: ["corrupt:0.05"], ["kill-leader"], ["duplicate-rank"],
+    ["stuck:4:2048"]. *)
+
+type 'a pin = { agent : int; state : 'a; expires_at : int }
+(** An active stuck-agent pin: re-inject [state] into [agent] whenever it
+    drifts, until the interaction clock passes [expires_at]. *)
+
+val apply :
+  rng:Prng.t -> random_state:(Prng.t -> 'a) -> now:int -> 'a Engine.Exec.t -> t -> int * 'a pin list
+(** [apply ~rng ~random_state ~now exec adversary] performs one strike;
+    returns the number of agent states overwritten and the pins created
+    ([Stuck] only; empty otherwise). [random_state] draws adversarial
+    states — protocol-specific, see [Core.Scenarios.*_random_state].
+    [Stuck] clamps [agents] to the population size. *)

@@ -1,0 +1,91 @@
+let ( let* ) = Result.bind
+
+let int_arg ~clause s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: '%s' is not an integer" clause s)
+
+let float_arg ~clause s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: '%s' is not a number" clause s)
+
+(* Re-validate constructor preconditions as [Error]s so the CLI can print
+   them without catching exceptions. *)
+let guard ~clause f = try Ok (f ()) with Invalid_argument _ -> Error clause
+
+let parse_schedule_atom atom =
+  match String.split_on_char ':' atom with
+  | [ "burst"; at ] ->
+      let* at = int_arg ~clause:"burst" at in
+      guard ~clause:"burst: AT must be >= 0" (fun () -> Schedule.burst ~at)
+  | [ "periodic"; every ] ->
+      let* every = int_arg ~clause:"periodic" every in
+      guard ~clause:"periodic: EVERY must be >= 1" (fun () -> Schedule.periodic ~every)
+  | [ "poisson"; rate ] ->
+      let* rate = float_arg ~clause:"poisson" rate in
+      guard ~clause:"poisson: RATE must be finite and > 0" (fun () -> Schedule.poisson ~rate)
+  | _ -> Error (Printf.sprintf "unknown schedule clause '%s'" atom)
+
+let parse_schedule clause =
+  let atoms = String.split_on_char '+' clause in
+  let rec fold acc = function
+    | [] -> Ok acc
+    | atom :: rest ->
+        let* s = parse_schedule_atom atom in
+        fold (Schedule.compose acc s) rest
+  in
+  match atoms with
+  | [] -> Error "empty schedule clause"
+  | first :: rest ->
+      let* s = parse_schedule_atom first in
+      fold s rest
+
+let parse_adversary clause =
+  match String.split_on_char ':' clause with
+  | [ "corrupt"; fraction ] ->
+      let* fraction = float_arg ~clause:"corrupt" fraction in
+      guard ~clause:"corrupt: F must be in [0,1]" (fun () -> Adversary.corrupt ~fraction)
+  | [ "kill-leader" ] -> Ok Adversary.kill_leader
+  | [ "duplicate-rank" ] -> Ok Adversary.duplicate_rank
+  | [ "stuck"; agents; duration ] ->
+      let* agents = int_arg ~clause:"stuck" agents in
+      let* duration = int_arg ~clause:"stuck" duration in
+      guard ~clause:"stuck: AGENTS and DURATION must be >= 1" (fun () ->
+          Adversary.stuck ~agents ~duration)
+  | _ -> Error (Printf.sprintf "unknown adversary clause '%s'" clause)
+
+let is_schedule_clause clause =
+  List.exists
+    (fun prefix ->
+      String.length clause >= String.length prefix
+      && String.sub clause 0 (String.length prefix) = prefix)
+    [ "burst:"; "periodic:"; "poisson:" ]
+
+let parse spec =
+  let clauses =
+    String.split_on_char ',' spec |> List.map String.trim |> List.filter (fun c -> c <> "")
+  in
+  let rec loop schedule adversary = function
+    | [] -> (
+        match (schedule, adversary) with
+        | None, _ -> Error "spec needs at least one schedule clause (burst/periodic/poisson)"
+        | _, None ->
+            Error "spec needs an adversary clause (corrupt/kill-leader/duplicate-rank/stuck)"
+        | Some s, Some a -> Ok (s, a))
+    | clause :: rest ->
+        if is_schedule_clause clause then
+          let* s = parse_schedule clause in
+          let schedule =
+            match schedule with None -> Some s | Some prev -> Some (Schedule.compose prev s)
+          in
+          loop schedule adversary rest
+        else
+          let* a = parse_adversary clause in
+          if adversary <> None then Error "spec has more than one adversary clause"
+          else loop schedule (Some a) rest
+  in
+  if clauses = [] then Error "empty chaos spec" else loop None None clauses
+
+let to_string (schedule, adversary) =
+  Schedule.to_string schedule ^ "," ^ Adversary.to_string adversary

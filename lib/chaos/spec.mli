@@ -1,0 +1,24 @@
+(** Mini-parser for command-line chaos specs ([ssr_sim --chaos SPEC]).
+
+    A spec is a comma-separated list of clauses: one or more {e schedule}
+    clauses (composed by superposition) and exactly one {e adversary}
+    clause, in any order.
+
+    {v
+    poisson:0.1,corrupt:0.05        λ=0.1 faults/time unit, corrupt 5%
+    periodic:4096,kill-leader       kill the leader every 4096 interactions
+    burst:0,duplicate-rank          one duplicated rank at the start
+    burst:100+poisson:0.01,stuck:4:2048
+    v}
+
+    Schedule clauses: [burst:AT], [periodic:EVERY], [poisson:RATE]
+    (optionally pre-composed with [+]). Adversary clauses: [corrupt:F],
+    [kill-leader], [duplicate-rank], [stuck:AGENTS:DURATION]. *)
+
+val parse : string -> (Schedule.t * Adversary.t, string) result
+(** Total: returns [Error] with a human-readable message (never raises)
+    on syntax errors, out-of-range arguments, a missing or duplicate
+    adversary, or a missing schedule. *)
+
+val to_string : Schedule.t * Adversary.t -> string
+(** Round-trip rendering: [parse (to_string s)] accepts. *)

@@ -1,6 +1,8 @@
 (* Silent-n-state-SSR *)
 
-let silent_uniform rng ~n = Array.init n (fun _ -> Silent_n_state.state_of_rank0 ~n (Prng.int rng n))
+let silent_random_state rng ~n = Silent_n_state.state_of_rank0 ~n (Prng.int rng n)
+
+let silent_uniform rng ~n = Array.init n (fun _ -> silent_random_state rng ~n)
 
 let silent_all_zero ~n = Array.make n (Silent_n_state.state_of_rank0 ~n 0)
 
@@ -151,26 +153,31 @@ let sublinear_mid_reset rng ~(params : Params.sublinear) ~n =
             ~delaytimer:(1 + Prng.int rng params.Params.d_max)
       | _ -> Sublinear.fresh rng ~params)
 
+let sublinear_random_state_from_pool rng ~(params : Params.sublinear) ~n ~pool =
+  if Prng.int rng 4 = 0 then begin
+    let partial_bits = Prng.int rng (params.Params.name_bits + 1) in
+    Sublinear.resetting
+      ~name:(Name.random rng ~width:partial_bits)
+      ~resetcount:(Prng.int rng (params.Params.r_max + 1))
+      ~delaytimer:(Prng.int rng (params.Params.d_max + 1))
+  end
+  else begin
+    let own = Prng.pick rng pool in
+    let roster_size = 1 + Prng.int rng n in
+    let roster = Roster.of_list (own :: List.init roster_size (fun _ -> Prng.pick rng pool)) in
+    let tree = random_tree rng ~params ~name_pool:pool ~own in
+    Sublinear.collecting { Sublinear.name = own; rank = 1 + Prng.int rng n; roster; tree }
+  end
+
+let sublinear_random_state rng ~(params : Params.sublinear) ~n =
+  (* A fresh independent pool per draw: a corruption adversary plants
+     names the honest agents have (with high probability) never seen. *)
+  let pool = Array.init (max 2 n) (fun _ -> Name.random rng ~width:params.Params.name_bits) in
+  sublinear_random_state_from_pool rng ~params ~n ~pool
+
 let sublinear_uniform rng ~(params : Params.sublinear) ~n =
   let pool = distinct_names rng ~params (2 * n) in
-  Array.init n (fun _ ->
-      if Prng.int rng 4 = 0 then begin
-        let partial_bits = Prng.int rng (params.Params.name_bits + 1) in
-        Sublinear.resetting
-          ~name:(Name.random rng ~width:partial_bits)
-          ~resetcount:(Prng.int rng (params.Params.r_max + 1))
-          ~delaytimer:(Prng.int rng (params.Params.d_max + 1))
-      end
-      else begin
-        let own = Prng.pick rng pool in
-        let roster_size = 1 + Prng.int rng n in
-        let roster =
-          Roster.of_list (own :: List.init roster_size (fun _ -> Prng.pick rng pool))
-        in
-        let tree = random_tree rng ~params ~name_pool:pool ~own in
-        Sublinear.collecting
-          { Sublinear.name = own; rank = 1 + Prng.int rng n; roster; tree }
-      end)
+  Array.init n (fun _ -> sublinear_random_state_from_pool rng ~params ~n ~pool)
 
 (* Catalogues *)
 

@@ -79,6 +79,22 @@ val sublinear_mid_reset : Prng.t -> params:Params.sublinear -> n:int -> Sublinea
 val sublinear_uniform : Prng.t -> params:Params.sublinear -> n:int -> Sublinear.state array
 (** Independent uniform roles, names, rosters and shallow random trees. *)
 
+(** {1 Single-state adversarial generators}
+
+    One adversarially drawn state, for fault injectors that overwrite
+    individual agents mid-run ([Engine.Exec.corrupt], the chaos-engine
+    adversaries). Each is the per-agent draw of the corresponding
+    [*_uniform] scenario. *)
+
+val silent_random_state : Prng.t -> n:int -> Silent_n_state.state
+
+val optimal_random_state :
+  Prng.t -> params:Params.optimal_silent -> n:int -> Optimal_silent.state
+
+val sublinear_random_state : Prng.t -> params:Params.sublinear -> n:int -> Sublinear.state
+(** Draws its name material from a fresh pool, so planted roster entries
+    are ghosts of the current population WHP. *)
+
 (** {1 Named catalogues (for sweeps over all scenarios)} *)
 
 val optimal_catalogue :

@@ -115,13 +115,16 @@ val state : 'a t -> int -> 'a
 val snapshot : 'a t -> 'a array
 
 val inject : 'a t -> int -> 'a -> unit
-(** [inject t i s] overwrites agent [i]'s state with [s]. *)
+(** [inject t i s] overwrites agent [i]'s state with [s]. Raises
+    [Invalid_argument] when [i] is outside [0, n) — same contract as
+    [Sim.inject]. *)
 
 val corrupt : 'a t -> rng:Prng.t -> fraction:float -> (Prng.t -> 'a) -> int
 (** [corrupt t ~rng ~fraction gen] overwrites [max 1 (round (fraction·n))]
     distinct agents (0 when [fraction = 0.]) with states drawn from [gen].
     Returns the number of corrupted agents. Same contract as
-    {!Sim.corrupt}. *)
+    {!Sim.corrupt}, including [Invalid_argument] on a [fraction] outside
+    [0,1]. *)
 
 val distinct_states : 'a t -> ('a * int) list
 (** Present states with their multiplicities. *)

@@ -71,6 +71,7 @@ let monitor_updates t = Monitor.updates t.monitor
 let state t i = t.states.(i)
 
 let inject t i s =
+  if i < 0 || i >= n t then invalid_arg "Sim.inject: agent index out of range";
   let old_state = t.states.(i) in
   t.states.(i) <- s;
   Monitor.update t.monitor ~old_state ~new_state:s

@@ -54,12 +54,16 @@ val state : 'a t -> int -> 'a
 
 val inject : 'a t -> int -> 'a -> unit
 (** [inject sim i s] overwrites agent [i]'s state with [s] — a transient
-    fault. Correctness monitoring is kept consistent. *)
+    fault. Correctness monitoring is kept consistent. Raises
+    [Invalid_argument] when [i] is outside [0, n) — the same contract as
+    [Count_sim.inject], so fault-injection drivers behave identically on
+    both engines. *)
 
 val corrupt : 'a t -> rng:Prng.t -> fraction:float -> (Prng.t -> 'a) -> int
 (** [corrupt sim ~rng ~fraction gen] injects [gen rng] into a uniformly
     chosen [fraction] of the agents (at least one if [fraction > 0]);
-    returns the number of corrupted agents. *)
+    returns the number of corrupted agents. Raises [Invalid_argument]
+    when [fraction] is outside [0,1] (NaN included). *)
 
 val snapshot : 'a t -> 'a array
 (** Copy of the current configuration. *)

@@ -1,0 +1,17 @@
+(** Experiment CH: steady-state availability under sustained faults.
+
+    The paper's time bounds are per-recovery; this experiment measures
+    what they buy under {e continuous} attack. Each protocol tier is
+    soaked from its correct configuration under a Poisson fault schedule
+    ({!Chaos.Soak}), sweeping the offered load — expected fault arrivals
+    per recovery time — through below, at, and above 1. The Ω(log n)
+    per-recovery lower bound predicts the shape: below load 1 the system
+    is almost always correct, above it recoveries no longer complete
+    between strikes and availability collapses. One table over all three
+    tiers on both engines (sublinear is randomized, hence agent engine
+    only), reporting availability, pooled recovery mean/p95, censored
+    bursts and the SLA verdict. *)
+
+val name : string
+val description : string
+val run : mode:Exp_common.mode -> seed:int -> jobs:int -> string

@@ -52,6 +52,7 @@ let all =
       description = Exp_epidemic.description;
       run = Exp_epidemic.run;
     };
+    { name = Exp_chaos.name; description = Exp_chaos.description; run = Exp_chaos.run };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -135,11 +135,39 @@ let load ic =
 let recovery_time b =
   match b.recovered_at with Some t -> Some (t -. b.last_at) | None -> None
 
+type sla = {
+  sla_budget : float;
+  broke : int;
+  sla_misses : int;
+  sla_censored : int;
+  sla_met : bool;
+}
+
+let check_sla ~budget s =
+  if not (budget > 0.0) then invalid_arg "Timeline.check_sla: budget must be > 0";
+  let broke, misses, censored =
+    List.fold_left
+      (fun (broke, misses, censored) (b : burst) ->
+        if not b.broke then (broke, misses, censored)
+        else
+          match recovery_time b with
+          | Some dt -> (broke + 1, (if dt > budget then misses + 1 else misses), censored)
+          | None -> (broke + 1, misses, censored + 1))
+      (0, 0, 0) s.bursts
+  in
+  {
+    sla_budget = budget;
+    broke;
+    sla_misses = misses;
+    sla_censored = censored;
+    sla_met = misses = 0 && censored = 0;
+  }
+
 let pp_opt_time fmt = function
   | Some t -> Format.fprintf fmt "t=%.2f" t
   | None -> Format.pp_print_string fmt "never"
 
-let pp_summary fmt s =
+let pp_summary ?sla_budget fmt s =
   let r = s.run in
   Format.fprintf fmt "run %s (%s engine, protocol %s, n=%d, seed=%d%s)@\n" r.Events.id
     r.Events.engine r.Events.protocol r.Events.n r.Events.seed
@@ -167,9 +195,26 @@ let pp_summary fmt s =
          else
            match recovery_time b with
            | Some dt ->
-               Format.fprintf fmt " — re-correct at t=%.2f (recovery %.2f)"
+               Format.fprintf fmt " — re-correct at t=%.2f (recovery %.2f%s)"
                  (Option.get b.recovered_at) dt
+                 (match sla_budget with
+                 | Some budget when dt > budget -> ", OVER SLA"
+                 | Some _ -> ", within SLA"
+                 | None -> "")
            | None -> Format.fprintf fmt " — NOT recovered by end of stream");
         Format.pp_print_newline fmt ())
       s.bursts
-  end
+  end;
+  match sla_budget with
+  | None -> ()
+  | Some budget ->
+      let v = check_sla ~budget s in
+      if v.broke = 0 then
+        Format.fprintf fmt "  SLA (budget %.2f) : MET (no burst broke correctness)@\n" budget
+      else if v.sla_met then
+        Format.fprintf fmt "  SLA (budget %.2f) : MET (%d recover%s within budget)@\n" budget
+          v.broke
+          (if v.broke = 1 then "y" else "ies")
+      else
+        Format.fprintf fmt "  SLA (budget %.2f) : MISSED (%d over budget, %d never recovered)@\n"
+          budget v.sla_misses v.sla_censored

@@ -50,5 +50,27 @@ val recovery_time : burst -> float option
 (** [recovered_at - last_at], the time-to-correct the recovery tables
     report. *)
 
-val pp_summary : Format.formatter -> summary -> unit
-(** Human-readable block, one per run. *)
+(** {2 Recovery SLAs}
+
+    A recovery budget in parallel time units, checked against every burst
+    that broke correctness: a recovery slower than the budget is a miss,
+    and a broken burst the stream never recovers from (censored) also
+    counts against the SLA. Soak runs ([Chaos.Soak], [ssr_sim --chaos])
+    apply the same rule on the interaction clock while the run executes;
+    this is the offline equivalent over an events file. *)
+
+type sla = {
+  sla_budget : float;  (** parallel time units *)
+  broke : int;  (** bursts that lost correctness *)
+  sla_misses : int;  (** recovered over budget *)
+  sla_censored : int;  (** broke but never recovered *)
+  sla_met : bool;  (** no misses, nothing censored *)
+}
+
+val check_sla : budget:float -> summary -> sla
+(** Requires [budget > 0] (raises [Invalid_argument] otherwise). *)
+
+val pp_summary : ?sla_budget:float -> Format.formatter -> summary -> unit
+(** Human-readable block, one per run. With [sla_budget], each recovered
+    burst is annotated against the budget and an SLA verdict line is
+    appended. *)

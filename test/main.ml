@@ -7,6 +7,7 @@ let () =
       ("exec", Test_exec.suite);
       ("pool", Test_pool.suite);
       ("cross_engine", Test_cross_engine.suite);
+      ("chaos", Test_chaos.suite);
       ("count_sim", Test_count_sim.suite);
       ("exact", Test_exact.suite);
       ("topology", Test_topology.suite);

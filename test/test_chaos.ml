@@ -1,0 +1,260 @@
+(* Tests for the chaos subsystem: Schedule arrival processes, the spec
+   mini-parser, Adversary actions, and the Soak runner. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let n = 16
+let horizon = 50_000
+
+let arrivals schedule ~seed =
+  Chaos.Schedule.arrivals_until schedule ~rng:(Prng.create ~seed) ~n ~horizon
+
+(* ------------------------------------------------------------------ *)
+(* Schedule: QCheck properties.                                       *)
+
+(* Size-capped: a compose tree has at most 8 primitives, so the arrival
+   streams stay small enough for the property to run in milliseconds. *)
+let schedule_gen =
+  QCheck.Gen.(
+    sized_size (int_range 1 8) @@ fix (fun self size ->
+        if size <= 1 then
+          oneof
+            [
+              map (fun at -> Chaos.Schedule.burst ~at) (int_bound 10_000);
+              map (fun every -> Chaos.Schedule.periodic ~every:(1 + every)) (int_bound 5_000);
+              map
+                (fun r -> Chaos.Schedule.poisson ~rate:(0.001 +. (float_of_int r /. 100.0)))
+                (int_bound 200);
+            ]
+        else map2 Chaos.Schedule.compose (self (size / 2)) (self (size / 2))))
+
+let schedule_arb = QCheck.make ~print:Chaos.Schedule.to_string schedule_gen
+
+let qcheck_schedule_deterministic =
+  QCheck.Test.make ~name:"schedule arrivals deterministic given seed" ~count:100
+    QCheck.(pair schedule_arb small_int)
+    (fun (schedule, seed) ->
+      let a = arrivals schedule ~seed in
+      let b = arrivals schedule ~seed in
+      a = b && List.sort compare a = a)
+
+let qcheck_poisson_monotone_in_rate =
+  (* Same seed, higher rate: inter-arrival exponentials scale by 1/rate,
+     so every arrival lands pointwise no later and at least as many fit
+     under the horizon. *)
+  QCheck.Test.make ~name:"poisson arrivals monotone in rate" ~count:100
+    QCheck.(triple small_int (int_range 1 200) (int_range 2 8))
+    (fun (seed, r, factor) ->
+      let rate = float_of_int r /. 1000.0 in
+      let lo = arrivals (Chaos.Schedule.poisson ~rate) ~seed in
+      let hi = arrivals (Chaos.Schedule.poisson ~rate:(rate *. float_of_int factor)) ~seed in
+      List.length hi >= List.length lo
+      && List.for_all2 (fun h l -> h <= l) (List.filteri (fun i _ -> i < List.length lo) hi) lo)
+
+let qcheck_compose_conserves_bursts =
+  (* Composition is superposition: a compose tree of one-shot bursts
+     fires exactly once per burst, at exactly the scheduled interactions
+     (multiset equality, duplicates included). *)
+  QCheck.Test.make ~name:"compose conserves burst arrivals" ~count:200
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 20) (int_bound horizon)))
+    (fun (seed, ats) ->
+      let schedule =
+        List.fold_left
+          (fun acc at -> Chaos.Schedule.compose acc (Chaos.Schedule.burst ~at))
+          (Chaos.Schedule.burst ~at:(List.hd ats))
+          (List.tl ats)
+      in
+      arrivals schedule ~seed = List.sort compare ats)
+
+let test_periodic_arrivals () =
+  Alcotest.(check (list int))
+    "metronome at multiples of every" [ 1000; 2000; 3000 ]
+    (Chaos.Schedule.arrivals_until
+       (Chaos.Schedule.periodic ~every:1000)
+       ~rng:(Prng.create ~seed:5) ~n ~horizon:3999)
+
+let test_schedule_constructors_validate () =
+  let raises what f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (what ^ ": expected Invalid_argument")
+  in
+  raises "burst at negative" (fun () -> Chaos.Schedule.burst ~at:(-1));
+  raises "periodic every zero" (fun () -> Chaos.Schedule.periodic ~every:0);
+  raises "poisson rate zero" (fun () -> Chaos.Schedule.poisson ~rate:0.0);
+  raises "poisson rate nan" (fun () -> Chaos.Schedule.poisson ~rate:Float.nan)
+
+(* ------------------------------------------------------------------ *)
+(* Spec mini-parser.                                                  *)
+
+let test_spec_round_trips () =
+  List.iter
+    (fun spec ->
+      match Chaos.Spec.parse spec with
+      | Error msg -> Alcotest.fail (Printf.sprintf "parse %S failed: %s" spec msg)
+      | Ok parsed -> (
+          let rendered = Chaos.Spec.to_string parsed in
+          match Chaos.Spec.parse rendered with
+          | Error msg ->
+              Alcotest.fail (Printf.sprintf "re-parse of %S (from %S) failed: %s" rendered spec msg)
+          | Ok reparsed ->
+              Alcotest.(check string)
+                (Printf.sprintf "round trip of %S" spec)
+                rendered (Chaos.Spec.to_string reparsed)))
+    [
+      "poisson:0.1,corrupt:0.05";
+      "periodic:4096,kill-leader";
+      "burst:0,duplicate-rank";
+      "burst:100+poisson:0.01,stuck:4:2048";
+      "corrupt:0.5,periodic:100+burst:7+poisson:2.5";
+    ]
+
+let test_spec_rejects_malformed () =
+  List.iter
+    (fun spec ->
+      match Chaos.Spec.parse spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "parse %S should have failed" spec))
+    [
+      "";
+      "poisson:0.1" (* no adversary *);
+      "corrupt:0.05" (* no schedule *);
+      "poisson:0.1,corrupt:0.05,kill-leader" (* two adversaries *);
+      "poisson:0.1,corrupt:1.5" (* fraction out of range *);
+      "poisson:-2,corrupt:0.05" (* bad rate *);
+      "burst:-1,corrupt:0.05";
+      "periodic:0,corrupt:0.05";
+      "poisson:0.1,stuck:0:100" (* no agents *);
+      "poisson:0.1,stuck:4" (* missing duration *);
+      "gamma:3,corrupt:0.05" (* unknown clause *);
+      "poisson:abc,corrupt:0.05";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversary constructors.                                            *)
+
+let test_adversary_constructors_validate () =
+  let raises what f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (what ^ ": expected Invalid_argument")
+  in
+  raises "corrupt fraction > 1" (fun () -> Chaos.Adversary.corrupt ~fraction:1.5);
+  raises "corrupt fraction < 0" (fun () -> Chaos.Adversary.corrupt ~fraction:(-0.1));
+  raises "stuck zero agents" (fun () -> Chaos.Adversary.stuck ~agents:0 ~duration:10);
+  raises "stuck zero duration" (fun () -> Chaos.Adversary.stuck ~agents:1 ~duration:0);
+  Alcotest.(check string)
+    "corrupt renders" "corrupt:0.05"
+    (Chaos.Adversary.to_string (Chaos.Adversary.corrupt ~fraction:0.05));
+  Alcotest.(check string)
+    "stuck renders" "stuck:4:2048"
+    (Chaos.Adversary.to_string (Chaos.Adversary.stuck ~agents:4 ~duration:2048))
+
+(* ------------------------------------------------------------------ *)
+(* Soak runner.                                                       *)
+
+let soak ~kind ~seed ~schedule ~adversary =
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let rng = Prng.create ~seed in
+  let exec =
+    Engine.Exec.make ~kind ~protocol ~init:(Core.Scenarios.silent_correct ~n) ~rng
+  in
+  Chaos.Soak.run ~schedule ~adversary
+    ~random_state:(fun rng -> Core.Scenarios.silent_random_state rng ~n)
+    ~rng ~horizon exec
+
+let test_soak_deterministic () =
+  List.iter
+    (fun kind ->
+      let run () =
+        soak ~kind ~seed:31
+          ~schedule:
+            (Chaos.Schedule.compose
+               (Chaos.Schedule.periodic ~every:4000)
+               (Chaos.Schedule.poisson ~rate:0.01))
+          ~adversary:(Chaos.Adversary.corrupt ~fraction:0.2)
+      in
+      check_bool
+        (Printf.sprintf "identical reports on same seed (%s engine)"
+           (Engine.Exec.kind_to_string kind))
+        true
+        (run () = run ()))
+    [ Engine.Exec.Agent; Engine.Exec.Count ]
+
+let test_soak_report_sane () =
+  let r =
+    soak ~kind:Engine.Exec.Agent ~seed:33
+      ~schedule:(Chaos.Schedule.periodic ~every:4000)
+      ~adversary:(Chaos.Adversary.corrupt ~fraction:0.25)
+  in
+  check_int "clock ran to the horizon" horizon r.Chaos.Soak.total_interactions;
+  check_bool "availability in [0,1]" true
+    (r.Chaos.Soak.availability >= 0.0 && r.Chaos.Soak.availability <= 1.0);
+  check_bool "correct share below total" true
+    (r.Chaos.Soak.correct_interactions <= r.Chaos.Soak.total_interactions);
+  check_int "metronome fired horizon/every times" (horizon / 4000) r.Chaos.Soak.firings;
+  check_bool "every firing overwrote agents" true
+    (r.Chaos.Soak.faults_applied >= r.Chaos.Soak.firings);
+  check_int "bursts split into the three outcomes"
+    r.Chaos.Soak.bursts
+    (r.Chaos.Soak.absorbed + r.Chaos.Soak.recoveries + r.Chaos.Soak.sla.Chaos.Soak.censored);
+  check_int "one recovery time per recovery" r.Chaos.Soak.recoveries
+    (Array.length r.Chaos.Soak.recovery_times);
+  check_bool "recoveries happened under a gentle metronome" true (r.Chaos.Soak.recoveries >= 1)
+
+let test_soak_stuck_repins () =
+  (* A pinned agent must be re-injected whenever it drifts: under a
+     one-shot burst with a long pin, repins only ever add faults, and
+     every fault after the first firing is a repin. *)
+  let r =
+    soak ~kind:Engine.Exec.Agent ~seed:35
+      ~schedule:(Chaos.Schedule.burst ~at:100)
+      ~adversary:(Chaos.Adversary.stuck ~agents:2 ~duration:20_000)
+  in
+  check_int "single firing" 1 r.Chaos.Soak.firings;
+  check_int "repins account for all faults beyond the strike"
+    (r.Chaos.Soak.faults_applied - 2)
+    r.Chaos.Soak.repins
+
+let test_soak_validates_arguments () =
+  let raises what f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (what ^ ": expected Invalid_argument")
+  in
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let make () =
+    Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol
+      ~init:(Core.Scenarios.silent_correct ~n)
+      ~rng:(Prng.create ~seed:36)
+  in
+  let random_state rng = Core.Scenarios.silent_random_state rng ~n in
+  raises "horizon zero" (fun () ->
+      Chaos.Soak.run
+        ~schedule:(Chaos.Schedule.burst ~at:0)
+        ~adversary:Chaos.Adversary.kill_leader ~random_state ~rng:(Prng.create ~seed:37)
+        ~horizon:0 (make ()));
+  raises "sla budget zero" (fun () ->
+      Chaos.Soak.run ~sla_budget:0
+        ~schedule:(Chaos.Schedule.burst ~at:0)
+        ~adversary:Chaos.Adversary.kill_leader ~random_state ~rng:(Prng.create ~seed:38)
+        ~horizon:100 (make ()))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_schedule_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_poisson_monotone_in_rate;
+    QCheck_alcotest.to_alcotest qcheck_compose_conserves_bursts;
+    Alcotest.test_case "periodic arrivals" `Quick test_periodic_arrivals;
+    Alcotest.test_case "schedule constructors validate" `Quick
+      test_schedule_constructors_validate;
+    Alcotest.test_case "spec round trips" `Quick test_spec_round_trips;
+    Alcotest.test_case "spec rejects malformed" `Quick test_spec_rejects_malformed;
+    Alcotest.test_case "adversary constructors validate" `Quick
+      test_adversary_constructors_validate;
+    Alcotest.test_case "soak deterministic" `Quick test_soak_deterministic;
+    Alcotest.test_case "soak report sane" `Quick test_soak_report_sane;
+    Alcotest.test_case "soak stuck repins" `Quick test_soak_stuck_repins;
+    Alcotest.test_case "soak validates arguments" `Quick test_soak_validates_arguments;
+  ]

@@ -77,8 +77,48 @@ let test_means_match_exact_chain () =
         (samples ~n ~seed:(4400 + n) count_time_to_silence))
     [ 4; 5 ]
 
+(* Chaos differential: the same seeded fault schedule driven through
+   Chaos.Soak on both engines must yield the same *distribution* of
+   recovery times. The schedule is periodic (consumes no randomness, so
+   strikes land on identical interaction indices on both engines) and the
+   adversary corrupts a fraction with random ranks; only the trajectories
+   differ between engines, so the pooled per-burst recovery times are two
+   samples from one law. *)
+let chaos_recovery_times ~kind ~n ~seed =
+  let schedule = Chaos.Schedule.periodic ~every:2000 in
+  let adversary = Chaos.Adversary.corrupt ~fraction:0.25 in
+  Experiments.Exp_common.run_trials ~jobs:2 ~trials:120 ~seed (fun rng ->
+      let protocol = Core.Silent_n_state.protocol ~n in
+      let exec =
+        Engine.Exec.make ~kind ~protocol ~init:(Core.Scenarios.silent_correct ~n) ~rng
+      in
+      let report =
+        Chaos.Soak.run ~schedule ~adversary
+          ~random_state:(fun rng -> Core.Scenarios.silent_random_state rng ~n)
+          ~rng ~horizon:80_000 exec
+      in
+      report.Chaos.Soak.recovery_times)
+  |> Array.to_list |> List.concat_map Array.to_list |> Array.of_list
+
+let test_chaos_recovery_agrees_in_law () =
+  let n = 8 in
+  let agent = chaos_recovery_times ~kind:Engine.Exec.Agent ~n ~seed:4500 in
+  let count = chaos_recovery_times ~kind:Engine.Exec.Count ~n ~seed:4600 in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough recoveries pooled (agent %d, count %d)" (Array.length agent)
+       (Array.length count))
+    true
+    (Array.length agent >= 50 && Array.length count >= 50);
+  let d = Stats.Ks.statistic agent count in
+  Alcotest.(check bool)
+    (Printf.sprintf "KS accepts chaos recovery times across engines (D=%.3f)" d)
+    true
+    (Stats.Ks.same_distribution ~alpha:Stats.Ks.P01 agent count)
+
 let suite =
   [
     Alcotest.test_case "engines agree in law (KS)" `Slow test_engines_agree_in_law;
     Alcotest.test_case "engine means match exact chain" `Slow test_means_match_exact_chain;
+    Alcotest.test_case "chaos recovery agrees in law (KS)" `Slow
+      test_chaos_recovery_agrees_in_law;
   ]

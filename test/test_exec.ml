@@ -171,6 +171,39 @@ let test_count_corrupt_matches_agent_semantics () =
   in
   check_int "positive fraction hits at least one agent" 1 tiny
 
+let test_fault_injection_validates_arguments () =
+  (* Both engines must reject malformed fault-injection arguments with
+     Invalid_argument instead of corrupting internal state: an index
+     outside [0, n) for inject, a fraction outside [0,1] (or NaN) for
+     corrupt. *)
+  List.iter
+    (fun kind ->
+      let label what = Printf.sprintf "%s (%s engine)" what (Engine.Exec.kind_to_string kind) in
+      let n = 8 in
+      let exec =
+        silent_exec ~kind ~n ~seed:90 ~init:(fun _ -> Core.Scenarios.silent_correct ~n)
+      in
+      let state = Core.Silent_n_state.state_of_rank0 ~n 0 in
+      let gen rng = Core.Silent_n_state.state_of_rank0 ~n (Prng.int rng n) in
+      let raises what f =
+        match f () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail (label what ^ ": expected Invalid_argument")
+      in
+      raises "inject negative index" (fun () -> Engine.Exec.inject exec (-1) state);
+      raises "inject index at n" (fun () -> Engine.Exec.inject exec n state);
+      raises "corrupt fraction < 0" (fun () ->
+          ignore (Engine.Exec.corrupt exec ~rng:(Prng.create ~seed:91) ~fraction:(-0.1) gen));
+      raises "corrupt fraction > 1" (fun () ->
+          ignore (Engine.Exec.corrupt exec ~rng:(Prng.create ~seed:92) ~fraction:1.5 gen));
+      raises "corrupt fraction NaN" (fun () ->
+          ignore (Engine.Exec.corrupt exec ~rng:(Prng.create ~seed:93) ~fraction:Float.nan gen));
+      (* The exec is untouched by the rejected calls: still correct and,
+         where the oracle exists, still silent. *)
+      check_bool (label "still correct after rejections") true
+        (Engine.Exec.ranking_correct exec))
+    [ Engine.Exec.Agent; Engine.Exec.Count ]
+
 let test_count_snapshot_multiset_preserved () =
   (* snapshot/state expose an agent view of the multiset: ranks are a
      permutation-invariant of the configuration. *)
@@ -286,6 +319,8 @@ let suite =
       test_runner_distribution_agrees_across_engines;
     Alcotest.test_case "count inject and recover" `Quick test_count_inject_and_recover;
     Alcotest.test_case "count corrupt semantics" `Quick test_count_corrupt_matches_agent_semantics;
+    Alcotest.test_case "fault injection validates arguments" `Quick
+      test_fault_injection_validates_arguments;
     Alcotest.test_case "count snapshot multiset" `Quick test_count_snapshot_multiset_preserved;
     Alcotest.test_case "events fire on count engine" `Quick test_events_fire_on_count_engine;
     Alcotest.test_case "policy events from runner" `Quick test_policy_events_from_runner;
