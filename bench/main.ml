@@ -223,6 +223,106 @@ let run_metrics_section () =
   Stats.Table.print table;
   print_newline ()
 
+(* Kernel-compiler delta table: the same agent-engine interaction loop
+   driven by the interpreted transition vs the compiled kernel (memoized
+   int-code table). The speedup column is the CI artifact that guards
+   the compiler's reason to exist; the kernel columns make a slow compile
+   or a skipped memoization visible next to it. *)
+let run_kernel_section () =
+  print_endline "== Kernel compiler: compiled vs interpreted step throughput ==\n";
+  let steps = 4_000_000 in
+  let mask = 0xFFFF in
+  (* 65536 precomputed pairs, cycled *)
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "protocol"; "interp Msteps/s"; "compiled Msteps/s"; "step speedup"; "sim speedup";
+          "states"; "table cells"; "compile ms";
+        ]
+  in
+  let time run =
+    ignore (run ());
+    (* warmup *)
+    let t0 = Unix.gettimeofday () in
+    run ();
+    Unix.gettimeofday () -. t0
+  in
+  let bench : 'a. label:string -> 'a Engine.Enumerable.t -> init:'a array -> unit =
+   fun ~label e ~init ->
+    let p = e.Engine.Enumerable.protocol in
+    let kernel = Ir.Kernel.compile e in
+    let m = Ir.Kernel.states kernel in
+    (* Step throughput: the same uniformly random ordered pair schedule
+       applied through the interpreted transition and the compiled one.
+       This is the quantity the memo table optimizes; both loops pay the
+       same schedule-indexing and call overhead. *)
+    let sched = Prng.create ~seed:43 in
+    let ka = Array.init (mask + 1) (fun _ -> Prng.int sched m) in
+    let kb = Array.init (mask + 1) (fun _ -> Prng.int sched m) in
+    let da = Array.map (Ir.Kernel.decode kernel) ka in
+    let db = Array.map (Ir.Kernel.decode kernel) kb in
+    let interp_tr = p.Engine.Protocol.transition in
+    let compiled_tr = kernel.Ir.Kernel.compiled.Engine.Protocol.transition in
+    let step_interp_s =
+      time (fun () ->
+          let rng = Prng.create ~seed:44 in
+          for i = 0 to steps - 1 do
+            let k = i land mask in
+            ignore (interp_tr rng da.(k) db.(k))
+          done)
+    in
+    let step_compiled_s =
+      time (fun () ->
+          let rng = Prng.create ~seed:44 in
+          for i = 0 to steps - 1 do
+            let k = i land mask in
+            ignore (compiled_tr rng ka.(k) kb.(k))
+          done)
+    in
+    (* End-to-end: a full agent-engine run (pair sampling, monitor and
+       event bookkeeping included), interpreted vs compiled codes. *)
+    let sim_steps = steps / 4 in
+    let sim_interp_s =
+      time (fun () ->
+          let sim = Engine.Sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:42) in
+          Engine.Sim.run sim sim_steps)
+    in
+    let code_init = Array.map (Ir.Kernel.encode kernel) init in
+    let sim_compiled_s =
+      time (fun () ->
+          let sim =
+            Engine.Sim.make ~protocol:kernel.Ir.Kernel.compiled ~init:code_init
+              ~rng:(Prng.create ~seed:42)
+          in
+          Engine.Sim.run sim sim_steps)
+    in
+    let mps s = float_of_int steps /. s /. 1e6 in
+    Stats.Table.add_row table
+      [
+        label;
+        Printf.sprintf "%.2f" (mps step_interp_s);
+        Printf.sprintf "%.2f" (mps step_compiled_s);
+        Printf.sprintf "%.2fx" (step_interp_s /. step_compiled_s);
+        Printf.sprintf "%.2fx" (sim_interp_s /. sim_compiled_s);
+        string_of_int m;
+        (if kernel.Ir.Kernel.ir.Ir.table = None then "0" else string_of_int (m * m));
+        Printf.sprintf "%.1f" (1000.0 *. kernel.Ir.Kernel.compile_s);
+      ]
+  in
+  let n = 256 in
+  bench ~label:(Printf.sprintf "silent-n-state n=%d" n)
+    (Core.Silent_n_state.enumerable ~n)
+    ~init:(Core.Scenarios.silent_worst_case ~n);
+  let n = 64 in
+  let params = Core.Params.optimal_silent n in
+  bench
+    ~label:(Printf.sprintf "optimal-silent n=%d" n)
+    (Core.Optimal_silent.enumerable ~params ~n ())
+    ~init:(Core.Scenarios.optimal_uniform (Prng.create ~seed:41) ~params ~n);
+  Stats.Table.print table;
+  print_newline ()
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* --jobs N: domain-pool width for the experiment sections (identical
@@ -244,9 +344,16 @@ let () =
   let jobs = match jobs_opt with Some j -> j | None -> Engine.Pool.default_jobs () in
   let full = List.mem "--full" args in
   let micro_only = List.mem "--micro-only" args in
-  let names = List.filter (fun a -> a <> "--full" && a <> "--micro-only") args in
+  let kernel_only = List.mem "--kernel-only" args in
+  let names =
+    List.filter (fun a -> a <> "--full" && a <> "--micro-only" && a <> "--kernel-only") args
+  in
   let mode = if full then Experiments.Exp_common.Full else Experiments.Exp_common.Quick in
   let seed = 2024 in
+  if kernel_only then begin
+    run_kernel_section ();
+    exit 0
+  end;
   if not micro_only then begin
     let selected =
       match names with
@@ -271,5 +378,6 @@ let () =
   end;
   if names = [] then begin
     run_micro_benchmarks ();
-    run_metrics_section ()
+    run_metrics_section ();
+    run_kernel_section ()
   end

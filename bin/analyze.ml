@@ -25,7 +25,22 @@ let resolve_entries protocols =
            (fun (e : Analysis.Registry.entry) -> List.mem e.Analysis.Registry.key keys)
            Analysis.Registry.entries)
 
-let main protocols ns report_format jobs max_configs list =
+(* --dump-ir: print the fully lowered IR (fields, code space, pass log,
+   small-space code maps) for one catalogue entry. The golden files under
+   test/golden/ are regenerated from this output. *)
+let dump_ir ~key ~n =
+  match Analysis.Registry.find key with
+  | None ->
+      Printf.eprintf "unknown protocol '%s' (available: %s)\n" key
+        (String.concat ", " (Analysis.Registry.keys ()));
+      exit 2
+  | Some entry -> (
+      match entry.Analysis.Registry.build ~n with
+      | Analysis.Registry.Any e ->
+          Format.printf "%a@." Ir.pp (Ir.Passes.pipeline e);
+          0)
+
+let main protocols ns report_format jobs max_configs list dump =
   if list then list_entries ()
   else begin
     let jobs = match jobs with Some j -> j | None -> Engine.Pool.default_jobs () in
@@ -39,6 +54,9 @@ let main protocols ns report_format jobs max_configs list =
         Printf.eprintf "--n must be >= 2 (got %d)\n" n;
         exit 2
     | None -> ());
+    match dump with
+    | Some key -> dump_ir ~key ~n:(List.hd ns)
+    | None -> (
     match resolve_entries protocols with
     | Error missing ->
         Printf.eprintf "unknown protocol%s: %s (available: %s, all)\n"
@@ -56,7 +74,7 @@ let main protocols ns report_format jobs max_configs list =
         | _ ->
             List.iter (fun r -> Format.printf "%a@.@." Analysis.Report.pp r) reports;
             Format.printf "%a" Analysis.Report.pp_summary reports);
-        if Analysis.Report.all_ok reports then 0 else 1
+        if Analysis.Report.all_ok reports then 0 else 1)
   end
 
 open Cmdliner
@@ -97,11 +115,21 @@ let list_arg =
   let doc = "List the protocol catalogue and exit." in
   Arg.(value & flag & info [ "list" ] ~doc)
 
+let dump_ir_arg =
+  let doc =
+    "Print the lowered kernel-compiler IR (fields, packed code space, pass log) for one \
+     catalogue entry at the first $(b,--n) and exit. The golden files under test/golden/ are \
+     regenerated with this flag."
+  in
+  Arg.(value & opt (some string) None & info [ "dump-ir" ] ~docv:"NAME" ~doc)
+
 let cmd =
   let doc = "statically analyze the population-protocol catalogue" in
   let info = Cmd.info "analyze" ~version:"1.0" ~doc in
   Cmd.v info
-    Term.(const main $ protocols_arg $ ns_arg $ report_arg $ jobs_arg $ max_configs_arg $ list_arg)
+    Term.(
+      const main $ protocols_arg $ ns_arg $ report_arg $ jobs_arg $ max_configs_arg $ list_arg
+      $ dump_ir_arg)
 
 (* cmdliner only recognizes single-character names as short options, but
    the documented interface is "--n 4"; accept both spellings. *)

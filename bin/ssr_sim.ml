@@ -21,10 +21,12 @@ let topology_of ~n = function
 
 (* Build the requested executor. The count engine supports neither
    randomized protocols nor restricted interaction graphs — reject both
-   up front with a real message instead of an exception trace. *)
-let make_exec (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s array) ~rng ~topology
-    : s Engine.Exec.t =
-  match (engine : Engine.Exec.kind) with
+   up front with a real message instead of an exception trace. When a
+   compiled kernel is given, the same engine runs on packed int codes
+   behind the Kernel.exec boundary wrapper. *)
+let make_exec (type s) ~engine ~(protocol : s Engine.Protocol.t)
+    ~(kernel : s Ir.Kernel.t option) ~(init : s array) ~rng ~topology : s Engine.Exec.t =
+  (match (engine : Engine.Exec.kind) with
   | Engine.Exec.Count ->
       if topology <> "complete" then begin
         Printf.eprintf "--engine count only supports the complete interaction graph\n";
@@ -34,16 +36,35 @@ let make_exec (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s arra
         Printf.eprintf "--engine count requires a deterministic protocol (got %s)\n"
           protocol.Engine.Protocol.name;
         exit 2
-      end;
-      Engine.Exec.make ~kind:Engine.Exec.Count ~protocol ~init ~rng
-  | Engine.Exec.Agent ->
-      let n = protocol.Engine.Protocol.n in
-      let sim =
-        match topology_of ~n topology with
-        | None -> Engine.Sim.make ~protocol ~init ~rng
-        | Some t -> Engine.Sim.make_with ~sampler:(Engine.Topology.sampler t) ~protocol ~init ~rng
-      in
-      Engine.Exec.of_sim sim
+      end
+  | Engine.Exec.Agent -> ());
+  let n = protocol.Engine.Protocol.n in
+  match kernel with
+  | Some k ->
+      let sampler = Option.map Engine.Topology.sampler (topology_of ~n topology) in
+      Ir.Kernel.exec ?sampler ~kind:engine k ~init ~rng
+  | None -> (
+      match (engine : Engine.Exec.kind) with
+      | Engine.Exec.Count -> Engine.Exec.make ~kind:Engine.Exec.Count ~protocol ~init ~rng
+      | Engine.Exec.Agent ->
+          let sim =
+            match topology_of ~n topology with
+            | None -> Engine.Sim.make ~protocol ~init ~rng
+            | Some t ->
+                Engine.Sim.make_with ~sampler:(Engine.Topology.sampler t) ~protocol ~init ~rng
+          in
+          Engine.Exec.of_sim sim)
+
+let kernel_name kernel = if Option.is_some kernel then "compiled" else "interp"
+
+let pp_kernel_line kernel =
+  Option.iter
+    (fun k ->
+      Printf.printf "kernel              : compiled (%d live states, %s, %.1f ms compile)\n"
+        (Ir.Kernel.states k)
+        (if Ir.Kernel.exact k then "exact" else "quotient")
+        (1000.0 *. k.Ir.Kernel.compile_s))
+    kernel
 
 (* Step events are thinned to roughly two samples per unit of parallel
    time; landmark events (correctness transitions, silence, faults) are
@@ -62,12 +83,12 @@ let write_manifest ~events_path ~protocol ~engine ~n ~seed ~trials ~jobs ~params
   in
   Telemetry.Manifest.write ~path:(events_path ^ ".manifest.json") manifest
 
-let run_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s array) ~seed
-    ~verbose ~horizon_scale ~topology ~events ~metrics ~scenario =
+let run_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(kernel : s Ir.Kernel.t option)
+    ~(init : s array) ~seed ~verbose ~horizon_scale ~topology ~events ~metrics ~scenario =
   let n = protocol.Engine.Protocol.n in
   let t0 = Unix.gettimeofday () in
   let rng = Prng.create ~seed in
-  let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
+  let exec = make_exec ~engine ~protocol ~kernel ~init ~rng ~topology in
   let sink = Option.map Telemetry.Sink.file events in
   Option.iter
     (fun sink ->
@@ -101,6 +122,7 @@ let run_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s arr
   end;
   Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
   Printf.printf "engine              : %s\n" (Engine.Exec.kind_to_string engine);
+  pp_kernel_line kernel;
   Printf.printf "population          : %d\n" n;
   Printf.printf "converged           : %b\n" outcome.Engine.Runner.converged;
   Printf.printf "stabilization time  : %.2f (parallel time units)\n"
@@ -128,6 +150,7 @@ let run_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s arr
           [
             ("scenario", Telemetry.Json.String scenario);
             ("topology", Telemetry.Json.String topology);
+            ("kernel", Telemetry.Json.String (kernel_name kernel));
             ("horizon_scale", Telemetry.Json.Float horizon_scale);
           ]
         ~wall_clock_s)
@@ -157,8 +180,9 @@ let lookup_scenario ~kind catalogue scenario =
    root seed before dispatch, so the numbers are identical for every
    --jobs value; the child drives both the scenario generator and the
    simulation. *)
-let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t -> s array)
-    ~seed ~jobs ~trials ~horizon_scale ~topology ~events ~metrics ~scenario =
+let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
+    ~(kernel : s Ir.Kernel.t option) ~(gen : Prng.t -> s array) ~seed ~jobs ~trials
+    ~horizon_scale ~topology ~events ~metrics ~scenario =
   let n = protocol.Engine.Protocol.n in
   let t0 = Unix.gettimeofday () in
   let children = Prng.split_many (Prng.create ~seed) trials in
@@ -176,7 +200,7 @@ let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t 
               let trial_t0 = Unix.gettimeofday () in
               let rng = children.(i) in
               let init = gen rng in
-              let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
+              let exec = make_exec ~engine ~protocol ~kernel ~init ~rng ~topology in
               if events <> None then begin
                 let run =
                   Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name ~n
@@ -208,6 +232,7 @@ let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t 
   let failures = trials - List.length times in
   Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
   Printf.printf "engine              : %s\n" (Engine.Exec.kind_to_string engine);
+  pp_kernel_line kernel;
   Printf.printf "population          : %d\n" n;
   Printf.printf "trials              : %d (on %d domain%s)\n" trials jobs
     (if jobs = 1 then "" else "s");
@@ -234,6 +259,7 @@ let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t 
           [
             ("scenario", Telemetry.Json.String scenario);
             ("topology", Telemetry.Json.String topology);
+            ("kernel", Telemetry.Json.String (kernel_name kernel));
             ("horizon_scale", Telemetry.Json.Float horizon_scale);
           ]
         ~wall_clock_s);
@@ -278,22 +304,23 @@ let pp_soak_report ~n (r : Chaos.Soak.report) =
        Printf.sprintf "MISSED (%d over budget, %d censored)" sla.Chaos.Soak.misses
          sla.Chaos.Soak.censored)
 
-let chaos_manifest_params ~scenario ~topology ~spec ~(report : Chaos.Soak.report) =
+let chaos_manifest_params ~scenario ~topology ~kernel ~spec ~(report : Chaos.Soak.report) =
   [
     ("scenario", Telemetry.Json.String scenario);
     ("topology", Telemetry.Json.String topology);
+    ("kernel", Telemetry.Json.String kernel);
     ("chaos", Telemetry.Json.String spec);
     ("horizon_interactions", Telemetry.Json.Int report.Chaos.Soak.horizon);
     ("sla_budget_interactions", Telemetry.Json.Int report.Chaos.Soak.sla.Chaos.Soak.budget);
   ]
 
-let run_chaos_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init : s array)
-    ~(random_state : Prng.t -> s) ~seed ~topology ~events ~metrics ~scenario ~spec ~schedule
-    ~adversary ~sla_budget ~horizon =
+let run_chaos_single (type s) ~engine ~(protocol : s Engine.Protocol.t)
+    ~(kernel : s Ir.Kernel.t option) ~(init : s array) ~(random_state : Prng.t -> s) ~seed
+    ~topology ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon =
   let n = protocol.Engine.Protocol.n in
   let t0 = Unix.gettimeofday () in
   let rng = Prng.create ~seed in
-  let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
+  let exec = make_exec ~engine ~protocol ~kernel ~init ~rng ~topology in
   let sink = Option.map Telemetry.Sink.file events in
   Option.iter
     (fun sink ->
@@ -311,6 +338,7 @@ let run_chaos_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init :
   in
   Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
   Printf.printf "engine              : %s\n" (Engine.Exec.kind_to_string engine);
+  pp_kernel_line kernel;
   Printf.printf "population          : %d\n" n;
   Printf.printf "chaos               : %s\n" spec;
   pp_soak_report ~n report;
@@ -321,7 +349,8 @@ let run_chaos_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init :
       write_manifest
         ~events_path:(Option.get events)
         ~protocol:protocol.Engine.Protocol.name ~engine ~n ~seed ~trials:1 ~jobs:1
-        ~params:(chaos_manifest_params ~scenario ~topology ~spec ~report)
+        ~params:
+          (chaos_manifest_params ~scenario ~topology ~kernel:(kernel_name kernel) ~spec ~report)
         ~wall_clock_s)
     sink;
   (match (metrics, reg) with
@@ -334,9 +363,10 @@ let run_chaos_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(init :
   (* Chaos mode reports; the SLA verdict is data, not an exit code. *)
   0
 
-let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : Prng.t -> s array)
-    ~(random_state : Prng.t -> s) ~seed ~jobs ~trials ~topology ~events ~metrics ~scenario ~spec
-    ~schedule ~adversary ~sla_budget ~horizon =
+let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
+    ~(kernel : s Ir.Kernel.t option) ~(gen : Prng.t -> s array) ~(random_state : Prng.t -> s)
+    ~seed ~jobs ~trials ~topology ~events ~metrics ~scenario ~spec ~schedule ~adversary
+    ~sla_budget ~horizon =
   let n = protocol.Engine.Protocol.n in
   let t0 = Unix.gettimeofday () in
   let children = Prng.split_many (Prng.create ~seed) trials in
@@ -355,7 +385,7 @@ let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : P
                   let trial_t0 = Unix.gettimeofday () in
                   let rng = children.(i) in
                   let init = gen rng in
-                  let exec = make_exec ~engine ~protocol ~init ~rng ~topology in
+                  let exec = make_exec ~engine ~protocol ~kernel ~init ~rng ~topology in
                   if events <> None then begin
                     let run =
                       Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name
@@ -386,6 +416,7 @@ let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : P
   let censored = sum (fun r -> r.Chaos.Soak.sla.Chaos.Soak.censored) in
   Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
   Printf.printf "engine              : %s\n" (Engine.Exec.kind_to_string engine);
+  pp_kernel_line kernel;
   Printf.printf "population          : %d\n" n;
   Printf.printf "chaos               : %s\n" spec;
   Printf.printf "trials              : %d (on %d domain%s)\n" trials jobs
@@ -429,7 +460,9 @@ let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(gen : P
         ~trials ~jobs
         ~params:
           (match rs with
-          | first :: _ -> chaos_manifest_params ~scenario ~topology ~spec ~report:first
+          | first :: _ ->
+              chaos_manifest_params ~scenario ~topology ~kernel:(kernel_name kernel) ~spec
+                ~report:first
           | [] -> [])
         ~wall_clock_s);
   (match metrics with
@@ -474,8 +507,55 @@ let run_loose ~n ~seed ~verbose =
   end;
   if Engine.Sim.leader_correct sim || verbose then 0 else 1
 
-let main protocol_name n h scenario seed verbose topology engine_name trials jobs events metrics
-    chaos sla horizon =
+(* One protocol, ready to run under any mode combination. Packing the
+   state type existentially lets a single dispatch function own the
+   chaos / batch / kernel branching that used to be duplicated per
+   protocol arm. [enumerable] is [None] for protocols the IR compiler
+   cannot take (randomized, or descriptor mismatched to the simulated
+   parameterization) — [--kernel compiled] is rejected with [reason]. *)
+type runnable =
+  | Runnable : {
+      protocol : 's Engine.Protocol.t;
+      enumerable : ('s Engine.Enumerable.t, string) result;
+      gen : Prng.t -> 's array;
+      random_state : Prng.t -> 's;
+      horizon_scale : float;
+    }
+      -> runnable
+
+let dispatch (Runnable r) ~engine ~compiled ~seed ~scen_rng ~verbose ~jobs ~trials ~topology
+    ~events ~metrics ~scenario ~chaos ~sla_budget ~horizon =
+  let kernel =
+    if not compiled then None
+    else
+      match r.enumerable with
+      | Ok e -> Some (Ir.Kernel.compile e)
+      | Error reason ->
+          Printf.eprintf "--kernel compiled is not supported for %s: %s\n"
+            r.protocol.Engine.Protocol.name reason;
+          exit 2
+  in
+  let batch = trials > 1 in
+  match chaos with
+  | Some (spec, schedule, adversary) ->
+      if batch then
+        run_chaos_batch ~engine ~protocol:r.protocol ~kernel ~gen:r.gen
+          ~random_state:r.random_state ~seed ~jobs ~trials ~topology ~events ~metrics ~scenario
+          ~spec ~schedule ~adversary ~sla_budget ~horizon
+      else
+        run_chaos_single ~engine ~protocol:r.protocol ~kernel ~init:(r.gen scen_rng)
+          ~random_state:r.random_state ~seed ~topology ~events ~metrics ~scenario ~spec ~schedule
+          ~adversary ~sla_budget ~horizon
+  | None ->
+      if batch then
+        run_batch ~engine ~protocol:r.protocol ~kernel ~gen:r.gen ~seed ~jobs ~trials
+          ~horizon_scale:r.horizon_scale ~topology ~events ~metrics ~scenario
+      else
+        run_single ~engine ~protocol:r.protocol ~kernel ~init:(r.gen scen_rng) ~seed ~verbose
+          ~horizon_scale:r.horizon_scale ~topology ~events ~metrics ~scenario
+
+let main protocol_name n h scenario seed verbose topology engine_name kernel_mode trials jobs
+    events metrics chaos sla horizon =
   let jobs = match jobs with Some j -> j | None -> Engine.Pool.default_jobs () in
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
@@ -491,6 +571,14 @@ let main protocol_name n h scenario seed verbose topology engine_name trials job
     | "count" -> Engine.Exec.Count
     | other ->
         Printf.eprintf "unknown engine '%s' (agent | count)\n" other;
+        exit 2
+  in
+  let compiled =
+    match kernel_mode with
+    | "interp" -> false
+    | "compiled" -> true
+    | other ->
+        Printf.eprintf "unknown kernel '%s' (interp | compiled)\n" other;
         exit 2
   in
   let chaos =
@@ -523,74 +611,56 @@ let main protocol_name n h scenario seed verbose topology engine_name trials job
     | Some i -> i
     | None -> 8 * Engine.Runner.default_confirm ~n
   in
-  let batch = trials > 1 in
   let scen_rng = Prng.create ~seed:(seed + 1000) in
+  let dispatch runnable =
+    dispatch runnable ~engine ~compiled ~seed ~scen_rng ~verbose ~jobs ~trials ~topology ~events
+      ~metrics ~scenario ~chaos ~sla_budget ~horizon
+  in
   match protocol_name with
   | "silent" ->
-      let protocol = Core.Silent_n_state.protocol ~n in
-      let gen = lookup_scenario ~kind:"silent" (Core.Scenarios.silent_catalogue ~n) scenario in
-      let random_state rng = Core.Scenarios.silent_random_state rng ~n in
-      (match chaos with
-      | Some (spec, schedule, adversary) ->
-          if batch then
-            run_chaos_batch ~engine ~protocol ~gen ~random_state ~seed ~jobs ~trials ~topology
-              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
-          else
-            run_chaos_single ~engine ~protocol ~init:(gen scen_rng) ~random_state ~seed ~topology
-              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
-      | None ->
-          if batch then
-            run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:(float_of_int n)
-              ~topology ~events ~metrics ~scenario
-          else
-            run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose
-              ~horizon_scale:(float_of_int n) ~topology ~events ~metrics ~scenario)
+      dispatch
+        (Runnable
+           {
+             protocol = Core.Silent_n_state.protocol ~n;
+             enumerable = Ok (Core.Silent_n_state.enumerable ~n);
+             gen = lookup_scenario ~kind:"silent" (Core.Scenarios.silent_catalogue ~n) scenario;
+             random_state = (fun rng -> Core.Scenarios.silent_random_state rng ~n);
+             horizon_scale = float_of_int n;
+           })
   | "optimal" ->
       let params = Core.Params.optimal_silent n in
-      let protocol = Core.Optimal_silent.protocol ~params ~n () in
-      let gen =
-        lookup_scenario ~kind:"optimal" (Core.Scenarios.optimal_catalogue ~params ~n) scenario
-      in
-      let random_state rng = Core.Scenarios.optimal_random_state rng ~params ~n in
-      (match chaos with
-      | Some (spec, schedule, adversary) ->
-          if batch then
-            run_chaos_batch ~engine ~protocol ~gen ~random_state ~seed ~jobs ~trials ~topology
-              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
-          else
-            run_chaos_single ~engine ~protocol ~init:(gen scen_rng) ~random_state ~seed ~topology
-              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
-      | None ->
-          if batch then
-            run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
-              ~events ~metrics ~scenario
-          else
-            run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0
-              ~topology ~events ~metrics ~scenario)
+      dispatch
+        (Runnable
+           {
+             protocol = Core.Optimal_silent.protocol ~params ~n ();
+             enumerable = Ok (Core.Optimal_silent.enumerable ~params ~n ());
+             gen =
+               lookup_scenario ~kind:"optimal"
+                 (Core.Scenarios.optimal_catalogue ~params ~n)
+                 scenario;
+             random_state = (fun rng -> Core.Scenarios.optimal_random_state rng ~params ~n);
+             horizon_scale = 40.0;
+           })
   | "sublinear" ->
       let params = Core.Params.sublinear ~h n in
-      let protocol = Core.Sublinear.protocol ~params ~n ~h () in
-      let gen =
-        lookup_scenario ~kind:"sublinear" (Core.Scenarios.sublinear_catalogue ~params ~n) scenario
-      in
-      let random_state rng = Core.Scenarios.sublinear_random_state rng ~params ~n in
-      (match chaos with
-      | Some (spec, schedule, adversary) ->
-          if batch then
-            run_chaos_batch ~engine ~protocol ~gen ~random_state ~seed ~jobs ~trials ~topology
-              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
-          else
-            run_chaos_single ~engine ~protocol ~init:(gen scen_rng) ~random_state ~seed ~topology
-              ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon
-      | None ->
-          if batch then
-            run_batch ~engine ~protocol ~gen ~seed ~jobs ~trials ~horizon_scale:40.0 ~topology
-              ~events ~metrics ~scenario
-          else
-            run_single ~engine ~protocol ~init:(gen scen_rng) ~seed ~verbose ~horizon_scale:40.0
-              ~topology ~events ~metrics ~scenario)
+      dispatch
+        (Runnable
+           {
+             protocol = Core.Sublinear.protocol ~params ~n ~h ();
+             enumerable = Error "the transition is randomized (it draws real coins)";
+             gen =
+               lookup_scenario ~kind:"sublinear"
+                 (Core.Scenarios.sublinear_catalogue ~params ~n)
+                 scenario;
+             random_state = (fun rng -> Core.Scenarios.sublinear_random_state rng ~params ~n);
+             horizon_scale = 40.0;
+           })
   | "loose" ->
-      if batch then begin
+      if compiled then begin
+        Printf.eprintf "--kernel compiled is not supported for the loose protocol\n";
+        exit 2
+      end;
+      if trials > 1 then begin
         Printf.eprintf "--trials is not supported for the loose protocol\n";
         exit 2
       end;
@@ -650,6 +720,15 @@ let engine_arg =
   in
   Arg.(value & opt string "agent" & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
+let kernel_arg =
+  let doc =
+    "Transition kernel: interp (call the protocol's OCaml transition directly) or compiled \
+     (compile the protocol through the IR pipeline to packed int codes with a memoized \
+     transition table; observables are identical, throughput is higher — see DESIGN.md \
+     \"Protocol IR\"). Deterministic protocols with a declared state space only."
+  in
+  Arg.(value & opt string "interp" & info [ "kernel" ] ~docv:"KERNEL" ~doc)
+
 let trials_arg =
   let doc =
     "Run this many independent trials and print summary statistics instead of a single timeline."
@@ -708,7 +787,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ protocol_arg $ n_arg $ h_arg $ scenario_arg $ seed_arg $ verbose_arg
-      $ topology_arg $ engine_arg $ trials_arg $ jobs_arg $ events_arg $ metrics_arg $ chaos_arg
-      $ sla_arg $ horizon_arg)
+      $ topology_arg $ engine_arg $ kernel_arg $ trials_arg $ jobs_arg $ events_arg $ metrics_arg
+      $ chaos_arg $ sla_arg $ horizon_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,114 +1,6 @@
-type row = {
-  outcomes : int;
-  escapes : string list;
-  escape_count : int;
-  violations : string list;
-  violation_count : int;
-}
-
-let pp_trace fmt trace =
-  match trace with
-  | [] -> Format.pp_print_string fmt "no draws"
-  | _ ->
-      Format.fprintf fmt "draws %s"
-        (String.concat ";" (List.map (fun (c, b) -> Printf.sprintf "%d/%d" c b) trace))
-
-let scan_row (e : _ Engine.Enumerable.t) space i =
-  let p = e.Engine.Enumerable.protocol in
-  let s = Statespace.size space in
-  let a = Statespace.state space i in
-  let outcomes = ref 0 in
-  let escapes = ref [] and escape_count = ref 0 in
-  let violations = ref [] and violation_count = ref 0 in
-  let cap = Report.max_findings in
-  let record count findings msg = begin
-    incr count;
-    if List.length !findings < cap then findings := msg () :: !findings
-  end in
-  for j = 0 to s - 1 do
-    let b = Statespace.state space j in
-    let outs =
-      Coins.enumerate ~max_draws:e.Engine.Enumerable.max_draws (fun rng ->
-          p.Engine.Protocol.transition rng (Statespace.state space i) b)
-    in
-    if p.Engine.Protocol.deterministic then begin
-      match outs with
-      | [ { Coins.trace = []; _ } ] -> ()
-      | _ ->
-          record escape_count escapes (fun () ->
-              Format.asprintf "(%a, %a): protocol claims deterministic but drew randomness"
-                p.Engine.Protocol.pp a p.Engine.Protocol.pp b)
-    end;
-    List.iter
-      (fun { Coins.value = a', b'; trace } ->
-        incr outcomes;
-        let side tag out =
-          (match Statespace.index space out with
-          | Some _ -> ()
-          | None ->
-              record escape_count escapes (fun () ->
-                  Format.asprintf "(%a, %a) -%s-> %s %a: escapes the declared space (%a)"
-                    p.Engine.Protocol.pp a p.Engine.Protocol.pp b
-                    (Format.asprintf "%a" pp_trace trace)
-                    tag p.Engine.Protocol.pp out p.Engine.Protocol.pp out));
-          List.iter
-            (fun inv ->
-              if not (inv.Engine.Enumerable.holds out) then
-                record violation_count violations (fun () ->
-                    Format.asprintf "invariant %S broken by (%a, %a) -> %s %a (%a)"
-                      inv.Engine.Enumerable.iname p.Engine.Protocol.pp a p.Engine.Protocol.pp b
-                      tag p.Engine.Protocol.pp out pp_trace trace))
-            e.Engine.Enumerable.invariants
-        in
-        side "initiator" a';
-        side "responder" b')
-      outs
-  done;
-  {
-    outcomes = !outcomes;
-    escapes = List.rev !escapes;
-    escape_count = !escape_count;
-    violations = List.rev !violations;
-    violation_count = !violation_count;
-  }
-
-let cap_concat lists = List.filteri (fun i _ -> i < Report.max_findings) (List.concat lists)
+(* The scan itself lives in [Relation] so the model checker can reuse the
+   same enumeration; this module keeps the two-stage closure/lint surface. *)
 
 let run ~pool (e : _ Engine.Enumerable.t) space =
-  let s = Statespace.size space in
-  (* Declared states must satisfy the invariants themselves: a transition
-     output equal to a declared state is otherwise vacuously fine. *)
-  let base_violations =
-    List.concat_map
-      (fun inv ->
-        List.filter_map
-          (fun st ->
-            if inv.Engine.Enumerable.holds st then None
-            else
-              Some
-                (Format.asprintf "invariant %S broken by declared state %a"
-                   inv.Engine.Enumerable.iname e.Engine.Enumerable.protocol.Engine.Protocol.pp st))
-          e.Engine.Enumerable.states)
-      e.Engine.Enumerable.invariants
-  in
-  let rows = Engine.Pool.init pool s (scan_row e space) in
-  let rows = Array.to_list rows in
-  let outcomes = List.fold_left (fun acc r -> acc + r.outcomes) 0 rows in
-  let escape_count = List.fold_left (fun acc r -> acc + r.escape_count) 0 rows in
-  let violation_count =
-    List.length base_violations + List.fold_left (fun acc r -> acc + r.violation_count) 0 rows
-  in
-  let closure_stage =
-    Report.finish
-      ~metrics:
-        [ ("pairs", string_of_int (s * s)); ("outcomes", string_of_int outcomes) ]
-      ~findings:(cap_concat (List.map (fun r -> r.escapes) rows))
-      ~total:escape_count "closure"
-  in
-  let lint_stage =
-    Report.finish
-      ~metrics:[ ("invariants", string_of_int (List.length e.Engine.Enumerable.invariants)) ]
-      ~findings:(cap_concat (base_violations :: List.map (fun r -> r.violations) rows))
-      ~total:violation_count "invariant-lint"
-  in
-  (closure_stage, lint_stage)
+  let r = Relation.scan ~pool ~keep_tables:false e space in
+  (Relation.closure_stage r, Relation.lint_stage r)

@@ -62,15 +62,32 @@ let analyze_enumerable ~pool ~max_configs ~key ~table1 (e : _ Engine.Enumerable.
       }
   | Ok space ->
       let counts = guard "state-count" (fun () -> count_stage ~table1 e space) in
+      (* One pair-outcome scan feeds both the closure/lint stages and the
+         model checker; the Θ(s²) index table is retained only when the
+         model check's budget gate says it will run. *)
+      let mc_gate = Model_check.gate ~max_configs e space in
+      let keep_tables = mc_gate = `Run in
+      let relation =
+        try Ok (Relation.scan ~pool ~keep_tables e space) with exn -> Error exn
+      in
       let closure, lint =
-        try Closure.run ~pool e space
-        with exn ->
-          let findings = [ "exception: " ^ Printexc.to_string exn ] in
-          let failed = Report.finish ~findings ~total:1 in
-          (failed "closure", failed "invariant-lint")
+        match relation with
+        | Ok r -> (Relation.closure_stage r, Relation.lint_stage r)
+        | Error exn ->
+            let findings = [ "exception: " ^ Printexc.to_string exn ] in
+            let failed = Report.finish ~findings ~total:1 in
+            (failed "closure", failed "invariant-lint")
       in
       let silence = guard "silence" (fun () -> Silence_scan.run ~max_configs e space) in
-      let mc = guard "model-check" (fun () -> Model_check.run ~pool ~max_configs e space) in
+      let mc =
+        match (mc_gate, relation) with
+        | `Skip stage, _ -> stage
+        | `Run, Ok r -> guard "model-check" (fun () -> Model_check.check ~pool ~relation:r e space)
+        | `Run, Error exn ->
+            Report.finish
+              ~findings:[ "exception: " ^ Printexc.to_string exn ]
+              ~total:1 "model-check"
+      in
       { base with Report.stages = [ counts; closure; lint; silence; mc ] }
 
 let analyze_entry ~pool ~max_configs ~n (entry : Registry.entry) =

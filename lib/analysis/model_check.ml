@@ -77,70 +77,40 @@ let successors ~states ~pair_rows ~key_to_id idx =
     mults;
   (Array.of_list (List.sort_uniq compare !out), !misses)
 
-let run ~pool ~max_configs (e : _ Engine.Enumerable.t) space =
-  let p = e.Engine.Enumerable.protocol in
-  let n = p.Engine.Protocol.n in
+(* Budget gate, separated from the check so the driver can decide whether
+   the shared pair-outcome relation ({!Relation}) must retain its Θ(s²)
+   index table before running the scan. *)
+let gate ~max_configs (e : _ Engine.Enumerable.t) space =
+  let n = e.Engine.Enumerable.protocol.Engine.Protocol.n in
   let s = Statespace.size space in
   match Configs.count ~states:s ~n with
   | None ->
-      Report.skip ~reason:(Printf.sprintf "configuration count overflows (%d states)" s)
-        "model-check"
+      `Skip
+        (Report.skip ~reason:(Printf.sprintf "configuration count overflows (%d states)" s)
+           "model-check")
   | Some unrestricted when unrestricted > max_configs || not (Configs.keyable ~states:s ~n) ->
-      Report.skip
-        ~reason:
-          (Printf.sprintf "%d configurations exceed budget %d (raise with --max-configs)"
-             unrestricted max_configs)
-        "model-check"
-  | Some _ -> begin
-      (* Pair-outcome table: every (initiator, responder) state pair to its
-         deduplicated possible output index pairs. [None] marks an escape
-         from the declared space — closure's to report in detail, but model
-         checking is only sound without it, so bail out. *)
-      let pair_rows =
-        Engine.Pool.init pool s (fun i ->
-            let a = Statespace.state space i in
-            Array.init s (fun j ->
-                let b = Statespace.state space j in
-                let outs =
-                  Coins.enumerate ~max_draws:e.Engine.Enumerable.max_draws (fun rng ->
-                      p.Engine.Protocol.transition rng a b)
-                in
-                let indexed =
-                  List.map
-                    (fun { Coins.value = a', b'; _ } ->
-                      match (Statespace.index space a', Statespace.index space b') with
-                      | Some i', Some j' -> Some (i', j')
-                      | _ -> None)
-                    outs
-                in
-                if List.mem None indexed then None
-                else Some (List.sort_uniq compare (List.map Option.get indexed))))
-      in
-      let escape = ref None in
-      let pair_rows =
-        Array.mapi
-          (fun i row ->
-            Array.mapi
-              (fun j cell ->
-                match cell with
-                | Some pairs -> pairs
-                | None ->
-                    if !escape = None then
-                      escape :=
-                        Some
-                          (Format.asprintf "(%a, %a)" p.Engine.Protocol.pp
-                             (Statespace.state space i) p.Engine.Protocol.pp
-                             (Statespace.state space j));
-                    [])
-              row)
-          pair_rows
-      in
-      match !escape with
-      | Some pair ->
-          Report.finish
-            ~findings:[ "state-space escape at " ^ pair ^ " (see closure stage)" ]
-            ~total:1 "model-check"
-      | None ->
+      `Skip
+        (Report.skip
+           ~reason:
+             (Printf.sprintf "%d configurations exceed budget %d (raise with --max-configs)"
+                unrestricted max_configs)
+           "model-check")
+  | Some _ -> `Run
+
+let check ~pool ~relation (e : _ Engine.Enumerable.t) space =
+  let p = e.Engine.Enumerable.protocol in
+  let n = p.Engine.Protocol.n in
+  let s = Statespace.size space in
+  (* The pair-outcome table comes from the shared relation scan. An escape
+     from the declared space is closure's to report in detail, but model
+     checking is only sound without it, so bail out. *)
+  match (Relation.escape_pair relation, Relation.tables relation) with
+  | Some pair, _ ->
+      Report.finish
+        ~findings:[ "state-space escape at " ^ pair ^ " (see closure stage)" ]
+        ~total:1 "model-check"
+  | None, None -> invalid_arg "Model_check.check: relation was scanned without keep_tables"
+  | None, Some pair_rows -> begin
           (* Enumerate admissible configurations and intern them by key. *)
           let rev_configs = ref [] and count = ref 0 in
           let key_to_id = Hashtbl.create 1024 in
@@ -241,3 +211,10 @@ let run ~pool ~max_configs (e : _ Engine.Enumerable.t) space =
               ~findings:(List.rev !findings) ~total:!total_findings "model-check"
           end
     end
+
+let run ~pool ~max_configs (e : _ Engine.Enumerable.t) space =
+  match gate ~max_configs e space with
+  | `Skip stage -> stage
+  | `Run ->
+      let relation = Relation.scan ~pool ~keep_tables:true e space in
+      check ~pool ~relation e space

@@ -24,4 +24,17 @@
     lists are built in parallel over the {!Engine.Pool}; Tarjan runs
     sequentially. Budget overruns produce a [Skip], not a failure. *)
 
+val gate :
+  max_configs:int -> 'a Engine.Enumerable.t -> 'a Statespace.t -> [ `Run | `Skip of Report.stage ]
+(** Decide up front whether the configuration space fits the budget. The
+    driver uses this to ask the shared {!Relation} scan to retain its
+    Θ(s²) pair-outcome index table only when the check will actually run. *)
+
+val check :
+  pool:Engine.Pool.t -> relation:'a Relation.t -> 'a Engine.Enumerable.t -> 'a Statespace.t -> Report.stage
+(** Run the check against an already-scanned relation (must have been
+    scanned with [keep_tables:true]; raises [Invalid_argument] otherwise). *)
+
 val run : pool:Engine.Pool.t -> max_configs:int -> 'a Engine.Enumerable.t -> 'a Statespace.t -> Report.stage
+(** [gate] + a fresh relation scan + [check] — for callers that do not
+    share the scan with the closure stage. *)

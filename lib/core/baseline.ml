@@ -42,4 +42,13 @@ let enumerable ~n : state Engine.Enumerable.t =
     ~admissible:(fun config -> Array.exists (fun s -> s = Leader) config)
     ~correct:(Engine.Enumerable.unique_leader protocol)
     ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count:2
-    ~note:"admissible region restricted to configurations with >= 1 leader" ()
+    ~note:"admissible region restricted to configurations with >= 1 leader"
+    ~fields:
+      [
+        {
+          Engine.Enumerable.fname = "role";
+          frange = 2;
+          fget = (function Leader -> 0 | Follower -> 1);
+        };
+      ]
+    ()

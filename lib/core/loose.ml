@@ -55,6 +55,11 @@ let enumerable ~n ~t_max : state Engine.Enumerable.t =
          the holding-time experiments measure how long it persists). *)
     ~expectation:Engine.Enumerable.Loosely_stabilizing
     ~declared_count:(2 * (t_max + 1))
+    ~fields:
+      [
+        { Engine.Enumerable.fname = "leader"; frange = 2; fget = (fun s -> Bool.to_int s.leader) };
+        { Engine.Enumerable.fname = "timer"; frange = t_max + 1; fget = (fun s -> s.timer) };
+      ]
     ()
 
 let all_followers ~n ~t_max = Array.make n { leader = false; timer = t_max }

@@ -176,7 +176,56 @@ let enumerable ?params ~n () : state Engine.Enumerable.t =
       };
     ]
   in
+  (* Field decomposition for the kernel compiler: the kind discriminant
+     plus each record component, with inapplicable components reading 0.
+     The packed product space is much larger than the declared space (all
+     cross-kind counter combinations are junk); dead-code elimination
+     prunes it back down to the declared states. *)
+  let fields =
+    [
+      {
+        Engine.Enumerable.fname = "kind";
+        frange = 3;
+        fget =
+          (function
+          | Reset.Computing (Settled _) -> 0
+          | Reset.Computing (Unsettled _) -> 1
+          | Reset.Resetting _ -> 2);
+      };
+      {
+        Engine.Enumerable.fname = "rank";
+        frange = n + 1;
+        fget = (function Reset.Computing (Settled s) -> s.rank | _ -> 0);
+      };
+      {
+        Engine.Enumerable.fname = "children";
+        frange = 3;
+        fget = (function Reset.Computing (Settled s) -> s.children | _ -> 0);
+      };
+      {
+        Engine.Enumerable.fname = "errorcount";
+        frange = e_max + 1;
+        fget = (function Reset.Computing (Unsettled u) -> u.errorcount | _ -> 0);
+      };
+      {
+        Engine.Enumerable.fname = "resetcount";
+        frange = r_max + 1;
+        fget = (function Reset.Resetting r -> r.Reset.resetcount | _ -> 0);
+      };
+      {
+        Engine.Enumerable.fname = "delaytimer";
+        frange = d_max + 1;
+        fget = (function Reset.Resetting r -> r.Reset.delaytimer | _ -> 0);
+      };
+      {
+        Engine.Enumerable.fname = "leader";
+        frange = 2;
+        fget = (function Reset.Resetting r -> Bool.to_int r.Reset.payload | _ -> 0);
+      };
+    ]
+  in
   Engine.Enumerable.make ~protocol
     ~states:(settleds @ unsettleds @ resettings)
     ~normalize:(normalize ~params) ~invariants
-    ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count:(states ~params ~n) ()
+    ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count:(states ~params ~n) ~fields
+    ()

@@ -79,4 +79,23 @@ let enumerable ?(r_max = default_r_max) ?(d_max = default_d_max) ~n () :
      silent all-Computing one. *)
   Engine.Enumerable.make ~protocol ~states ~normalize:(normalize ~d_max) ~invariants
     ~correct:(fun config -> Array.for_all (fun s -> not (Reset.is_resetting s)) config)
-    ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count ()
+    ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count
+    ~fields:
+      [
+        {
+          Engine.Enumerable.fname = "kind";
+          frange = 2;
+          fget = (function Reset.Computing () -> 0 | Reset.Resetting _ -> 1);
+        };
+        {
+          Engine.Enumerable.fname = "resetcount";
+          frange = r_max + 1;
+          fget = (function Reset.Computing () -> 0 | Reset.Resetting r -> r.Reset.resetcount);
+        };
+        {
+          Engine.Enumerable.fname = "delaytimer";
+          frange = d_max + 1;
+          fget = (function Reset.Computing () -> 0 | Reset.Resetting r -> r.Reset.delaytimer);
+        };
+      ]
+    ()

@@ -27,4 +27,6 @@ let enumerable ~n : state Engine.Enumerable.t =
     ~states:(List.init n Fun.id)
     ~invariants:
       [ { Engine.Enumerable.iname = "rank0-in-0..n-1"; holds = (fun s -> s >= 0 && s < n) } ]
-    ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count:(states ~n) ()
+    ~expectation:Engine.Enumerable.Silent_stabilizing ~declared_count:(states ~n)
+    ~fields:[ { Engine.Enumerable.fname = "rank0"; frange = n; fget = Fun.id } ]
+    ()

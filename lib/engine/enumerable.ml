@@ -1,5 +1,7 @@
 type 'a invariant = { iname : string; holds : 'a -> bool }
 
+type 'a field = { fname : string; frange : int; fget : 'a -> int }
+
 type expectation = Silent_stabilizing | Stabilizing | Loosely_stabilizing
 
 type 'a t = {
@@ -13,6 +15,7 @@ type 'a t = {
   max_draws : int;
   declared_count : int option;
   note : string option;
+  fields : 'a field list;
 }
 
 let ranking_correct (p : 'a Protocol.t) config =
@@ -36,7 +39,7 @@ let unique_leader (p : 'a Protocol.t) config =
 
 let make ~protocol ~states ?(normalize = Fun.id) ?(invariants = [])
     ?(admissible = fun _ -> true) ?correct ?(expectation = Silent_stabilizing)
-    ?(max_draws = 0) ?declared_count ?note () =
+    ?(max_draws = 0) ?declared_count ?note ?(fields = []) () =
   let correct = match correct with Some f -> f | None -> ranking_correct protocol in
   {
     protocol;
@@ -49,6 +52,7 @@ let make ~protocol ~states ?(normalize = Fun.id) ?(invariants = [])
     max_draws;
     declared_count;
     note;
+    fields;
   }
 
 let pp_expectation fmt = function

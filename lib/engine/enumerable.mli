@@ -18,6 +18,15 @@ type 'a invariant = {
   holds : 'a -> bool;
 }
 
+(** One observable integer component of a state, for compilation to packed
+    int codes (see [lib/ir]). A declaration [{ fname; frange; fget }]
+    promises [0 <= fget s < frange] for every declared state [s], and that
+    the tuple of all declared fields is injective over the declared state
+    space — the IR layer validates both and falls back to a synthetic
+    index field otherwise. Components that do not apply to a state (e.g.
+    [errorcount] of a settled agent) conventionally read 0. *)
+type 'a field = { fname : string; frange : int; fget : 'a -> int }
+
 (** What the protocol promises about the bottom strongly-connected
     components of its configuration graph (equivalently, about the
     long-run behaviour of the scheduler's Markov chain from {e any}
@@ -64,6 +73,9 @@ type 'a t = {
           (Table 1 column), cross-checked against [List.length states] *)
   note : string option;
       (** provenance note, e.g. "reduced exact-analysis parameters" *)
+  fields : 'a field list;
+      (** state decomposition used by the [lib/ir] kernel compiler for
+          mixed-radix packing; empty means "pack by declared-state index" *)
 }
 
 val ranking_correct : 'a Protocol.t -> 'a array -> bool
@@ -84,10 +96,12 @@ val make :
   ?max_draws:int ->
   ?declared_count:int ->
   ?note:string ->
+  ?fields:'a field list ->
   unit ->
   'a t
 (** Defaults: [normalize] is the identity, [invariants] empty, every
     configuration admissible, [correct] is {!ranking_correct},
-    [expectation] is [Silent_stabilizing], [max_draws] 0. *)
+    [expectation] is [Silent_stabilizing], [max_draws] 0, [fields]
+    empty. *)
 
 val pp_expectation : Format.formatter -> expectation -> unit

@@ -1,0 +1,95 @@
+(** Protocol intermediate representation.
+
+    An ['a Repr.t] (surfaced as [Ir.t]) describes a protocol's finite
+    state space as a vector of bounded integer {e fields} together with
+    its transition relation, derived from an {!Engine.Enumerable}
+    descriptor. It is the unit of work of the pass pipeline ({!Passes}):
+
+    - {b pack} assigns every declared state a single int code by
+      mixed-radix packing of its field values;
+    - {b dead-code elimination} removes the junk codes of the packed
+      product space (field combinations no declared — hence, by the
+      closure analysis, no reachable — state occupies), renumbering the
+      survivors densely, reusing {!Analysis.Statespace} as the ground
+      truth for liveness;
+    - {b memoize} tabulates the transition over all code pairs for small
+      state spaces.
+
+    The record is deliberately {e transparent}: passes are plain functions
+    that pattern-match and rebuild it, and tests can assert on any
+    intermediate stage. Mutating the arrays voids the warranty. *)
+
+type field = { fname : string; frange : int }
+(** A field declaration as the IR sees it: values in [0, frange). *)
+
+type lookup = Dense of int array | Sparse of (int, int) Hashtbl.t
+(** Code -> declared-state-index map. [Sparse] after packing (the product
+    space may be astronomically larger than the declared space); [Dense]
+    after dead-code elimination (codes are exactly [0..size-1]). *)
+
+type table = { out_i : int array; out_j : int array }
+(** Memoized transition: cell [ci * m + cj] holds the output codes, or
+    [-1] in [out_i] when the pair is dynamic (draws randomness) and must
+    fall back to the interpreted transition. *)
+
+exception Escape of string
+(** A state outside the declared space crossed the kernel boundary. *)
+
+type 'a t = {
+  enumerable : 'a Engine.Enumerable.t;
+  space : 'a Analysis.Statespace.t;  (** interned declared state space *)
+  fields : field list;
+  getters : ('a -> int) list;  (** one per field, same order *)
+  synthesized : string option;
+      (** [Some reason] when the declared fields were unusable (or absent)
+          and a single declared-state-index field was synthesized *)
+  packed_codes : int;  (** product of field ranges *)
+  code_of_index : int array option;  (** set by the pack pass *)
+  index_of_code : lookup option;  (** set by pack, densified by DSE *)
+  table : table option;  (** set by the memoize pass *)
+  static_pairs : int;
+  dynamic_pairs : int;
+  exact : bool option;
+      (** Known after memoization. [Some true] iff every static transition
+          output is [protocol.equal] to its declared representative — then
+          decode/encode is the identity on every trajectory and a compiled
+          run is bit-identical to the interpreted one on either engine.
+          [Some false]: outputs are normalized on encode (the kernel runs
+          the bisimulation quotient): observables agree, same-seed raw
+          state sequences need not. *)
+  log : string list;  (** pass provenance, newest first *)
+}
+
+val of_enumerable : 'a Engine.Enumerable.t -> 'a t
+(** Derive the IR. Declared fields are validated — every range positive,
+    the product representable, every declared state in range, the field
+    vector injective over the declared space — and replaced by a synthetic
+    state-index field (with the reason logged and recorded in
+    [synthesized]) if anything fails, so derivation itself never raises
+    for a descriptor {!Analysis.Statespace} accepts. *)
+
+val size : 'a t -> int
+(** Number of declared states (= live codes after DSE). *)
+
+val name : 'a t -> string
+
+val encode_opt : 'a t -> 'a -> int option
+(** Code of a state ([Engine.Enumerable] normalization applied), [None]
+    when outside the declared space. Requires a packed IR. *)
+
+val encode : 'a t -> 'a -> int
+(** Like {!encode_opt} but raises {!Escape} with a diagnostic. *)
+
+val decode : 'a t -> int -> 'a
+(** Declared state of a live code. *)
+
+val logged : 'a t -> string -> 'a t
+(** Append a provenance line. *)
+
+val pack_code : 'a t -> 'a -> int
+(** Mixed-radix code of a state's field vector (no liveness check). *)
+
+val pp : Format.formatter -> 'a t -> unit
+(** Stable, reviewable dump: fields, code-space counts, transition-pair
+    classification, pass log, and (for spaces of at most 64 states) the
+    full code -> state map. The golden tests pin this output. *)

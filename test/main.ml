@@ -18,4 +18,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
+      ("ir", Test_ir.suite);
     ]
