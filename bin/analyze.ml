@@ -5,7 +5,8 @@
      analyze --list
      analyze --protocol all --n 3 --n 4 --report json
      analyze -p optimal_silent_small -p reset --n 4 --jobs 4
-     analyze -p sublinear --n 2 --max-configs 1000000 *)
+     analyze -p sublinear --n 2 --max-configs 1000000
+     analyze --certify --certify-dir certificates *)
 
 let list_entries () =
   List.iter
@@ -40,7 +41,45 @@ let dump_ir ~key ~n =
           Format.printf "%a@." Ir.pp (Ir.Passes.pipeline e);
           0)
 
-let main protocols ns report_format jobs max_configs list dump =
+(* --certify: run the symbolic certifier on every analyzed instance,
+   append its verdict as a [certify] stage and write one JSON certificate
+   per instance under --certify-dir. A certification or write failure on
+   one instance is that instance's failed stage; the rest still run. *)
+let certify_reports ~dir ~entries ~ns reports =
+  let instances = List.concat_map (fun entry -> List.map (fun n -> (entry, n)) ns) entries in
+  (match Sys.file_exists dir with
+  | true -> ()
+  | false -> ( try Sys.mkdir dir 0o755 with Sys_error _ -> ()));
+  List.map2
+    (fun (entry, n) (report : Analysis.Report.t) ->
+      let { Certify.Driver.stage; certificate } = Certify.Driver.certify_entry ~n ~report entry in
+      let stages =
+        match certificate with
+        | None -> [ stage ]
+        | Some cert -> (
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "cert_%s_n%d.json" entry.Analysis.Registry.key n)
+            in
+            match
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc (Certify.Certificate.to_string cert ^ "\n"))
+            with
+            | () -> [ stage ]
+            | exception Sys_error msg ->
+                [
+                  stage;
+                  Analysis.Report.finish
+                    ~findings:[ Printf.sprintf "cannot write %s: %s" path msg ]
+                    ~total:1 "certify-io";
+                ])
+      in
+      { report with Analysis.Report.stages = report.Analysis.Report.stages @ stages })
+    instances reports
+
+let main protocols ns report_format jobs max_configs list dump certify certify_dir =
   if list then list_entries ()
   else begin
     let jobs = match jobs with Some j -> j | None -> Engine.Pool.default_jobs () in
@@ -68,6 +107,9 @@ let main protocols ns report_format jobs max_configs list dump =
         let reports =
           Engine.Pool.with_pool ~jobs (fun pool ->
               Analysis.Driver.analyze_all ~pool ~max_configs ~ns entries)
+        in
+        let reports =
+          if certify then certify_reports ~dir:certify_dir ~entries ~ns reports else reports
         in
         (match report_format with
         | "json" -> print_endline (Analysis.Report.list_to_json reports)
@@ -123,13 +165,25 @@ let dump_ir_arg =
   in
   Arg.(value & opt (some string) None & info [ "dump-ir" ] ~docv:"NAME" ~doc)
 
+let certify_arg =
+  let doc =
+    "Run the symbolic certifier (interval+parity abstract interpretation, inductive \
+     invariants, lexicographic ranking synthesis) on every analyzed instance and write one \
+     schema-versioned JSON certificate per instance under $(b,--certify-dir)."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let certify_dir_arg =
+  let doc = "Output directory for $(b,--certify) JSON certificates." in
+  Arg.(value & opt string "certificates" & info [ "certify-dir" ] ~docv:"DIR" ~doc)
+
 let cmd =
   let doc = "statically analyze the population-protocol catalogue" in
   let info = Cmd.info "analyze" ~version:"1.0" ~doc in
   Cmd.v info
     Term.(
       const main $ protocols_arg $ ns_arg $ report_arg $ jobs_arg $ max_configs_arg $ list_arg
-      $ dump_ir_arg)
+      $ dump_ir_arg $ certify_arg $ certify_dir_arg)
 
 (* cmdliner only recognizes single-character names as short options, but
    the documented interface is "--n 4"; accept both spellings. *)

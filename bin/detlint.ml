@@ -1,0 +1,175 @@
+(* detlint: determinism lint over lib/ and bin/.
+
+   The engine's contract is bit-identical results for a given PRNG root
+   at any --jobs; the classic ways to break that are direct Stdlib
+   Random use (bypassing lib/prng), Hashtbl iteration order feeding
+   output, and wall-clock reads on result paths. This tool scans every
+   .ml file under lib/ and bin/ for those tokens and fails on any
+   occurrence not covered by the allowlist file (detlint.allow at the
+   repository root), where every audited exception carries its
+   justification. Stale allowlist entries fail too, so the file cannot
+   rot.
+
+   Exit codes: 0 clean, 1 findings or stale entries, 2 malformed
+   allowlist or usage error. *)
+
+(* Tokens are built by concatenation so this file does not flag itself. *)
+let tokens =
+  [
+    ("Random" ^ ".", "Stdlib Random bypasses lib/prng's deterministic streams");
+    ("Hashtbl" ^ ".iter", "Hashtbl iteration order is seed-dependent");
+    ("Hashtbl" ^ ".fold", "Hashtbl fold order is seed-dependent");
+    ("Unix" ^ ".gettimeofday", "wall-clock read");
+    ("Unix" ^ ".time", "wall-clock read");
+    ("Sys" ^ ".time", "cpu-clock read");
+  ]
+
+(* lib/prng wraps Random behind splittable deterministic streams — the
+   one legitimate home for it. *)
+let exempt_dirs = [ "lib/prng" ]
+
+let roots = [ "lib"; "bin" ]
+
+let contains ~token line =
+  let n = String.length line and k = String.length token in
+  let rec go i = i + k <= n && (String.sub line i k = token || go (i + 1)) in
+  k > 0 && go 0
+
+let ml_files () =
+  let rec walk acc dir =
+    Array.fold_left
+      (fun acc name ->
+        let path = Filename.concat dir name in
+        if Sys.is_directory path then walk acc path
+        else if Filename.check_suffix name ".ml" then path :: acc
+        else acc)
+      acc
+      (Sys.readdir dir)
+  in
+  List.sort compare (List.fold_left walk [] roots)
+
+type finding = { path : string; token : string; line : int }
+
+let scan_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let findings = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           List.iter
+             (fun (token, _) ->
+               if contains ~token line then
+                 findings := { path; token; line = !lineno } :: !findings)
+             tokens
+         done
+       with End_of_file -> ());
+      List.rev !findings)
+
+(* detlint.allow lines: "<path> <token> -- <justification>". Blank lines
+   and #-comments are skipped. A missing justification is a malformed
+   file (exit 2): an unexplained exception defeats the audit. *)
+type allow = { a_path : string; a_token : string; justification : string }
+
+let parse_allowlist file =
+  if not (Sys.file_exists file) then Ok []
+  else begin
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let entries = ref [] and errors = ref [] in
+        let lineno = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr lineno;
+             let line = String.trim line in
+             if line <> "" && line.[0] <> '#' then begin
+               match String.index_opt line ' ' with
+               | None -> errors := Printf.sprintf "line %d: expected \"path token -- justification\"" !lineno :: !errors
+               | Some sp -> (
+                   let a_path = String.sub line 0 sp in
+                   let rest = String.trim (String.sub line (sp + 1) (String.length line - sp - 1)) in
+                   let sep = " -- " in
+                   let rec find_sep i =
+                     if i + String.length sep > String.length rest then None
+                     else if String.sub rest i (String.length sep) = sep then Some i
+                     else find_sep (i + 1)
+                   in
+                   match find_sep 0 with
+                   | None ->
+                       errors :=
+                         Printf.sprintf "line %d: missing \" -- justification\"" !lineno
+                         :: !errors
+                   | Some i ->
+                       let a_token = String.trim (String.sub rest 0 i) in
+                       let justification =
+                         String.trim
+                           (String.sub rest (i + String.length sep)
+                              (String.length rest - i - String.length sep))
+                       in
+                       if a_token = "" || justification = "" then
+                         errors :=
+                           Printf.sprintf "line %d: empty token or justification" !lineno
+                           :: !errors
+                       else entries := { a_path; a_token; justification } :: !entries)
+             end
+           done
+         with End_of_file -> ());
+        if !errors <> [] then Error (List.rev !errors) else Ok (List.rev !entries))
+  end
+
+let () =
+  let allow_file = "detlint.allow" in
+  match parse_allowlist allow_file with
+  | Error errors ->
+      List.iter (fun e -> Printf.eprintf "detlint: %s: %s\n" allow_file e) errors;
+      exit 2
+  | Ok allows ->
+      let exempt path =
+        List.exists
+          (fun d ->
+            let d = d ^ "/" in
+            String.length path >= String.length d && String.sub path 0 (String.length d) = d)
+          exempt_dirs
+      in
+      let findings =
+        List.concat_map (fun f -> if exempt f then [] else scan_file f) (ml_files ())
+      in
+      let allowed f =
+        List.find_opt
+          (fun a -> String.equal a.a_path f.path && String.equal a.a_token f.token)
+          allows
+      in
+      let violations = List.filter (fun f -> allowed f = None) findings in
+      let stale =
+        List.filter
+          (fun a ->
+            not
+              (List.exists
+                 (fun f -> String.equal a.a_path f.path && String.equal a.a_token f.token)
+                 findings))
+          allows
+      in
+      List.iter
+        (fun f ->
+          Printf.printf "%s:%d: %s (%s)\n" f.path f.line f.token
+            (List.assoc f.token tokens))
+        violations;
+      List.iter
+        (fun a ->
+          Printf.printf "%s: stale allowlist entry: %s %s (no longer matches)\n" allow_file
+            a.a_path a.a_token)
+        stale;
+      if violations = [] && stale = [] then begin
+        Printf.printf "detlint: %d file(s) clean (%d audited exception(s))\n"
+          (List.length (ml_files ()))
+          (List.length allows);
+        exit 0
+      end
+      else exit 1

@@ -65,7 +65,17 @@ let analyze_enumerable ~pool ~max_configs ~key ~table1 (e : _ Engine.Enumerable.
       (* One pair-outcome scan feeds both the closure/lint stages and the
          model checker; the Θ(s²) index table is retained only when the
          model check's budget gate says it will run. *)
-      let mc_gate = Model_check.gate ~max_configs e space in
+      (* The gate itself can raise (combinatorics overflow on huge spaces);
+         treat that as a failed model-check stage, not a crashed run, so the
+         remaining instances still get analyzed. *)
+      let mc_gate =
+        try Model_check.gate ~max_configs e space
+        with exn ->
+          `Skip
+            (Report.finish
+               ~findings:[ "exception: " ^ Printexc.to_string exn ]
+               ~total:1 "model-check")
+      in
       let keep_tables = mc_gate = `Run in
       let relation =
         try Ok (Relation.scan ~pool ~keep_tables e space) with exn -> Error exn

@@ -62,6 +62,15 @@ let entries =
       table1 = false;
       build = (fun ~n -> Any (Core.Reset_probe.enumerable ~n ()));
     };
+    {
+      key = "reset_production";
+      summary = "Propagate-Reset overlay at production counter scale (symbolic-only)";
+      table1 = false;
+      (* R_max = 60 ceil(ln n), D_max = 8 n at the n = 50 deployment point:
+         642 states — far past the model checker's configuration budget at
+         any n, so stabilization rests on the symbolic certificate. *)
+      build = (fun ~n -> Any (Core.Reset_probe.enumerable ~r_max:240 ~d_max:400 ~n ()));
+    };
   ]
 
 let keys () = List.map (fun e -> e.key) entries

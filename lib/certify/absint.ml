@@ -1,0 +1,106 @@
+type field_hull = {
+  fname : string;
+  declared : Domain.t;
+  outputs : Domain.t;
+  eventual : Domain.t;
+}
+
+type t = {
+  fields : field_hull list;
+  range_sound : bool;
+  transient_states : int;
+  core_states : int;
+  rounds : int;
+  core_productive_pairs : int;
+  eventually_silent : bool;
+}
+
+let hull_of_codes vecs k codes =
+  Array.init k (fun f ->
+      List.fold_left (fun acc c -> Domain.join acc (Domain.of_int vecs.(c).(f))) Domain.bot codes)
+
+let run ir (trans : Trans.t) =
+  let size = trans.Trans.size in
+  let fields = ir.Ir.fields in
+  let k = List.length fields in
+  let vecs = Array.init size (fun c -> Ir.field_vec ir c) in
+  (* Output hull per field, over every outcome of every pair. *)
+  let out_hull = Array.make k Domain.bot in
+  let mark_out c =
+    let v = vecs.(c) in
+    for f = 0 to k - 1 do
+      out_hull.(f) <- Domain.join out_hull.(f) (Domain.of_int v.(f))
+    done
+  in
+  Array.iter
+    (fun e -> List.iter (fun (oi, oj) -> mark_out oi; mark_out oj) e.Trans.outs)
+    trans.Trans.edges;
+  (* Narrowing to the eventual core: O_0 = all codes, O_{k+1} = the codes
+     produced by pairs drawn from O_k (null pairs reproduce their inputs,
+     so the sequence is decreasing). Live edges are compacted as the core
+     shrinks, keeping each round proportional to |O_k|². *)
+  let in_core = Array.make size true in
+  let live = Array.copy trans.Trans.edges in
+  let live_n = ref (Array.length live) in
+  let transient_states = ref 0 in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr rounds;
+    let produced = Array.make size false in
+    let i = ref 0 in
+    while !i < !live_n do
+      let e = live.(!i) in
+      if in_core.(e.Trans.ci) && in_core.(e.Trans.cj) then begin
+        List.iter
+          (fun (oi, oj) ->
+            produced.(oi) <- true;
+            produced.(oj) <- true)
+          e.Trans.outs;
+        incr i
+      end
+      else begin
+        decr live_n;
+        live.(!i) <- live.(!live_n)
+      end
+    done;
+    changed := false;
+    for c = 0 to size - 1 do
+      if in_core.(c) && not produced.(c) then begin
+        in_core.(c) <- false;
+        changed := true
+      end
+    done;
+    if !rounds = 1 then
+      transient_states := size - Array.fold_left (fun acc p -> if p then acc + 1 else acc) 0 produced
+  done;
+  let core = ref [] in
+  for c = size - 1 downto 0 do
+    if in_core.(c) then core := c :: !core
+  done;
+  let core_productive_pairs = ref 0 in
+  Array.iter
+    (fun e ->
+      if in_core.(e.Trans.ci) && in_core.(e.Trans.cj) && Trans.productive e then
+        incr core_productive_pairs)
+    trans.Trans.edges;
+  let eventual = hull_of_codes vecs k !core in
+  let range_sound = ref (trans.Trans.escape_count = 0) in
+  let field_hulls =
+    List.mapi
+      (fun f (fd : Ir.field) ->
+        let declared = Domain.interval ~lo:0 ~hi:(fd.Ir.frange - 1) in
+        let outputs = out_hull.(f) in
+        if not (Domain.leq outputs declared) then range_sound := false;
+        { fname = fd.Ir.fname; declared; outputs; eventual = eventual.(f) })
+      fields
+  in
+  {
+    fields = field_hulls;
+    range_sound = !range_sound;
+    transient_states = !transient_states;
+    core_states = List.length !core;
+    rounds = !rounds;
+    core_productive_pairs = !core_productive_pairs;
+    eventually_silent = !core_productive_pairs = 0;
+  }

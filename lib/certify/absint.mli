@@ -1,0 +1,40 @@
+(** Interval + parity abstract interpretation over the symbolic
+    transition relation.
+
+    Three hulls per field, each valid for {e every} population size [n]
+    sharing the state space (pairwise transitions are n-independent):
+
+    - [declared]: the field's declared range [0..frange-1];
+    - [outputs]: the hull of the field over every transition output —
+      [outputs <= declared] plus an empty escape list is {e range
+      soundness}: no interaction ever pushes a field out of range;
+    - [eventual]: the hull over the {e eventual core}, the greatest set
+      [O] of codes with [outputs(O x O) = O], computed by narrowing from
+      the full code set. Under the uniform scheduler every agent
+      interacts infinitely often almost surely, so every state outside
+      [outputs(S x S)] is transient and, inductively, every agent is
+      eventually inside the core with probability 1.
+
+    [eventually_silent] holds when no pair inside the core is productive
+    — then the protocol is almost surely eventually silent from every
+    configuration at every [n], a claim the concrete model checker can
+    only spot-check at enumerable sizes. *)
+
+type field_hull = {
+  fname : string;
+  declared : Domain.t;
+  outputs : Domain.t;
+  eventual : Domain.t;
+}
+
+type t = {
+  fields : field_hull list;
+  range_sound : bool;  (** no escapes and every output hull within declared *)
+  transient_states : int;  (** codes never produced by any interaction *)
+  core_states : int;
+  rounds : int;  (** narrowing iterations to reach the fixpoint *)
+  core_productive_pairs : int;  (** productive pairs with both ends in the core *)
+  eventually_silent : bool;  (** [core_productive_pairs = 0] *)
+}
+
+val run : 'a Ir.t -> Trans.t -> t

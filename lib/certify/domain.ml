@@ -1,0 +1,85 @@
+type parity = Even | Odd | Either
+
+type t = Bot | Range of { lo : int; hi : int; parity : parity }
+
+let bot = Bot
+let is_bot = function Bot -> true | Range _ -> false
+
+let parity_of_int v = if v land 1 = 0 then Even else Odd
+
+let of_int v = Range { lo = v; hi = v; parity = parity_of_int v }
+
+let interval ~lo ~hi =
+  if lo > hi then Bot
+  else if lo = hi then of_int lo
+  else Range { lo; hi; parity = Either }
+
+let join_parity a b =
+  match (a, b) with
+  | Even, Even -> Even
+  | Odd, Odd -> Odd
+  | Even, Odd | Odd, Even | Either, _ | _, Either -> Either
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Range a, Range b ->
+      Range { lo = min a.lo b.lo; hi = max a.hi b.hi; parity = join_parity a.parity b.parity }
+
+let mem v = function
+  | Bot -> false
+  | Range { lo; hi; parity } -> (
+      v >= lo && v <= hi
+      && match parity with Either -> true | Even | Odd -> parity_of_int v = parity)
+
+let parity_leq a b =
+  match (a, b) with Even, Even | Odd, Odd | _, Either -> true | _, (Even | Odd) -> false
+
+let leq a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | Range _, Bot -> false
+  | Range a, Range b -> a.lo >= b.lo && a.hi <= b.hi && parity_leq a.parity b.parity
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Range a, Range b -> a.lo = b.lo && a.hi = b.hi && a.parity = b.parity
+  | Bot, Range _ | Range _, Bot -> false
+
+let string_of_parity = function Even -> "even" | Odd -> "odd" | Either -> "either"
+
+let to_json = function
+  | Bot -> Telemetry.Json.Null
+  | Range { lo; hi; parity } ->
+      Telemetry.Json.Obj
+        [
+          ("lo", Telemetry.Json.Int lo);
+          ("hi", Telemetry.Json.Int hi);
+          ("parity", Telemetry.Json.String (string_of_parity parity));
+        ]
+
+let of_json j =
+  let open Telemetry.Json in
+  match j with
+  | Null -> Ok Bot
+  | Obj _ -> (
+      match
+        ( Option.bind (member "lo" j) to_int,
+          Option.bind (member "hi" j) to_int,
+          Option.bind (member "parity" j) to_string_opt )
+      with
+      | Some lo, Some hi, Some p -> (
+          match p with
+          | "even" -> Ok (Range { lo; hi; parity = Even })
+          | "odd" -> Ok (Range { lo; hi; parity = Odd })
+          | "either" -> Ok (Range { lo; hi; parity = Either })
+          | other -> Error (Printf.sprintf "domain: unknown parity %S" other))
+      | _ -> Error "domain: range object needs int lo, int hi, string parity")
+  | _ -> Error "domain: expected null or object"
+
+let pp fmt = function
+  | Bot -> Format.pp_print_string fmt "bot"
+  | Range { lo; hi; parity } ->
+      Format.fprintf fmt "[%d..%d]%s" lo hi
+        (match parity with Even -> " even" | Odd -> " odd" | Either -> "")

@@ -1,0 +1,42 @@
+(** Interval × parity abstract domain over a single packed field.
+
+    The certifier abstracts every field of the IR by the product of the
+    classic interval lattice and the three-point parity lattice: an
+    element either is [Bot] (no value seen) or constrains a value [v] to
+    [lo <= v <= hi] with [v mod 2] matching [parity]. The product is
+    cheap, exact on the hulls the certifier needs (declared range,
+    output range, eventual-core range), and the parity component catches
+    off-by-one packing bugs intervals alone cannot (a field stepping by
+    2 that claims a dense range). *)
+
+type parity = Even | Odd | Either
+
+type t = Bot | Range of { lo : int; hi : int; parity : parity }
+
+val bot : t
+val is_bot : t -> bool
+
+val of_int : int -> t
+(** The singleton abstraction of one concrete value. *)
+
+val interval : lo:int -> hi:int -> t
+(** The full interval [lo..hi] (parity [Either] unless [lo = hi]);
+    [Bot] when [lo > hi]. *)
+
+val join : t -> t -> t
+val mem : int -> t -> bool
+
+val leq : t -> t -> bool
+(** Lattice order: [leq a b] iff every concretization of [a] is one of
+    [b]. *)
+
+val equal : t -> t -> bool
+
+val to_json : t -> Telemetry.Json.t
+(** [Bot] encodes as [null]; a range as
+    [{"lo": int, "hi": int, "parity": "even"|"odd"|"either"}]. *)
+
+val of_json : Telemetry.Json.t -> (t, string) result
+(** Strict inverse of {!to_json}. *)
+
+val pp : Format.formatter -> t -> unit

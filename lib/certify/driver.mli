@@ -1,0 +1,23 @@
+(** Certification driver: IR lowering, symbolic passes, cross-validation
+    against the concrete analyzer, verdict.
+
+    Mirrors {!Analysis.Driver}'s no-fail-fast contract: every exception
+    — descriptor build, IR lowering, any symbolic pass — becomes a
+    failed [certify] stage on that one instance, never a crashed run, so
+    one broken instance cannot mask the others' results. *)
+
+type outcome = {
+  stage : Analysis.Report.stage;
+      (** appended to the instance's report; [Fail] only when the
+          certificate verdict is [Failed] (or certification crashed) *)
+  certificate : Certificate.t option;  (** [None] when certification crashed *)
+}
+
+val certify_enumerable :
+  key:string -> report:Analysis.Report.t -> 'a Engine.Enumerable.t -> outcome
+(** Certify one instance against its concrete report (the cross-checks
+    read the report's stage verdicts). *)
+
+val certify_entry : n:int -> report:Analysis.Report.t -> Analysis.Registry.entry -> outcome
+(** Rebuild the entry's descriptor at [n] and certify; build failures
+    become a failed stage. *)

@@ -1,0 +1,179 @@
+type atom = { field : string; descending : bool }
+
+type status =
+  | Found of atom list
+  | Not_found of string
+  | Skipped of string
+
+type t = { status : status; candidates : int; productive_pairs : int }
+
+(* Strict lexicographic order on field tuples under the candidate's
+   (index, polarity) list. *)
+let lex_less resolved va vb =
+  let rec go = function
+    | [] -> false
+    | (i, descending) :: rest ->
+        let a = va.(i) and b = vb.(i) in
+        if a = b then go rest else if descending then a > b else a < b
+  in
+  go resolved
+
+(* One obligation: does outcome (oi, oj) of edge (ci, cj) strictly
+   Dershowitz–Manna-decrease the configuration multiset? The multisets
+   differ in at most two elements; cancel common ones, then every added
+   tuple needs a strictly greater removed one. *)
+let dm_decreases resolved vecs ci cj oi oj =
+  let removed, added =
+    if oi = ci then ([ cj ], [ oj ])
+    else if oi = cj then ([ ci ], [ oj ])
+    else if oj = ci then ([ cj ], [ oi ])
+    else if oj = cj then ([ ci ], [ oi ])
+    else ([ ci; cj ], [ oi; oj ])
+  in
+  List.for_all
+    (fun a -> List.exists (fun r -> lex_less resolved vecs.(a) vecs.(r)) removed)
+    added
+
+let check_candidate resolved vecs (trans : Trans.t) =
+  let failure = ref None in
+  (try
+     Array.iter
+       (fun e ->
+         List.iter
+           (fun (oi, oj) ->
+             if Trans.productive_out e (oi, oj)
+                && not (dm_decreases resolved vecs e.Trans.ci e.Trans.cj oi oj)
+             then begin
+               failure := Some (e.Trans.ci, e.Trans.cj, oi, oj);
+               raise Exit
+             end)
+           e.Trans.outs)
+       trans.Trans.edges
+   with Exit -> ());
+  !failure
+
+let resolve ~fields atoms =
+  List.map (fun a -> (Expr.field_index ~fields a.field, a.descending)) atoms
+
+let pp_failure ir fmt (ci, cj, oi, oj) =
+  let p = ir.Ir.enumerable.Engine.Enumerable.protocol in
+  let st = Ir.decode ir in
+  Format.fprintf fmt "(%a, %a) -> (%a, %a)" p.Engine.Protocol.pp (st ci) p.Engine.Protocol.pp
+    (st cj) p.Engine.Protocol.pp (st oi) p.Engine.Protocol.pp (st oj)
+
+let validate ir trans atoms =
+  let fields = Ir.field_names ir in
+  match resolve ~fields atoms with
+  | exception Expr.Unknown_field name ->
+      Error (Printf.sprintf "ranking field %S not in the IR" name)
+  | resolved -> (
+      let vecs = Array.init trans.Trans.size (fun c -> Ir.field_vec ir c) in
+      match check_candidate resolved vecs trans with
+      | None -> Ok ()
+      | Some failure ->
+          Error
+            (Format.asprintf "productive outcome does not decrease: %a" (pp_failure ir)
+               failure))
+
+(* All permutations of [l], the identity permutation first, in a stable
+   deterministic order. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun (i, x) ->
+          let rest = List.filteri (fun j _ -> j <> i) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        (List.mapi (fun i x -> (i, x)) l)
+
+let candidates fields =
+  let k = List.length fields in
+  let orders =
+    if k <= 5 then permutations fields
+    else [ fields; List.rev fields ]
+  in
+  (* Polarity mask bit f flips field f of the order; mask 0 (all
+     ascending) first so the reported witness and the found candidate
+     are stable. *)
+  List.concat_map
+    (fun order ->
+      List.init (1 lsl k) (fun mask ->
+          List.mapi (fun f field -> { field; descending = mask land (1 lsl f) <> 0 }) order))
+    orders
+
+let synthesize ir (trans : Trans.t) =
+  let e = ir.Ir.enumerable in
+  let productive_pairs = trans.Trans.productive_pairs in
+  if e.Engine.Enumerable.expectation <> Engine.Enumerable.Silent_stabilizing then
+    {
+      status =
+        Skipped
+          (Format.asprintf "expectation %a is not silent-stabilizing"
+             Engine.Enumerable.pp_expectation e.Engine.Enumerable.expectation);
+      candidates = 0;
+      productive_pairs;
+    }
+  else if trans.Trans.escape_count > 0 then
+    {
+      status = Skipped "transition relation has escapes; ranking would be unsound";
+      candidates = 0;
+      productive_pairs;
+    }
+  else begin
+    let fields = Ir.field_names ir in
+    let vecs = Array.init trans.Trans.size (fun c -> Ir.field_vec ir c) in
+    let tried = ref 0 in
+    let first_witness = ref None in
+    let rec search = function
+      | [] -> None
+      | atoms :: rest -> (
+          incr tried;
+          let resolved = resolve ~fields atoms in
+          match check_candidate resolved vecs trans with
+          | None -> Some atoms
+          | Some failure ->
+              if !first_witness = None then first_witness := Some failure;
+              search rest)
+    in
+    let status =
+      match search (candidates fields) with
+      | Some atoms -> Found atoms
+      | None ->
+          Not_found
+            (match !first_witness with
+            | Some failure ->
+                Format.asprintf
+                  "no candidate decreases every productive outcome; declared order fails on %a"
+                  (pp_failure ir) failure
+            | None -> "no candidate fields")
+    in
+    { status; candidates = !tried; productive_pairs }
+  end
+
+let atoms_to_json atoms =
+  Telemetry.Json.List
+    (List.map
+       (fun a ->
+         Telemetry.Json.Obj
+           [
+             ("field", Telemetry.Json.String a.field);
+             ("descending", Telemetry.Json.Bool a.descending);
+           ])
+       atoms)
+
+let atoms_of_json j =
+  let open Telemetry.Json in
+  match j with
+  | List l ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | a :: rest -> (
+            match
+              ( Option.bind (member "field" a) to_string_opt,
+                Option.bind (member "descending" a) to_bool )
+            with
+            | Some field, Some descending -> go ({ field; descending } :: acc) rest
+            | _ -> Error "ranking: atom needs string field, bool descending")
+      in
+      go [] l
+  | _ -> Error "ranking: expected a list of atoms"

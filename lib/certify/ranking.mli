@@ -1,0 +1,39 @@
+(** Lexicographic ranking functions certified in the Dershowitz–Manna
+    multiset order — convergence proofs valid for every population size.
+
+    A candidate assigns each state the tuple of its field values read in
+    a chosen order, each with a polarity (ascending: smaller value is
+    smaller measure; descending: reversed), compared lexicographically.
+    A configuration's measure is the multiset of its states' tuples. A
+    pair interaction replaces (at most) two elements of that multiset;
+    it is a strict Dershowitz–Manna decrease when something is removed
+    and every added tuple is strictly below some removed one. If {e
+    every} productive coin outcome of every ordered pair decreases, no
+    infinite productive run exists for {e any} [n] under {e any}
+    scheduler — the protocol is silent from every configuration. This
+    is the certificate that covers counter-carrying instances whose
+    configuration graphs the concrete model checker cannot enumerate. *)
+
+type atom = { field : string; descending : bool }
+
+type status =
+  | Found of atom list
+  | Not_found of string  (** witness from the declared-order candidate *)
+  | Skipped of string
+
+type t = { status : status; candidates : int; productive_pairs : int }
+
+val synthesize : 'a Ir.t -> Trans.t -> t
+(** Searches field orders × polarities (all permutations for up to 5
+    fields, declared and reversed orders beyond that; declared order,
+    all ascending first) and returns the first candidate that strictly
+    decreases every productive outcome. Skipped unless the declared
+    expectation is silent-stabilizing, and when escapes make the
+    transition relation unsound. *)
+
+val validate : 'a Ir.t -> Trans.t -> atom list -> (unit, string) result
+(** Re-check a (possibly parsed-back) ranking against the relation —
+    the certificate consumer's side of the proof. *)
+
+val atoms_to_json : atom list -> Telemetry.Json.t
+val atoms_of_json : Telemetry.Json.t -> (atom list, string) result

@@ -1,0 +1,87 @@
+type edge = {
+  ci : int;
+  cj : int;
+  outs : (int * int) list;
+  dynamic : bool;
+}
+
+type t = {
+  size : int;
+  edges : edge array;
+  escapes : string list;
+  escape_count : int;
+  static_pairs : int;
+  dynamic_pairs : int;
+  productive_pairs : int;
+}
+
+let productive_out edge (oi, oj) =
+  not ((oi = edge.ci && oj = edge.cj) || (oi = edge.cj && oj = edge.ci))
+
+let productive edge = List.exists (productive_out edge) edge.outs
+
+let of_ir ir =
+  let size = Ir.size ir in
+  let e = ir.Ir.enumerable in
+  let p = e.Engine.Enumerable.protocol in
+  let max_draws = e.Engine.Enumerable.max_draws in
+  let escapes = ref [] and escape_count = ref 0 in
+  let record_escape msg =
+    incr escape_count;
+    if !escape_count <= Analysis.Report.max_findings then escapes := msg :: !escapes
+  in
+  let statics = ref 0 and dynamics = ref 0 and productives = ref 0 in
+  (* Exact synthetic-coin enumeration for pairs the memo table does not
+     cover; [dynamic] iff some outcome actually drew. *)
+  let enumerated ci cj =
+    let a = Ir.decode ir ci and b = Ir.decode ir cj in
+    match
+      Analysis.Coins.enumerate ~max_draws (fun rng -> p.Engine.Protocol.transition rng a b)
+    with
+    | exception exn ->
+        record_escape
+          (Format.asprintf "pair (%a, %a): enumeration failed: %s" p.Engine.Protocol.pp a
+             p.Engine.Protocol.pp b (Printexc.to_string exn));
+        ([], true)
+    | outcomes ->
+        let outs =
+          List.filter_map
+            (fun { Analysis.Coins.value = a', b'; _ } ->
+              match (Ir.encode_opt ir a', Ir.encode_opt ir b') with
+              | Some oi, Some oj -> Some (oi, oj)
+              | _ ->
+                  record_escape
+                    (Format.asprintf
+                       "pair (%a, %a) -> (%a, %a): output escapes the declared space"
+                       p.Engine.Protocol.pp a p.Engine.Protocol.pp b p.Engine.Protocol.pp a'
+                       p.Engine.Protocol.pp b');
+                  None)
+            outcomes
+        in
+        let drew =
+          List.exists (fun o -> o.Analysis.Coins.trace <> []) outcomes
+        in
+        (outs, drew)
+  in
+  let edges =
+    Array.init (size * size) (fun cell ->
+        let ci = cell / size and cj = cell mod size in
+        let outs, dynamic =
+          match Ir.table_lookup ir ci cj with
+          | Some out -> ([ out ], false)
+          | None -> enumerated ci cj
+        in
+        let edge = { ci; cj; outs; dynamic } in
+        if edge.dynamic then incr dynamics else incr statics;
+        if productive edge then incr productives;
+        edge)
+  in
+  {
+    size;
+    edges;
+    escapes = List.rev !escapes;
+    escape_count = !escape_count;
+    static_pairs = !statics;
+    dynamic_pairs = !dynamics;
+    productive_pairs = !productives;
+  }

@@ -159,6 +159,36 @@ let decode t code =
       | Some i -> Analysis.Statespace.state t.space i
       | None -> invalid_arg "Ir.decode: dead code")
 
+let field_names t = List.map (fun f -> f.fname) t.fields
+
+let field_vec t code =
+  let st = decode t code in
+  Array.of_list (List.map (fun get -> get st) t.getters)
+
+let table_lookup t ci cj =
+  match t.table with
+  | None -> None
+  | Some { out_i; out_j } ->
+      let m = size t in
+      if ci < 0 || ci >= m || cj < 0 || cj >= m then
+        invalid_arg "Ir.table_lookup: code out of range";
+      let cell = (ci * m) + cj in
+      let oi = out_i.(cell) in
+      if oi < 0 then None else Some (oi, out_j.(cell))
+
+let iter_static t f =
+  match t.table with
+  | None -> ()
+  | Some { out_i; out_j } ->
+      let m = size t in
+      for ci = 0 to m - 1 do
+        for cj = 0 to m - 1 do
+          let cell = (ci * m) + cj in
+          let oi = out_i.(cell) in
+          if oi >= 0 then f ci cj oi out_j.(cell)
+        done
+      done
+
 let pp fmt t =
   let p = t.enumerable.Engine.Enumerable.protocol in
   let s = size t in

@@ -89,6 +89,23 @@ val logged : 'a t -> string -> 'a t
 val pack_code : 'a t -> 'a -> int
 (** Mixed-radix code of a state's field vector (no liveness check). *)
 
+val field_names : 'a t -> string list
+(** Field names in packing order (a single synthetic ["state-index"] when
+    [synthesized] is set). *)
+
+val field_vec : 'a t -> int -> int array
+(** Field values of a live code, in packing order. Requires a packed IR. *)
+
+val table_lookup : 'a t -> int -> int -> (int * int) option
+(** Memoized output codes of the ordered pair [(ci, cj)], [None] when the
+    pair is dynamic (draws randomness) or the IR is not memoized. Raises
+    [Invalid_argument] on out-of-range codes. *)
+
+val iter_static : 'a t -> (int -> int -> int -> int -> unit) -> unit
+(** [iter_static t f] calls [f ci cj oi oj] for every static (coin-free)
+    cell of the memoized table, in row-major code order. No-op when the IR
+    is not memoized. *)
+
 val pp : Format.formatter -> 'a t -> unit
 (** Stable, reviewable dump: fields, code-space counts, transition-pair
     classification, pass log, and (for spaces of at most 64 states) the

@@ -19,4 +19,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
       ("ir", Test_ir.suite);
+      ("certify", Test_certify.suite);
     ]

@@ -1,0 +1,436 @@
+(* Symbolic certifier validation.
+
+   The certifier's claims are checked three ways: unit tests on the
+   abstract domain and the condition DSL, end-to-end certification of
+   catalogue instances whose verdicts were hand-derived (the reset
+   overlay's eventual core is the all-Computing singleton, its ranking
+   is the declared field order all-ascending, baseline needs the
+   descending-role polarity, silent_n_state admits no lexicographic
+   ranking at all), and golden certificates pinned byte-for-byte against
+   bin/analyze --certify output. The no-fail-fast regressions drive one
+   broken instance next to a healthy one through both drivers and
+   assert the healthy verdicts survive. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- abstract domain ----------------------------------------------- *)
+
+let test_domain () =
+  let open Certify.Domain in
+  check_bool "bot is bot" true (is_bot bot);
+  check_bool "3 in [1..5]" true (mem 3 (interval ~lo:1 ~hi:5));
+  check_bool "0 not in [1..5]" false (mem 0 (interval ~lo:1 ~hi:5));
+  check_bool "join of 2 and 4 keeps even parity" true
+    (equal (join (of_int 2) (of_int 4)) (Range { lo = 2; hi = 4; parity = Even }));
+  check_bool "3 not in even [2..4]" false (mem 3 (join (of_int 2) (of_int 4)));
+  check_bool "join of 2 and 3 loses parity" true
+    (equal (join (of_int 2) (of_int 3)) (interval ~lo:2 ~hi:3));
+  check_bool "bot <= everything" true (leq bot (of_int 7));
+  check_bool "[2..4] even <= [0..5]" true (leq (join (of_int 2) (of_int 4)) (interval ~lo:0 ~hi:5));
+  check_bool "[0..5] not <= [2..4] even" false
+    (leq (interval ~lo:0 ~hi:5) (join (of_int 2) (of_int 4)));
+  check_bool "empty interval is bot" true (is_bot (interval ~lo:3 ~hi:2));
+  List.iter
+    (fun d ->
+      match of_json (to_json d) with
+      | Ok d' -> check_bool "domain json round-trip" true (equal d d')
+      | Error e -> Alcotest.failf "domain json round-trip: %s" e)
+    [ bot; of_int 0; of_int 7; interval ~lo:0 ~hi:9; join (of_int 1) (of_int 5) ]
+
+(* --- condition DSL -------------------------------------------------- *)
+
+let test_expr () =
+  let open Certify.Expr in
+  let fields = [ "kind"; "count" ] in
+  let sat c v = compile ~fields c v in
+  check_bool "field = const" true (sat (Eq (Field "kind", Const 1)) [| 1; 9 |]);
+  check_bool "field = field" false (sat (Eq (Field "kind", Field "count")) [| 1; 9 |]);
+  check_bool "le" true (sat (Le (Field "count", Const 9)) [| 0; 9 |]);
+  check_bool "not/and/or" true
+    (sat (And (Not (Eq (Field "kind", Const 0)), Or (True, Eq (Const 1, Const 2)))) [| 1; 0 |]);
+  (match compile ~fields (Eq (Field "nosuch", Const 0)) with
+  | exception Unknown_field name -> check_string "unknown field name" "nosuch" name
+  | (_ : int array -> bool) -> Alcotest.fail "unknown field accepted");
+  let cond = And (Eq (Field "kind", Const 1), Not (Le (Field "count", Const 3))) in
+  match cond_of_json (cond_to_json cond) with
+  | Ok c' -> check_bool "cond json round-trip" true (equal_cond cond c')
+  | Error e -> Alcotest.failf "cond json round-trip: %s" e
+
+(* --- helpers -------------------------------------------------------- *)
+
+let lower (e : _ Engine.Enumerable.t) =
+  let ir = Ir.Passes.pipeline e in
+  (ir, Certify.Trans.of_ir ir)
+
+let registry_entry key =
+  match Analysis.Registry.find key with
+  | Some entry -> entry
+  | None -> Alcotest.failf "registry entry %s vanished" key
+
+let analyze_and_certify ?(jobs = 2) ~key ~n () =
+  let entry = registry_entry key in
+  let report =
+    Engine.Pool.with_pool ~jobs (fun pool ->
+        Analysis.Driver.analyze_entry ~pool ~max_configs:Analysis.Driver.default_max_configs ~n
+          entry)
+  in
+  (report, Certify.Driver.certify_entry ~n ~report entry)
+
+let certificate_exn outcome =
+  match outcome.Certify.Driver.certificate with
+  | Some c -> c
+  | None -> Alcotest.fail "expected a certificate"
+
+(* --- abstract interpretation on the reset overlay ------------------ *)
+
+let test_absint_reset () =
+  let ir, trans = lower (Core.Reset_probe.enumerable ~n:4 ()) in
+  let abs = Certify.Absint.run ir trans in
+  check_bool "range sound" true abs.Certify.Absint.range_sound;
+  (* Prop(R_max) and Dorm(D_max) are never produced: counts only shrink
+     and fresh dormancy starts the timer after one tick. *)
+  check_int "transient states" 2 abs.Certify.Absint.transient_states;
+  (* the wave dies: the eventual core is the all-Computing singleton *)
+  check_int "eventual core" 1 abs.Certify.Absint.core_states;
+  check_bool "eventually silent" true abs.Certify.Absint.eventually_silent;
+  check_int "narrowing rounds (one layer per counter value)" 8 abs.Certify.Absint.rounds;
+  let kind = List.find (fun f -> f.Certify.Absint.fname = "kind") abs.Certify.Absint.fields in
+  check_bool "eventual kind hull is {Computing}" true
+    (Certify.Domain.equal kind.Certify.Absint.eventual (Certify.Domain.of_int 0));
+  let rc =
+    List.find (fun f -> f.Certify.Absint.fname = "resetcount") abs.Certify.Absint.fields
+  in
+  (* interval slack: R_max itself is declared but never produced *)
+  check_bool "output resetcount hull excludes R_max" true
+    (Certify.Domain.leq rc.Certify.Absint.outputs (Certify.Domain.interval ~lo:0 ~hi:2))
+
+(* --- inductive props: positives ------------------------------------ *)
+
+let test_props_hold () =
+  List.iter
+    (fun (key, any) ->
+      match any with
+      | Analysis.Registry.Any e ->
+          let ir, trans = lower e in
+          let decls = Certify.Props.catalogue ~key in
+          check_bool (key ^ " has declared props") true (decls <> []);
+          List.iter
+            (fun decl ->
+              let r = Certify.Props.check ir trans decl in
+              match r.Certify.Props.verdict with
+              | Certify.Props.Holds -> ()
+              | Certify.Props.Refuted msg ->
+                  Alcotest.failf "%s: %s refuted: %s" key decl.Certify.Props.pname msg
+              | Certify.Props.Inapplicable msg ->
+                  Alcotest.failf "%s: %s inapplicable: %s" key decl.Certify.Props.pname msg)
+            decls)
+    [
+      ("silent_n_state", Analysis.Registry.Any (Core.Silent_n_state.enumerable ~n:5));
+      ("baseline", Analysis.Registry.Any (Core.Baseline.enumerable ~n:4));
+      ("reset", Analysis.Registry.Any (Core.Reset_probe.enumerable ~n:4 ()));
+    ]
+
+(* --- inductive props: negatives ------------------------------------ *)
+
+let test_props_refuted () =
+  (* leader-count on silent_n_state is NOT pairwise-inductive: two
+     rank-(n-1) agents collide and the responder wraps to rank 0,
+     manufacturing a leader *)
+  let ir, trans = lower (Core.Silent_n_state.enumerable ~n:4) in
+  let decl =
+    {
+      Certify.Props.pname = "bogus-leader-count";
+      form = Certify.Props.Noninc_count (Certify.Expr.Eq (Certify.Expr.Field "rank0", Certify.Expr.Const 0));
+    }
+  in
+  (match (Certify.Props.check ir trans decl).Certify.Props.verdict with
+  | Certify.Props.Refuted _ -> ()
+  | _ -> Alcotest.fail "wrap-around leader count accepted as inductive");
+  (* settled-rank uniqueness on Optimal-Silent relies on the global tree
+     structure; pairwise it is refutable *)
+  let ir, trans =
+    lower
+      (Core.Optimal_silent.enumerable
+         ~params:{ Core.Params.r_max = 2; d_max = 3; e_max = 3 }
+         ~n:3 ())
+  in
+  let unique =
+    {
+      Certify.Props.pname = "settled-rank-unique";
+      form =
+        Certify.Props.Unique
+          { key = "rank"; guard = Certify.Expr.Eq (Certify.Expr.Field "kind", Certify.Expr.Const 0) };
+    }
+  in
+  (match (Certify.Props.check ir trans unique).Certify.Props.verdict with
+  | Certify.Props.Refuted _ -> ()
+  | Certify.Props.Holds -> Alcotest.fail "optimal-silent rank uniqueness is not pairwise-inductive"
+  | Certify.Props.Inapplicable msg -> Alcotest.failf "unexpectedly inapplicable: %s" msg);
+  (* unknown fields are inapplicable, not a crash *)
+  let ir, trans = lower (Core.Baseline.enumerable ~n:4) in
+  let ghost =
+    {
+      Certify.Props.pname = "ghost";
+      form = Certify.Props.Noninc_count (Certify.Expr.Eq (Certify.Expr.Field "nosuch", Certify.Expr.Const 0));
+    }
+  in
+  match (Certify.Props.check ir trans ghost).Certify.Props.verdict with
+  | Certify.Props.Inapplicable _ -> ()
+  | _ -> Alcotest.fail "unknown field should be inapplicable"
+
+(* --- ranking synthesis --------------------------------------------- *)
+
+let test_ranking () =
+  let open Certify.Ranking in
+  (* baseline needs the descending polarity: Leader = 0 < Follower = 1,
+     and L,L -> L,F replaces a leader by a follower *)
+  let ir, trans = lower (Core.Baseline.enumerable ~n:4) in
+  (match (synthesize ir trans).status with
+  | Found [ { field = "role"; descending = true } ] -> ()
+  | Found atoms ->
+      Alcotest.failf "baseline: unexpected ranking %s"
+        (String.concat "," (List.map (fun a -> a.field) atoms))
+  | Not_found r | Skipped r -> Alcotest.failf "baseline: no ranking: %s" r);
+  check_bool "baseline: ascending role is rejected" true
+    (validate ir trans [ { field = "role"; descending = false } ] |> Result.is_error);
+  (* the reset overlay: declared field order, all ascending (the
+     recruit's tuple is covered by the recruiter's under kind-major
+     lexicographic order, Dershowitz-Manna style) *)
+  let ir, trans = lower (Core.Reset_probe.enumerable ~n:4 ()) in
+  (match (synthesize ir trans).status with
+  | Found
+      [
+        { field = "kind"; descending = false };
+        { field = "resetcount"; descending = false };
+        { field = "delaytimer"; descending = false };
+      ] ->
+      ()
+  | Found atoms ->
+      Alcotest.failf "reset: unexpected ranking %s"
+        (String.concat ","
+           (List.map (fun a -> a.field ^ if a.descending then "-" else "+") atoms))
+  | Not_found r | Skipped r -> Alcotest.failf "reset: no ranking: %s" r);
+  check_bool "reset: found ranking re-validates" true
+    (validate ir trans
+       [
+         { field = "kind"; descending = false };
+         { field = "resetcount"; descending = false };
+         { field = "delaytimer"; descending = false };
+       ]
+    |> Result.is_ok);
+  (* silent_n_state's mod-n wrap defeats every field order and polarity *)
+  let ir, trans = lower (Core.Silent_n_state.enumerable ~n:4) in
+  (match (synthesize ir trans).status with
+  | Not_found _ -> ()
+  | Found _ -> Alcotest.fail "silent_n_state: ranking found despite mod-n wrap"
+  | Skipped r -> Alcotest.failf "silent_n_state: skipped: %s" r);
+  (* loosely-stabilizing protocols never get a silence certificate *)
+  let ir, trans = lower (Core.Loose.enumerable ~n:3 ~t_max:4) in
+  match (synthesize ir trans).status with
+  | Skipped _ -> ()
+  | Found _ | Not_found _ -> Alcotest.fail "loose: ranking should be skipped"
+
+(* --- end-to-end verdicts ------------------------------------------- *)
+
+let test_verdicts () =
+  List.iter
+    (fun (key, n, expected) ->
+      let _report, outcome = analyze_and_certify ~key ~n () in
+      let cert = certificate_exn outcome in
+      check_string (Printf.sprintf "%s n=%d verdict" key n) expected
+        (Certify.Certificate.string_of_verdict cert.Certify.Certificate.verdict);
+      check_bool
+        (Printf.sprintf "%s n=%d: no cross-check conflicts" key n)
+        false
+        (List.exists
+           (fun (c : Certify.Certificate.cross) ->
+             c.Certify.Certificate.cverdict = Certify.Certificate.Conflict)
+           cert.Certify.Certificate.cross_checks))
+    [
+      ("baseline", 4, "certified");
+      ("reset", 4, "certified");
+      ("silent_n_state", 4, "partial");
+      ("loose_small", 3, "partial");
+    ]
+
+(* the convergence certificate the concrete checker cannot reach: the
+   production-scale reset overlay's configuration space dwarfs the
+   model-check budget at every n, yet the ranking certifies it *)
+let test_reset_production_certified () =
+  let report, outcome = analyze_and_certify ~key:"reset_production" ~n:3 () in
+  let mc =
+    List.find (fun s -> s.Analysis.Report.stage = "model-check") report.Analysis.Report.stages
+  in
+  check_bool "concrete model check skipped over budget" true
+    (mc.Analysis.Report.status = Analysis.Report.Skip);
+  let cert = certificate_exn outcome in
+  check_string "verdict" "certified"
+    (Certify.Certificate.string_of_verdict cert.Certify.Certificate.verdict);
+  check_bool "ranking found" true
+    (match cert.Certify.Certificate.ranking with
+    | Certify.Certificate.Found _ -> true
+    | _ -> false);
+  check_bool "eventually silent" true cert.Certify.Certificate.eventually_silent;
+  check_int "eventual core is the silent singleton" 1 cert.Certify.Certificate.core_states
+
+(* --- escapes fail the certificate without crashing the run --------- *)
+
+let escape_probe () =
+  (* a randomized transition that occasionally leaves the declared space:
+     memoization marks the pair dynamic, so the escape must be caught by
+     the certifier's own coin enumeration, not the memoize pass *)
+  let n = 3 in
+  let protocol =
+    {
+      Engine.Protocol.name = "Escape-Probe";
+      n;
+      transition =
+        (fun rng a b -> if Prng.bool rng then (a, b) else (max a b, 2));
+      deterministic = false;
+      equal = Int.equal;
+      pp = Format.pp_print_int;
+      rank = (fun _ -> None);
+      is_leader = (fun _ -> false);
+    }
+  in
+  Engine.Enumerable.make ~protocol ~states:[ 0; 1 ] ~max_draws:1
+    ~expectation:Engine.Enumerable.Stabilizing
+    ~correct:(fun _ -> true)
+    ~fields:[ { Engine.Enumerable.fname = "v"; frange = 2; fget = Fun.id } ]
+    ()
+
+let empty_report ~key =
+  {
+    Analysis.Report.key;
+    protocol = "Escape-Probe";
+    n = 3;
+    expectation = "stabilizing";
+    note = None;
+    stages = [];
+  }
+
+let test_escape_fails_certificate () =
+  let outcome =
+    Certify.Driver.certify_enumerable ~key:"escape-probe"
+      ~report:(empty_report ~key:"escape-probe") (escape_probe ())
+  in
+  let cert = certificate_exn outcome in
+  check_bool "escapes recorded" true (cert.Certify.Certificate.escape_count > 0);
+  check_bool "range unsound" false cert.Certify.Certificate.range_sound;
+  check_string "verdict" "failed"
+    (Certify.Certificate.string_of_verdict cert.Certify.Certificate.verdict);
+  check_bool "stage failed" true
+    (outcome.Certify.Driver.stage.Analysis.Report.status = Analysis.Report.Fail)
+
+(* --- no fail-fast masking ------------------------------------------ *)
+
+let test_no_fail_fast () =
+  let broken =
+    {
+      Analysis.Registry.key = "boom";
+      summary = "always fails to build";
+      table1 = false;
+      build = (fun ~n:_ -> failwith "boom");
+    }
+  in
+  let good = registry_entry "silent_n_state" in
+  let reports =
+    Engine.Pool.with_pool ~jobs:2 (fun pool ->
+        Analysis.Driver.analyze_all ~pool ~max_configs:Analysis.Driver.default_max_configs
+          ~ns:[ 3 ] [ broken; good ])
+  in
+  check_int "both instances reported" 2 (List.length reports);
+  let broken_report = List.nth reports 0 and good_report = List.nth reports 1 in
+  check_bool "broken instance failed" false (Analysis.Report.ok broken_report);
+  check_bool "healthy instance still analyzed and passing" true (Analysis.Report.ok good_report);
+  check_bool "aggregate verdict fails" false (Analysis.Report.all_ok reports);
+  (* same contract for certification *)
+  let b = Certify.Driver.certify_entry ~n:3 ~report:broken_report broken in
+  check_bool "broken certify stage fails, run survives" true
+    (b.Certify.Driver.stage.Analysis.Report.status = Analysis.Report.Fail
+    && b.Certify.Driver.certificate = None);
+  let g = Certify.Driver.certify_entry ~n:3 ~report:good_report good in
+  check_bool "healthy certify stage passes" true
+    (g.Certify.Driver.stage.Analysis.Report.status = Analysis.Report.Pass)
+
+(* --- certificate round-trip under QCheck --------------------------- *)
+
+let roundtrip_keys = [| "silent_n_state"; "baseline"; "optimal_silent_small"; "loose_small"; "reset" |]
+
+let qcheck_cert_roundtrip =
+  QCheck.Test.make ~name:"certificate round-trip: emit -> strict parse -> re-validate" ~count:10
+    QCheck.(pair (int_bound (Array.length roundtrip_keys - 1)) (int_bound 2))
+    (fun (pick, n_off) ->
+      let key = roundtrip_keys.(pick) in
+      let n = 3 + n_off in
+      let _report, outcome = analyze_and_certify ~jobs:1 ~key ~n () in
+      match outcome.Certify.Driver.certificate with
+      | None -> QCheck.Test.fail_reportf "%s n=%d: no certificate" key n
+      | Some cert -> (
+          (* emit -> strict parse -> structural equality *)
+          (match Certify.Certificate.of_string (Certify.Certificate.to_string cert) with
+          | Error e -> QCheck.Test.fail_reportf "%s n=%d: parse back failed: %s" key n e
+          | Ok cert' ->
+              if not (Certify.Certificate.equal cert cert') then
+                QCheck.Test.fail_reportf "%s n=%d: round-trip changed the certificate" key n);
+          (* a Found ranking must re-validate against a fresh lowering *)
+          match cert.Certify.Certificate.ranking with
+          | Certify.Certificate.Found atoms -> (
+              let entry = registry_entry key in
+              match entry.Analysis.Registry.build ~n with
+              | Analysis.Registry.Any e -> (
+                  let ir, trans = lower e in
+                  match Certify.Ranking.validate ir trans atoms with
+                  | Ok () -> true
+                  | Error e ->
+                      QCheck.Test.fail_reportf "%s n=%d: ranking re-validation failed: %s" key n e))
+          | Certify.Certificate.Not_found _ | Certify.Certificate.Skipped _ -> true))
+
+(* --- golden certificates ------------------------------------------- *)
+
+let read_file path =
+  (* dune runtest runs in _build/default/test; dune exec does not chdir *)
+  let path = if Sys.file_exists path then path else Filename.concat "test" path in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden ~key ~n =
+  let _report, outcome = analyze_and_certify ~key ~n () in
+  let cert = certificate_exn outcome in
+  let got = Certify.Certificate.to_string cert ^ "\n" in
+  let path = Printf.sprintf "golden/cert_%s_n%d.json" key n in
+  let want = read_file path in
+  check_string
+    (Printf.sprintf "%s certificate matches %s (regenerate: analyze --certify)" key path)
+    want got
+
+let test_golden_baseline () = check_golden ~key:"baseline" ~n:4
+let test_golden_silent_n_state () = check_golden ~key:"silent_n_state" ~n:4
+let test_golden_reset () = check_golden ~key:"reset" ~n:4
+let test_golden_reset_production () = check_golden ~key:"reset_production" ~n:4
+
+let suite =
+  [
+    Alcotest.test_case "interval + parity domain" `Quick test_domain;
+    Alcotest.test_case "condition DSL compile/eval/json" `Quick test_expr;
+    Alcotest.test_case "absint: reset wave dies into the silent core" `Quick test_absint_reset;
+    Alcotest.test_case "declared props are inductive" `Quick test_props_hold;
+    Alcotest.test_case "non-inductive props are refuted, unknown fields inapplicable" `Quick
+      test_props_refuted;
+    Alcotest.test_case "ranking synthesis: polarities, orders, impossibility" `Quick test_ranking;
+    Alcotest.test_case "end-to-end verdicts with cross-checks" `Slow test_verdicts;
+    Alcotest.test_case "reset_production: certified beyond the model-check budget" `Slow
+      test_reset_production_certified;
+    Alcotest.test_case "escapes fail the certificate without crashing" `Quick
+      test_escape_fails_certificate;
+    Alcotest.test_case "one broken instance cannot mask the rest" `Quick test_no_fail_fast;
+    QCheck_alcotest.to_alcotest qcheck_cert_roundtrip;
+    Alcotest.test_case "golden certificate: baseline" `Quick test_golden_baseline;
+    Alcotest.test_case "golden certificate: silent_n_state" `Quick test_golden_silent_n_state;
+    Alcotest.test_case "golden certificate: reset" `Quick test_golden_reset;
+    Alcotest.test_case "golden certificate: reset_production" `Slow test_golden_reset_production;
+  ]

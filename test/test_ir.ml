@@ -359,6 +359,63 @@ let test_synthetic_fallback () =
   check_bool "fallback kernel matches interpreter" true
     (runner_outcome ~exec:interp ~n = runner_outcome ~exec:compiled ~n)
 
+(* the synthetic index composes with the rest of the pipeline: DSE still
+   runs (dense codes, no dead states) and memoization still builds the
+   full table over synthesized codes *)
+let test_synthetic_fallback_composes () =
+  let n = 4 in
+  let base = Core.Silent_n_state.enumerable ~n in
+  let broken =
+    {
+      base with
+      Engine.Enumerable.fields =
+        [ { Engine.Enumerable.fname = "const"; frange = 2; fget = (fun _ -> 0) } ];
+    }
+  in
+  let ir = Ir.Passes.pipeline broken in
+  check_int "synthetic packed space is dense" n ir.Ir.packed_codes;
+  check_bool "DSE ran on the synthesized IR" true (ir.Ir.index_of_code <> None);
+  check_bool "memo table built over synthesized codes" true (ir.Ir.table <> None);
+  check_int "every ordered pair memoized static" (n * n) ir.Ir.static_pairs;
+  (* memoized outputs stay inside the synthesized code space *)
+  Ir.iter_static ir (fun ci cj oi oj ->
+      if oi < 0 || oi >= n || oj < 0 || oj >= n then
+        Alcotest.failf "pair (%d,%d) memoized out of range: (%d,%d)" ci cj oi oj)
+
+(* --- memoization budget boundary ----------------------------------- *)
+
+let test_max_cells_boundary () =
+  (* the budget is exact: s*s cells memoize, s*s - 1 does not *)
+  let e = Core.Reset_probe.enumerable ~n:4 () in
+  let s = List.length e.Engine.Enumerable.states in
+  let at_budget = Ir.Passes.pipeline ~max_cells:(s * s) e in
+  check_bool "exactly s*s cells memoizes" true (at_budget.Ir.table <> None);
+  check_int "all pairs classified" (s * s)
+    (at_budget.Ir.static_pairs + at_budget.Ir.dynamic_pairs);
+  let over_budget = Ir.Passes.pipeline ~max_cells:((s * s) - 1) e in
+  check_bool "one cell short skips memoization" true (over_budget.Ir.table = None);
+  check_bool "skip is logged with the budget" true
+    (List.exists
+       (fun l -> String.length l >= 16 && String.sub l 0 16 = "memoize: skipped")
+       over_budget.Ir.log);
+  (* the unmemoized IR still drives a correct kernel *)
+  let init = Array.make 4 Core.Reset_probe.computing in
+  init.(0) <- Core.Reset_probe.resetting ~resetcount:2 ~delaytimer:0;
+  let a =
+    Ir.Kernel.exec ~kind:Engine.Exec.Agent (Ir.Kernel.of_ir at_budget) ~init
+      ~rng:(Prng.create ~seed:9)
+  in
+  let b =
+    Ir.Kernel.exec ~kind:Engine.Exec.Agent (Ir.Kernel.of_ir over_budget) ~init
+      ~rng:(Prng.create ~seed:9)
+  in
+  for i = 1 to 200 do
+    ignore (Engine.Exec.advance a ~until:i);
+    ignore (Engine.Exec.advance b ~until:i)
+  done;
+  check_bool "memoized and interpreted kernels agree" true
+    (Engine.Exec.snapshot a = Engine.Exec.snapshot b)
+
 let suite =
   [
     Alcotest.test_case "pack/unpack round-trips (all entries)" `Quick test_roundtrip_all_entries;
@@ -377,4 +434,7 @@ let suite =
     Alcotest.test_case "golden IR dump: optimal_silent_small" `Quick test_golden_optimal_silent;
     Alcotest.test_case "broken fields fall back to synthetic index" `Quick
       test_synthetic_fallback;
+    Alcotest.test_case "synthetic fallback composes with DSE and memoize" `Quick
+      test_synthetic_fallback_composes;
+    Alcotest.test_case "memoization budget boundary is exact" `Quick test_max_cells_boundary;
   ]
