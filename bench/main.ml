@@ -199,7 +199,7 @@ let run_metrics_section () =
   let run kind =
     let rng = Prng.create ~seed:2024 in
     let init = Core.Scenarios.silent_worst_case ~n in
-    let exec = Engine.Exec.make ~kind ~protocol ~init ~rng in
+    let exec = Engine.Exec.make ~kind ~protocol ~init ~rng () in
     let t0 = Unix.gettimeofday () in
     ignore
       (Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
@@ -323,6 +323,81 @@ let run_kernel_section () =
   Stats.Table.print table;
   print_newline ()
 
+(* Eager vs lazy closure delta table: the same run_to_silence workload
+   through the two probing modes of the count engine ([init_probe]
+   forced on / off). The dense-transition rows are the lazy kernel's
+   reason to exist — the eager fold probes (and then walks) a quadratic
+   productive adjacency the run never uses, until the density cap
+   demotes it. The sparse small-n row is the honest negative control:
+   there the eager drain is strictly better (silence is provable the
+   moment W hits 0, while the lazy engine must tick through unknown
+   pairs until every null is cached), so eager remains the default for
+   small initial supports. *)
+let run_closure_section () =
+  print_endline "== Count engine: eager vs lazy closure (run_to_silence) ==\n";
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "scenario"; "mode"; "silent"; "events"; "interactions"; "pairs probed";
+          "cache cells"; "closure"; "wall s"; "events/s";
+        ]
+  in
+  let bench : 'a. label:string -> protocol:'a Engine.Protocol.t -> init:'a array -> float array =
+   fun ~label ~protocol ~init ->
+    Array.map
+      (fun eager ->
+        let rng = Prng.create ~seed:2024 in
+        let cs =
+          Engine.Count_sim.make ~init_probe:eager ~protocol ~init:(Array.copy init) ~rng ()
+        in
+        let t0 = Unix.gettimeofday () in
+        let o = Engine.Count_sim.run_to_silence cs in
+        let wall = Unix.gettimeofday () -. t0 in
+        Stats.Table.add_row table
+          [
+            label;
+            (if eager then "eager" else "lazy");
+            string_of_bool o.Engine.Count_sim.silent;
+            string_of_int o.Engine.Count_sim.events;
+            string_of_int o.Engine.Count_sim.interactions;
+            string_of_int (Engine.Count_sim.pairs_probed cs);
+            string_of_int (Engine.Count_sim.pairs_cached cs);
+            string_of_int (Engine.Count_sim.closure_size cs);
+            Printf.sprintf "%.3f" wall;
+            Printf.sprintf "%.0f" (float_of_int o.Engine.Count_sim.events /. wall);
+          ];
+        wall)
+      [| true; false |]
+  in
+  let deltas = ref [] in
+  let record label walls = deltas := (label, walls.(0) /. walls.(1)) :: !deltas in
+  (* dense: Optimal-Silent's counter states almost all interact *)
+  List.iter
+    (fun n ->
+      let params = Core.Params.optimal_silent n in
+      let protocol = Core.Optimal_silent.protocol ~params ~n () in
+      let init = Core.Scenarios.optimal_uniform (Prng.create ~seed:7) ~params ~n in
+      record
+        (Printf.sprintf "optimal-silent n=%d (dense)" n)
+        (bench ~label:(Printf.sprintf "optimal-silent n=%d (dense)" n) ~protocol ~init))
+    [ 64; 128 ];
+  (* sparse negative control: only the rank diagonal is productive *)
+  let n = 64 in
+  let protocol = Core.Silent_n_state.protocol ~n in
+  let init = Core.Scenarios.silent_uniform (Prng.create ~seed:7) ~n in
+  record
+    (Printf.sprintf "silent-n-state n=%d (sparse)" n)
+    (bench ~label:(Printf.sprintf "silent-n-state n=%d (sparse)" n) ~protocol ~init);
+  Stats.Table.print table;
+  print_newline ();
+  List.iter
+    (fun (label, ratio) ->
+      Printf.printf "%s: eager/lazy wall-clock ratio %.2fx (%s)\n" label ratio
+        (if ratio >= 1.0 then "lazy wins" else "eager wins"))
+    (List.rev !deltas);
+  print_newline ()
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* --jobs N: domain-pool width for the experiment sections (identical
@@ -345,13 +420,21 @@ let () =
   let full = List.mem "--full" args in
   let micro_only = List.mem "--micro-only" args in
   let kernel_only = List.mem "--kernel-only" args in
+  let closure_only = List.mem "--closure-only" args in
   let names =
-    List.filter (fun a -> a <> "--full" && a <> "--micro-only" && a <> "--kernel-only") args
+    List.filter
+      (fun a ->
+        a <> "--full" && a <> "--micro-only" && a <> "--kernel-only" && a <> "--closure-only")
+      args
   in
   let mode = if full then Experiments.Exp_common.Full else Experiments.Exp_common.Quick in
   let seed = 2024 in
   if kernel_only then begin
     run_kernel_section ();
+    exit 0
+  end;
+  if closure_only then begin
+    run_closure_section ();
     exit 0
   end;
   if not micro_only then begin
@@ -379,5 +462,6 @@ let () =
   if names = [] then begin
     run_micro_benchmarks ();
     run_metrics_section ();
-    run_kernel_section ()
+    run_kernel_section ();
+    run_closure_section ()
   end

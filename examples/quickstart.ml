@@ -17,7 +17,7 @@ let () =
   (* 3. Simulate until the ranking stabilizes. The agent engine handles any
      protocol; for deterministic protocols with compact state spaces the
      count engine (~kind:Engine.Exec.Count) scales to thousands of agents. *)
-  let exec = Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol ~init ~rng in
+  let exec = Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol ~init ~rng () in
   let outcome =
     Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
       ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time:(float_of_int (20 * n)))

@@ -22,7 +22,7 @@ let () =
   let rng = Prng.create ~seed:7 in
   let fault_rng = Prng.create ~seed:8 in
   let init = Core.Scenarios.silent_uniform rng ~n in
-  let exec = Engine.Exec.make ~kind:Engine.Exec.Count ~protocol ~init ~rng in
+  let exec = Engine.Exec.make ~kind:Engine.Exec.Count ~protocol ~init ~rng () in
   (* Event subscribers see every fault and every return to silence. *)
   let timeline = ref [] in
   Engine.Exec.on exec (fun event ->

@@ -1,23 +1,33 @@
-(** Count-based (Gillespie-style) simulation for deterministic protocols.
+(** Lazy count-based (Gillespie-style) simulation for deterministic
+    protocols.
 
     {!Sim} executes every scheduled interaction, productive or not; near a
     silent configuration almost all interactions are null, so simulating
     Silent-n-state-SSR's Θ(n²) parallel time costs Θ(n³) steps. This engine
-    instead tracks the configuration as {e counts of distinct states},
-    discovers which ordered state pairs have non-null transitions (possible
-    because the protocol is deterministic), and jumps straight from one
-    {e productive} interaction to the next: the number of intervening null
-    interactions is geometric with success probability
-    [W / (n·(n−1))], where [W] is the number of ordered agent pairs whose
-    state pair is productive. The embedded jump chain and the interaction
-    clock are sampled exactly, so results are distributed identically to
-    {!Sim} — only Θ(n³) null busywork is skipped, which lets the Table 1
-    row 1 experiments scale to populations of several thousands.
+    instead tracks the configuration as {e counts of distinct states} —
+    generalized to per-(state, degree-class) counts when a
+    {!Topology.classes} lumping is supplied — discovers which ordered cell
+    pairs have non-null transitions (possible because the protocol is
+    deterministic), and jumps straight over interactions that are known to
+    be null: the number of intervening skipped interactions is geometric
+    with the exact per-tick probability of hitting a pair {e not} known
+    null. The embedded jump chain and the interaction clock are sampled
+    exactly, so results are distributed identically to {!Sim}.
 
-    As a bonus, silence (Observation 2.2's notion) is an O(1) observation
-    here: the configuration is silent exactly when [W = 0], so
-    stabilization of silent protocols is measured {e exactly}, with no
-    confirmation window.
+    Pair knowledge is built lazily. Initially live cells are probed
+    eagerly against each other when there are few enough of them (the
+    engine is then {e drained}: silence is the O(1) observation that no
+    productive pair carries weight, so stabilization of silent protocols
+    is measured exactly, with no confirmation window), and each cell that
+    later {e becomes} live is folded in at that moment. Cells that are
+    merely discovered as transition outcomes but never occur are never
+    probed — which is what lets counter-carrying protocols such as
+    Optimal-silent-SSR run here at n = 10⁶, where the old eager closure
+    exploded. When the live-cell set outgrows the eager budget the engine
+    drops (permanently) to fully lazy probing: pairs are probed the first
+    time the scheduler draws them, null outcomes are cached under a
+    budget, and the silence oracle degrades to three-valued (see
+    {!silent}).
 
     Correctness is tracked incrementally through the same {!Monitor} the
     agent engine uses, fed with multiset deltas, and the engine supports
@@ -26,12 +36,28 @@
 
 type 'a t
 
-val make : protocol:'a Protocol.t -> init:'a array -> rng:Prng.t -> 'a t
+val make :
+  ?classes:Topology.classes ->
+  ?init_probe:bool ->
+  protocol:'a Protocol.t ->
+  init:'a array ->
+  rng:Prng.t ->
+  unit ->
+  'a t
 (** Requires [protocol.deterministic]; raises [Invalid_argument] otherwise.
     States are interned in hash buckets keyed by the polymorphic
     [Hashtbl.hash], so the protocol's [equal] must coincide with structural
     equality — true for the plain-data states of the deterministic
-    protocols in this repository. *)
+    protocols in this repository.
+
+    [classes] lumps the population by topology degree class (default: the
+    single class of the complete graph). When the lumping is not exact
+    ({!lumping_exact} is [false]) the run is the annealed approximation of
+    the fixed graph — callers should surface that.
+
+    [init_probe] forces ([true]) or suppresses ([false]) the eager probe
+    of the initially live cells; by default it runs when there are at most
+    4096 of them. *)
 
 val protocol : 'a t -> 'a Protocol.t
 
@@ -46,7 +72,26 @@ val events : 'a t -> int
 (** Productive interactions executed. *)
 
 val is_silent : 'a t -> bool
-(** [W = 0]: no applicable non-null transition remains. *)
+(** The configuration is {e provably} silent: every scheduled pair is
+    known null. In drained mode this is exactly the old [W = 0] oracle; in
+    lazy mode a genuinely silent configuration may not (yet) be provable —
+    see {!silent} for the honest three-valued answer. *)
+
+val silent : 'a t -> bool option
+(** [Some true] when provably silent; [Some false] when provably not
+    (drained mode knows every live pair); [None] when the lazy engine
+    cannot decide. This is what {!Exec} exposes as the silence oracle, so
+    measurement layers fall back to confirmation windows exactly when
+    needed. *)
+
+val drained : 'a t -> bool
+(** Every live cell is in the probed set (eager mode); silence is decided
+    in O(1) and hits are served from the productive adjacency alone. *)
+
+val lumping_exact : 'a t -> bool
+(** The supplied degree-class lumping reproduces the agent chain exactly
+    (every class-pair subgraph empty or complete). Always [true] without
+    [classes]. *)
 
 val ranking_correct : 'a t -> bool
 val leader_correct : 'a t -> bool
@@ -64,36 +109,50 @@ val monitor_updates : 'a t -> int
 (** Correctness-monitor re-checks (multiset deltas processed). *)
 
 val closure_size : 'a t -> int
-(** Distinct states interned by the probe fixpoint so far — the size of
-    the discovered transition closure (counter-carrying protocols explode
-    here; see ROADMAP). *)
+(** Distinct (state, degree-class) cells interned so far. Unlike the old
+    eager engine this is {e not} the transitive closure: outcome cells
+    that never become live are interned but never probed. *)
 
-val probed_states : 'a t -> int
-(** States whose ordered pairs have all been probed ([≤ closure_size];
-    equal after every public operation). *)
+val pairs_probed : 'a t -> int
+(** Ordered cell pairs whose transition has been evaluated (eager sweeps,
+    liveness-gain folds and lazy on-demand probes alike). *)
+
+val pairs_cached : 'a t -> int
+(** Entries in the explicit pair cache (productive pairs plus budgeted
+    lazy null outcomes; pairs within the probed set are implicit and not
+    counted). *)
+
+val classes_live : 'a t -> int
+(** Cells with a positive count — the live support of the lumped
+    configuration. *)
 
 val productive_pairs : 'a t -> int
-(** Ordered state pairs discovered to have a non-null transition. *)
+(** Ordered cell pairs discovered to have a non-null transition. *)
 
 val productive_weight : 'a t -> int
-(** Current [W]: ordered {e agent} pairs whose interaction would change
-    state. [0] iff {!is_silent}. *)
+(** Ordered {e agent} pairs whose interaction is not known to be null —
+    the generalization of the old [W] (and exactly [W] in drained mode).
+    [0] iff {!is_silent}. *)
 
 val null_skipped : 'a t -> int
 (** [interactions - events]: null interactions skipped (or fast-forwarded
     over) rather than simulated. *)
 
 val step_event : 'a t -> unit
-(** Advance past the (geometrically many) null interactions to the next
-    productive one and execute it. No-op on a silent configuration. *)
+(** Advance past the (geometrically many) known-null interactions to the
+    next possibly-interesting one and execute it. In drained mode that
+    interaction is always a productive event; in lazy mode it may turn
+    out to be a null pair probed for the first time, in which case the
+    interaction is consumed but no event fires (and the skip gets
+    stronger). No-op on a provably silent configuration. *)
 
 val advance : 'a t -> until:int -> bool
 (** [advance t ~until] moves the interaction clock forward by at most one
-    productive event, never past interaction [until].
+    possibly-interesting interaction, never past interaction [until].
 
-    - If the configuration is silent, the clock jumps to [until] and the
-      result is [false] (nothing can ever happen again).
-    - Otherwise a geometric skip is sampled. If the next productive
+    - If the configuration is provably silent, the clock jumps to [until]
+      and the result is [false] (nothing can ever happen again).
+    - Otherwise a geometric skip is sampled. If the next candidate
       interaction lands at or before [until] it is executed; if it lands
       beyond, the clock stops at [until] and the sample is discarded —
       exact in law, because the geometric skip is memoryless. Returns
@@ -106,9 +165,10 @@ val advance : 'a t -> until:int -> bool
 (** {2 Configuration access and fault injection}
 
     Agent identities are a deterministic view over the state multiset:
-    agent [i] holds the [i]-th state when the configuration is enumerated
-    in state-interning order (the order {!snapshot} uses). Agents are
-    exchangeable under the uniform scheduler, so this gives [inject] and
+    agent [i] holds the [r]-th state of its degree class enumerated in
+    cell-interning order (the order {!snapshot} uses), where [r] is [i]'s
+    rank among the class members. Agents of one class are exchangeable
+    under the class-uniform scheduler, so this gives [inject] and
     [corrupt] the same distributional semantics as on {!Sim}. *)
 
 val state : 'a t -> int -> 'a
@@ -127,18 +187,22 @@ val corrupt : 'a t -> rng:Prng.t -> fraction:float -> (Prng.t -> 'a) -> int
     [0,1]. *)
 
 val distinct_states : 'a t -> ('a * int) list
-(** Present states with their multiplicities. *)
+(** Present states with their multiplicities (cells of one state in
+    several degree classes are merged). *)
 
 type outcome = {
-  silent : bool;  (** reached a silent configuration *)
+  silent : bool;  (** reached a provably silent configuration *)
   correct : bool;  (** the silent configuration ranks 1..n *)
   stabilization_time : float;
-      (** parallel time of the last productive interaction — for a silent
-          protocol this is the exact stabilization time *)
+      (** parallel time of the last executed interaction — for a silent
+          protocol on the drained engine this is the exact stabilization
+          time *)
   events : int;
   interactions : int;
 }
 
 val run_to_silence : ?max_events:int -> 'a t -> outcome
-(** Execute productive events until silence (or until [max_events],
-    default 100·n²). *)
+(** Execute engine steps until provable silence (or until [max_events]
+    steps, default 100·n²; in lazy mode a step may be a first-probe null
+    rather than a productive event, and a genuinely silent configuration
+    that cannot be proved silent runs the budget out). *)

@@ -125,7 +125,7 @@ let of_count_sim (type a) (cs : a Count_sim.t) : a t =
     let leader_correct () = Count_sim.leader_correct cs
     let leader_count () = Count_sim.leader_count cs
     let ranked_agents () = Count_sim.ranked_agents cs
-    let silent () = Some (Count_sim.is_silent cs)
+    let silent () = Count_sim.silent cs
     let state i = Count_sim.state cs i
     let snapshot () = Count_sim.snapshot cs
 
@@ -154,17 +154,22 @@ let of_count_sim (type a) (cs : a Count_sim.t) : a t =
         ("events", float_of_int (Count_sim.events cs));
         ("null_skipped", float_of_int (Count_sim.null_skipped cs));
         ("closure_size", float_of_int (Count_sim.closure_size cs));
-        ("probed_states", float_of_int (Count_sim.probed_states cs));
+        ("pairs_probed", float_of_int (Count_sim.pairs_probed cs));
+        ("pairs_cached", float_of_int (Count_sim.pairs_cached cs));
+        ("classes_live", float_of_int (Count_sim.classes_live cs));
         ("productive_pairs", float_of_int (Count_sim.productive_pairs cs));
         ("productive_weight", float_of_int (Count_sim.productive_weight cs));
         ("monitor_updates", float_of_int (Count_sim.monitor_updates cs));
       ]
   end)
 
-let make ~kind ~protocol ~init ~rng =
+let make ?classes ~kind ~protocol ~init ~rng () =
   match kind with
-  | Agent -> of_sim (Sim.make ~protocol ~init ~rng)
-  | Count -> of_count_sim (Count_sim.make ~protocol ~init ~rng)
+  | Agent ->
+      (* [classes] only parameterizes the count engine's lumping; the
+         agent engine takes its topology through [Sim]'s sampler. *)
+      of_sim (Sim.make ~protocol ~init ~rng)
+  | Count -> of_count_sim (Count_sim.make ?classes ~protocol ~init ~rng ())
 
 let protocol (type a) ((module E) : a t) = E.protocol
 let n (type a) ((module E) : a t) = E.protocol.Protocol.n

@@ -17,7 +17,8 @@
       non-null transition is applicable, ever again, so silent-protocol
       stabilization can be reported exactly instead of waiting out a
       confirmation window. The agent engine cannot observe this in O(1)
-      and answers [None];
+      and answers [None], as does the count engine's lazy mode when
+      silence is not (yet) provable;
     - {!on}: subscription to the {!Instrument} event stream ([Step],
       [Correct_entered], [Correct_lost], [Silence], [Fault]).
 
@@ -54,7 +55,8 @@ module type INSTANCE = sig
 
   val silent : unit -> bool option
   (** Exact-silence oracle: [Some b] iff the engine can decide silence in
-      O(1) ([Count_sim]); [None] when it cannot ([Sim]). *)
+      O(1); [None] when it cannot ([Sim] always; [Count_sim] in lazy mode
+      when silence is not provable — see {!Count_sim.silent}). *)
 
   val state : int -> state
   val snapshot : unit -> state array
@@ -80,10 +82,11 @@ module type INSTANCE = sig
   (** Engine-internal counters, scraped by the telemetry layer into its
       metrics registry. Both engines report [interactions], [events] and
       [monitor_updates]; the count engine adds [null_skipped],
-      [closure_size] (probe-fixpoint interned states), [probed_states],
-      [productive_pairs] and [productive_weight]. All are O(1) reads of
-      counters the engines keep anyway — calling this costs nothing on a
-      hot path and not calling it costs nothing at all. *)
+      [closure_size] (interned (state, class) cells), [pairs_probed],
+      [pairs_cached], [classes_live], [productive_pairs] and
+      [productive_weight]. All are O(1) reads of counters the engines
+      keep anyway — calling this costs nothing on a hot path and not
+      calling it costs nothing at all. *)
 end
 
 type 'a t = (module INSTANCE with type state = 'a)
@@ -100,10 +103,19 @@ val of_sim : 'a Sim.t -> 'a t
 val of_count_sim : 'a Count_sim.t -> 'a t
 (** Wrap a count-based simulation. Same caveat as {!of_sim}. *)
 
-val make : kind:kind -> protocol:'a Protocol.t -> init:'a array -> rng:Prng.t -> 'a t
+val make :
+  ?classes:Topology.classes ->
+  kind:kind ->
+  protocol:'a Protocol.t ->
+  init:'a array ->
+  rng:Prng.t ->
+  unit ->
+  'a t
 (** Build a fresh engine of the given kind and wrap it. [Count] requires
     [protocol.deterministic] (raises [Invalid_argument] otherwise, like
-    {!Count_sim.make}). *)
+    {!Count_sim.make}) and honors [classes] (degree-class lumping; see
+    {!Count_sim.make}). The agent engine ignores [classes] — its topology
+    comes in through [Sim]'s scheduler sampler. *)
 
 (** {2 Plain-function view}
 

@@ -27,10 +27,6 @@ let run_to_stability (type a) ?(silence_oracle = true) ~task ~max_interactions
     ~confirm_interactions ((module E : Exec.INSTANCE with type state = a) as exec : a Exec.t)
     =
   let n = Exec.n exec in
-  (* Whether an engine carries the exact oracle is a static capability
-     ([None] on the agent engine, [Some _] on the count engine), so probe
-     it once instead of paying an extra call on every loop iteration. *)
-  let oracle_available = silence_oracle && E.silent () <> None in
   let entered_at = ref None in
   let violations = ref 0 in
   (* Mirrors the engine's interaction counter; refreshed after each
@@ -73,7 +69,10 @@ let run_to_stability (type a) ?(silence_oracle = true) ~task ~max_interactions
   while
     (not !stopped_silent) && (not (finished ())) && !interactions < max_interactions
   do
-    if oracle_available && (match E.silent () with Some true -> true | _ -> false) then
+    (* The oracle is re-consulted every iteration (an O(1) counter read):
+       on the lazy count engine it is not a static capability — it answers
+       [None] until silence becomes provable and [Some true] after. *)
+    if silence_oracle && (match E.silent () with Some true -> true | _ -> false) then
       (* Exact-silence shortcut: no transition is ever applicable again, so
          the current correctness status is final — the confirmation window
          (W = 0 means it would pass vacuously) is skipped. *)

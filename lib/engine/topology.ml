@@ -81,3 +81,83 @@ let sampler t rng =
   if Prng.bool rng then (i, j) else (j, i)
 
 let name t = t.name
+
+(* Degree-class lumping: agents grouped by degree, with the ordered
+   class-pair mixing counts the count engine needs to reproduce the
+   uniform-edge scheduler at the class level. Lumping is exact exactly
+   when every class-pair subgraph is empty or complete: then, conditioned
+   on the scheduler hitting class pair (a, b), the ordered agent pair is
+   uniform over a × b, which is the law the count engine samples. *)
+
+type classes = {
+  graph : string;
+  agents : int;
+  nc : int;
+  class_of : int array;
+  sizes : int array;
+  members : int array array;  (* class -> member agents, ascending *)
+  mix : int array array;  (* ordered: mix.(a).(b) adjacent (i∈a, j∈b) pairs *)
+  exact : bool;
+}
+
+let complete_classes ~n =
+  if n < 2 then invalid_arg "Topology.complete_classes: n must be >= 2";
+  {
+    graph = "complete";
+    agents = n;
+    nc = 1;
+    class_of = Array.make n 0;
+    sizes = [| n |];
+    members = [| Array.init n Fun.id |];
+    mix = [| [| n * (n - 1) |] |];
+    exact = true;
+  }
+
+let degree_classes t =
+  let n = t.n in
+  (* class ids in increasing order of degree; degrees are <= n-1 *)
+  let degree = Array.init n (degree t) in
+  let seen = Array.make n (-1) in
+  let nc = ref 0 in
+  Array.iter
+    (fun d ->
+      if seen.(d) = -1 then begin
+        seen.(d) <- !nc;
+        incr nc
+      end)
+    degree;
+  (* renumber so class ids follow ascending degree, independent of agent
+     order *)
+  let degs = ref [] in
+  Array.iteri (fun d id -> if id >= 0 then degs := d :: !degs) seen;
+  let degs = List.sort compare !degs in
+  List.iteri (fun rank d -> seen.(d) <- rank) degs;
+  let nc = !nc in
+  let class_of = Array.map (fun d -> seen.(d)) degree in
+  let sizes = Array.make nc 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) class_of;
+  let members = Array.map (fun sz -> Array.make sz 0) sizes in
+  let fill = Array.make nc 0 in
+  Array.iteri
+    (fun i c ->
+      members.(c).(fill.(c)) <- i;
+      fill.(c) <- fill.(c) + 1)
+    class_of;
+  let mix = Array.make_matrix nc nc 0 in
+  Array.iter
+    (fun (i, j) ->
+      let a = class_of.(i) and b = class_of.(j) in
+      mix.(a).(b) <- mix.(a).(b) + 1;
+      mix.(b).(a) <- mix.(b).(a) + 1)
+    t.edges;
+  (* exactness: every class-pair subgraph empty or complete. mix.(a).(b)
+     counts ordered adjacent pairs, so "complete" means sizes_a * sizes_b
+     (a <> b) or sizes_a * (sizes_a - 1) (a = b, both orientations). *)
+  let exact = ref true in
+  for a = 0 to nc - 1 do
+    for b = 0 to nc - 1 do
+      let full = if a = b then sizes.(a) * (sizes.(a) - 1) else sizes.(a) * sizes.(b) in
+      if mix.(a).(b) <> 0 && mix.(a).(b) <> full then exact := false
+    done
+  done;
+  { graph = t.name; agents = n; nc; class_of; sizes; members; mix; exact = !exact }

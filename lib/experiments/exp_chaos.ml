@@ -62,7 +62,7 @@ let sweep (type s) table ~tier ~engine ~(protocol : s Engine.Protocol.t)
       let rate = load /. t_rec in
       let reports =
         Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
-            let exec = Engine.Exec.make ~kind:engine ~protocol ~init:(init rng) ~rng in
+            let exec = Engine.Exec.make ~kind:engine ~protocol ~init:(init rng) ~rng () in
             Chaos.Soak.run ~sla_budget
               ~schedule:(Chaos.Schedule.poisson ~rate)
               ~adversary:(Chaos.Adversary.corrupt ~fraction:0.05)
@@ -89,20 +89,23 @@ let run ~mode ~seed ~jobs =
         ~random_state:(fun rng -> Core.Scenarios.silent_random_state rng ~n:n_silent)
         ~t_rec:silent_t_rec ~jobs ~trials ~seed)
     [ Engine.Exec.Agent; Engine.Exec.Count ];
-  (* Optimal-Silent-SSR: Θ(n) recovery. Agent engine only — randomly
-     corrupted counter states (resetcount × delaytimer) blow the count
-     engine's probe closure up to thousands of states, and closure
-     probing is quadratic in that (the counter-explosion limitation
-     documented on Count_sim.closure_size). *)
+  (* Optimal-Silent-SSR: Θ(n) recovery, both engines. Randomly corrupted
+     counter states (resetcount × delaytimer) used to blow the old eager
+     probe fixpoint's closure up quadratically, which forced this tier
+     onto the agent engine; the lazy kernel only probes cell pairs that
+     become live, so the count cell is back. *)
   let n_opt = match mode with Exp_common.Quick -> 24 | Exp_common.Full -> 48 in
   let opt_params = Core.Params.optimal_silent n_opt in
   let opt_protocol = Core.Optimal_silent.protocol ~params:opt_params ~n:n_opt () in
   let opt_t_rec = float_of_int (8 * n_opt) in
-  sweep table ~tier:"optimal" ~engine:Engine.Exec.Agent ~protocol:opt_protocol
-    ~init:(fun _ -> Core.Scenarios.optimal_correct ~n:n_opt)
-    ~random_state:(fun rng ->
-      Core.Scenarios.optimal_random_state rng ~params:opt_params ~n:n_opt)
-    ~t_rec:opt_t_rec ~jobs ~trials ~seed:(seed + 1);
+  List.iter
+    (fun engine ->
+      sweep table ~tier:"optimal" ~engine ~protocol:opt_protocol
+        ~init:(fun _ -> Core.Scenarios.optimal_correct ~n:n_opt)
+        ~random_state:(fun rng ->
+          Core.Scenarios.optimal_random_state rng ~params:opt_params ~n:n_opt)
+        ~t_rec:opt_t_rec ~jobs ~trials ~seed:(seed + 1))
+    [ Engine.Exec.Agent; Engine.Exec.Count ];
   (* Sublinear-Time-SSR is randomized, so the count engine is unsupported
      by design (see Count_sim); agent engine only. *)
   let n_sub = match mode with Exp_common.Quick -> 12 | Exp_common.Full -> 16 in
@@ -122,8 +125,7 @@ let run ~mode ~seed ~jobs =
     "\n\
      (load = expected faults per recovery time (rate · t_rec); each soak starts correct,\n\
      runs 20 recovery times, corrupts 5% of agents per strike, SLA budget 2 recovery\n\
-     times. Two tier×engine combos are absent by design: sublinear×count because the\n\
+     times. One tier×engine combo is absent by design: sublinear×count, because the\n\
      count engine requires a deterministic protocol and Sublinear-Time-SSR is\n\
-     randomized; optimal×count because corrupted counter states explode the probe\n\
-     closure quadratically — the Count_sim.closure_size limitation.)\n";
+     randomized.)\n";
   Buffer.contents buf

@@ -53,7 +53,7 @@ let measure ~label ~protocol ~init ~task ~expected_time ?(engine = Engine.Exec.A
   let outcomes =
     run_trials ?jobs ?pool ~trials ~seed (fun rng ->
         let config = init rng in
-        let exec = Engine.Exec.make ~kind:engine ~protocol ~init:config ~rng in
+        let exec = Engine.Exec.make ~kind:engine ~protocol ~init:config ~rng () in
         let outcome =
           Engine.Runner.run_to_stability ~task
             ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time)

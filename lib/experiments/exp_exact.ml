@@ -10,7 +10,7 @@ let simulate ~engine ~protocol ~init ~jobs ~trials ~seed =
   let n = protocol.Engine.Protocol.n in
   let times =
     Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
-        let exec = Engine.Exec.make ~kind:engine ~protocol ~init ~rng in
+        let exec = Engine.Exec.make ~kind:engine ~protocol ~init ~rng () in
         let o =
           Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
             ~max_interactions:(1000 * n * n)

@@ -50,7 +50,7 @@ let recovery_at_scale buf ~n ~fraction ~jobs ~trials ~seed =
     Exp_common.run_trials ~jobs ~trials ~seed (fun rng ->
         let exec =
           Engine.Exec.make ~kind:Engine.Exec.Count ~protocol
-            ~init:(Core.Scenarios.silent_correct ~n) ~rng
+            ~init:(Core.Scenarios.silent_correct ~n) ~rng ()
         in
         let corrupted =
           Engine.Exec.corrupt exec ~rng ~fraction (fun rng ->

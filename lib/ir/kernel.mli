@@ -64,6 +64,7 @@ val stats : 'a t -> (string * float) list
 
 val exec :
   ?sampler:(Prng.t -> int * int) ->
+  ?classes:Engine.Topology.classes ->
   kind:Engine.Exec.kind ->
   'a t ->
   init:'a array ->
@@ -74,5 +75,7 @@ val exec :
     the boundary ([state], [snapshot], [inject], [corrupt]) so callers
     see source states, and [stats] appends {!stats} to the engine's own.
     [sampler] customizes the agent scheduler ([Invalid_argument] with the
-    count engine, which has no scheduler hook). Raises {!Repr.Escape} if
-    [init] contains undeclared states. *)
+    count engine, which has no scheduler hook); [classes] is the count
+    engine's degree-class lumping (see {!Engine.Count_sim.make}; ignored
+    by the agent engine). Raises {!Repr.Escape} if [init] contains
+    undeclared states. *)

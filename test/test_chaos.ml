@@ -158,7 +158,7 @@ let soak ~kind ~seed ~schedule ~adversary =
   let protocol = Core.Silent_n_state.protocol ~n in
   let rng = Prng.create ~seed in
   let exec =
-    Engine.Exec.make ~kind ~protocol ~init:(Core.Scenarios.silent_correct ~n) ~rng
+    Engine.Exec.make ~kind ~protocol ~init:(Core.Scenarios.silent_correct ~n) ~rng ()
   in
   Chaos.Soak.run ~schedule ~adversary
     ~random_state:(fun rng -> Core.Scenarios.silent_random_state rng ~n)
@@ -227,7 +227,7 @@ let test_soak_validates_arguments () =
   let make () =
     Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol
       ~init:(Core.Scenarios.silent_correct ~n)
-      ~rng:(Prng.create ~seed:36)
+      ~rng:(Prng.create ~seed:36) ()
   in
   let random_state rng = Core.Scenarios.silent_random_state rng ~n in
   raises "horizon zero" (fun () ->

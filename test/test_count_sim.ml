@@ -9,7 +9,7 @@ let test_rejects_randomized () =
   let init = Core.Scenarios.sublinear_fresh rng ~params:(Core.Params.sublinear ~h:0 4) ~n:4 in
   Alcotest.check_raises "randomized rejected"
     (Invalid_argument "Count_sim.make: protocol is randomized") (fun () ->
-      ignore (Engine.Count_sim.make ~protocol:p ~init ~rng))
+      ignore (Engine.Count_sim.make ~protocol:p ~init ~rng ()))
 
 let test_rejects_size_mismatch () =
   let p = Core.Silent_n_state.protocol ~n:4 in
@@ -19,14 +19,14 @@ let test_rejects_size_mismatch () =
       ignore
         (Engine.Count_sim.make ~protocol:p
            ~init:[| Core.Silent_n_state.state_of_rank0 ~n:4 0 |]
-           ~rng:(Prng.create ~seed:1)))
+           ~rng:(Prng.create ~seed:1) ()))
 
 let test_correct_config_is_silent () =
   let n = 8 in
   let p = Core.Silent_n_state.protocol ~n in
   let cs =
     Engine.Count_sim.make ~protocol:p ~init:(Core.Scenarios.silent_correct ~n)
-      ~rng:(Prng.create ~seed:2)
+      ~rng:(Prng.create ~seed:2) ()
   in
   check_bool "silent" true (Engine.Count_sim.is_silent cs);
   check_bool "correct" true (Engine.Count_sim.ranking_correct cs);
@@ -42,7 +42,7 @@ let test_worst_case_event_count () =
   let p = Core.Silent_n_state.protocol ~n in
   let cs =
     Engine.Count_sim.make ~protocol:p ~init:(Core.Scenarios.silent_worst_case ~n)
-      ~rng:(Prng.create ~seed:3)
+      ~rng:(Prng.create ~seed:3) ()
   in
   let o = Engine.Count_sim.run_to_silence cs in
   check_bool "silent" true o.Engine.Count_sim.silent;
@@ -77,7 +77,7 @@ let test_agrees_with_array_engine () =
     for k = 1 to trials do
       let rng = Prng.create ~seed:(9000 + k) in
       let init = Core.Scenarios.silent_uniform rng ~n in
-      let cs = Engine.Count_sim.make ~protocol:p ~init ~rng in
+      let cs = Engine.Count_sim.make ~protocol:p ~init ~rng () in
       let o = Engine.Count_sim.run_to_silence cs in
       acc := !acc +. o.Engine.Count_sim.stabilization_time
     done;
@@ -111,7 +111,7 @@ let test_distribution_matches_array_engine () =
     Array.init trials (fun k ->
         let rng = Prng.create ~seed:(50_000 + k) in
         let init = Core.Scenarios.silent_uniform rng ~n in
-        let cs = Engine.Count_sim.make ~protocol:p ~init ~rng in
+        let cs = Engine.Count_sim.make ~protocol:p ~init ~rng () in
         (Engine.Count_sim.run_to_silence cs).Engine.Count_sim.stabilization_time)
   in
   check_bool "same distribution (KS, alpha=0.01)" true
@@ -121,7 +121,7 @@ let test_distinct_states_counts () =
   let n = 6 in
   let p = Core.Silent_n_state.protocol ~n in
   let init = Array.map (Core.Silent_n_state.state_of_rank0 ~n) [| 0; 0; 0; 2; 2; 5 |] in
-  let cs = Engine.Count_sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:4) in
+  let cs = Engine.Count_sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:4) () in
   let counts =
     Engine.Count_sim.distinct_states cs
     |> List.map (fun (s, c) -> ((s : Core.Silent_n_state.state :> int), c))
@@ -133,7 +133,7 @@ let test_monitor_over_counts () =
   let n = 4 in
   let p = Core.Silent_n_state.protocol ~n in
   let init = Array.map (Core.Silent_n_state.state_of_rank0 ~n) [| 0; 1; 2; 2 |] in
-  let cs = Engine.Count_sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:5) in
+  let cs = Engine.Count_sim.make ~protocol:p ~init ~rng:(Prng.create ~seed:5) () in
   check_bool "initially incorrect" false (Engine.Count_sim.ranking_correct cs);
   check_int "one leader (rank 1 = internal 0)" 1 (Engine.Count_sim.leader_count cs);
   let o = Engine.Count_sim.run_to_silence cs in
@@ -148,7 +148,7 @@ let test_optimal_silent_through_count_engine () =
   let p = Core.Optimal_silent.protocol ~params ~n () in
   let rng = Prng.create ~seed:6 in
   let init = Core.Scenarios.optimal_uniform rng ~params ~n in
-  let cs = Engine.Count_sim.make ~protocol:p ~init ~rng in
+  let cs = Engine.Count_sim.make ~protocol:p ~init ~rng () in
   let o = Engine.Count_sim.run_to_silence cs in
   check_bool "silent" true o.Engine.Count_sim.silent;
   check_bool "ranked" true o.Engine.Count_sim.correct
@@ -158,12 +158,134 @@ let test_interactions_dominate_events () =
   let p = Core.Silent_n_state.protocol ~n in
   let cs =
     Engine.Count_sim.make ~protocol:p ~init:(Core.Scenarios.silent_worst_case ~n)
-      ~rng:(Prng.create ~seed:7)
+      ~rng:(Prng.create ~seed:7) ()
   in
   let o = Engine.Count_sim.run_to_silence cs in
   check_bool "events <= interactions" true (o.Engine.Count_sim.events <= o.Engine.Count_sim.interactions);
   check_bool "null interactions were skipped" true
     (o.Engine.Count_sim.interactions > 10 * o.Engine.Count_sim.events)
+
+(* ---------- lazy probing and the tri-state oracle ---------- *)
+
+let test_tri_state_silence_oracle () =
+  let n = 8 in
+  let p = Core.Silent_n_state.protocol ~n in
+  (* drained: silence decided exactly, both ways *)
+  let cs =
+    Engine.Count_sim.make ~protocol:p ~init:(Core.Scenarios.silent_correct ~n)
+      ~rng:(Prng.create ~seed:31) ()
+  in
+  check_bool "auto-drained" true (Engine.Count_sim.drained cs);
+  Alcotest.(check (option bool)) "provably silent" (Some true) (Engine.Count_sim.silent cs);
+  let cs =
+    Engine.Count_sim.make ~protocol:p ~init:(Core.Scenarios.silent_worst_case ~n)
+      ~rng:(Prng.create ~seed:32) ()
+  in
+  Alcotest.(check (option bool)) "provably live" (Some false) (Engine.Count_sim.silent cs);
+  (* lazy: the same silent configuration is not (yet) provable *)
+  let cs =
+    Engine.Count_sim.make ~init_probe:false ~protocol:p ~init:(Core.Scenarios.silent_correct ~n)
+      ~rng:(Prng.create ~seed:33) ()
+  in
+  check_bool "init_probe:false suppresses the drain" false (Engine.Count_sim.drained cs);
+  Alcotest.(check (option bool)) "lazy cannot decide" None (Engine.Count_sim.silent cs);
+  check_bool "no probes yet" true (Engine.Count_sim.pairs_probed cs = 0)
+
+let test_lazy_matches_drained_law () =
+  (* Forced-lazy probing and the eager drain sample the same chain: the
+     Runner-level convergence times (same observable in both modes) must
+     agree in law. *)
+  let n = 10 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let times init_probe seed0 =
+    Array.init 250 (fun k ->
+        let rng = Prng.create ~seed:(seed0 + k) in
+        let init = Core.Scenarios.silent_uniform rng ~n in
+        let cs = Engine.Count_sim.make ~init_probe ~protocol:p ~init ~rng () in
+        let o =
+          Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+            ~max_interactions:(200 * n * n * n)
+            ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+            (Engine.Exec.of_count_sim cs)
+        in
+        if not o.Engine.Runner.converged then failwith "did not converge";
+        o.Engine.Runner.convergence_time)
+  in
+  let eager = times true 61_000 and lazy_times = times false 62_000 in
+  let d = Stats.Ks.statistic eager lazy_times in
+  check_bool
+    (Printf.sprintf "lazy and drained agree in law (KS D=%.3f)" d)
+    true
+    (Stats.Ks.same_distribution ~alpha:Stats.Ks.P01 eager lazy_times)
+
+(* ---------- degree-class lumping ---------- *)
+
+let test_classes_snapshot_and_faults () =
+  let n = 9 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let classes = Engine.Topology.degree_classes (Engine.Topology.star ~n) in
+  let init = Array.init n (fun i -> Core.Silent_n_state.state_of_rank0 ~n (i mod 4)) in
+  let cs = Engine.Count_sim.make ~classes ~protocol:p ~init ~rng:(Prng.create ~seed:41) () in
+  check_bool "star lumping exact" true (Engine.Count_sim.lumping_exact cs);
+  let ranks_of agents config =
+    List.map (fun i -> (config.(i) : Core.Silent_n_state.state :> int)) agents
+    |> List.sort compare
+  in
+  let leaves = List.init (n - 1) (fun i -> i + 1) in
+  let snap = Engine.Count_sim.snapshot cs in
+  (* the per-agent view preserves each class's multiset (agents within a
+     class are exchangeable, so only the multiset is meaningful) *)
+  Alcotest.(check (list int)) "hub multiset" (ranks_of [ 0 ] init) (ranks_of [ 0 ] snap);
+  Alcotest.(check (list int)) "leaf multiset" (ranks_of leaves init) (ranks_of leaves snap);
+  (* injecting at a leaf changes exactly the leaf class's multiset *)
+  let planted = Core.Silent_n_state.state_of_rank0 ~n 7 in
+  Engine.Count_sim.inject cs 5 planted;
+  let snap' = Engine.Count_sim.snapshot cs in
+  Alcotest.(check (list int)) "hub untouched" (ranks_of [ 0 ] init) (ranks_of [ 0 ] snap');
+  (* exactly one leaf entry was replaced by the planted rank: the new
+     multiset minus one 7 is a sub-multiset of the old one, same size *)
+  let old_leaves = ranks_of leaves snap in
+  let new_leaves = ranks_of leaves snap' in
+  check_bool "planted rank appears among leaves" true (List.mem 7 new_leaves);
+  check_int "population preserved" (List.length old_leaves) (List.length new_leaves);
+  let remove_one x l =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | y :: rest when y = x -> List.rev_append acc rest
+      | y :: rest -> go (y :: acc) rest
+    in
+    go [] l
+  in
+  let is_submultiset a b = List.fold_left (fun b x -> remove_one x b) b a |> List.length
+                           = List.length b - List.length a in
+  check_bool "one swap only" true (is_submultiset (remove_one 7 new_leaves) old_leaves);
+  (* corrupt stays in bounds and reports its count *)
+  let hit =
+    Engine.Count_sim.corrupt cs ~rng:(Prng.create ~seed:43) ~fraction:0.5 (fun rng ->
+        Core.Silent_n_state.state_of_rank0 ~n (Prng.int rng n))
+  in
+  check_int "corrupt count" (int_of_float (Float.round (0.5 *. float_of_int n))) hit;
+  check_int "n preserved" n (Array.length (Engine.Count_sim.snapshot cs))
+
+let test_star_lumping_silent_but_incorrect () =
+  (* A duplicate rank planted on two leaves: the star schedules only
+     hub-leaf pairs, so the duplicates can never meet — the lumped run is
+     provably silent yet incorrect. This is the fixed graph's honest
+     physics (the paper's protocols assume the complete graph), and the
+     exact lumping reproduces it. *)
+  let n = 8 in
+  let p = Core.Silent_n_state.protocol ~n in
+  let classes = Engine.Topology.degree_classes (Engine.Topology.star ~n) in
+  let init = Array.init n (Core.Silent_n_state.state_of_rank0 ~n) in
+  init.(1) <- init.(2);
+  let cs = Engine.Count_sim.make ~classes ~protocol:p ~init ~rng:(Prng.create ~seed:44) () in
+  check_bool "provably silent" true (Engine.Count_sim.is_silent cs);
+  check_bool "yet incorrect" false (Engine.Count_sim.ranking_correct cs);
+  (* the same configuration on the complete graph is live *)
+  let cs =
+    Engine.Count_sim.make ~protocol:p ~init:(Array.copy init) ~rng:(Prng.create ~seed:45) ()
+  in
+  Alcotest.(check (option bool)) "complete graph: live" (Some false) (Engine.Count_sim.silent cs)
 
 let suite =
   [
@@ -177,4 +299,9 @@ let suite =
     Alcotest.test_case "monitor over counts" `Quick test_monitor_over_counts;
     Alcotest.test_case "optimal-silent through count engine" `Slow test_optimal_silent_through_count_engine;
     Alcotest.test_case "null skipping" `Quick test_interactions_dominate_events;
+    Alcotest.test_case "tri-state silence oracle" `Quick test_tri_state_silence_oracle;
+    Alcotest.test_case "lazy matches drained law (KS)" `Slow test_lazy_matches_drained_law;
+    Alcotest.test_case "classes snapshot and faults" `Quick test_classes_snapshot_and_faults;
+    Alcotest.test_case "star lumping silent but incorrect" `Quick
+      test_star_lumping_silent_but_incorrect;
   ]

@@ -31,7 +31,7 @@ let sim_time_to_silence ~n rng =
 (* Count engine: exact event-driven run to silence. *)
 let count_time_to_silence ~n rng =
   let protocol = Core.Silent_n_state.protocol ~n in
-  let cs = Engine.Count_sim.make ~protocol ~init:(Core.Scenarios.silent_worst_case ~n) ~rng in
+  let cs = Engine.Count_sim.make ~protocol ~init:(Core.Scenarios.silent_worst_case ~n) ~rng () in
   let o = Engine.Count_sim.run_to_silence cs in
   if not o.Engine.Count_sim.silent then failwith "count_sim did not reach silence";
   o.Engine.Count_sim.stabilization_time
@@ -90,7 +90,7 @@ let chaos_recovery_times ~kind ~n ~seed =
   Experiments.Exp_common.run_trials ~jobs:2 ~trials:120 ~seed (fun rng ->
       let protocol = Core.Silent_n_state.protocol ~n in
       let exec =
-        Engine.Exec.make ~kind ~protocol ~init:(Core.Scenarios.silent_correct ~n) ~rng
+        Engine.Exec.make ~kind ~protocol ~init:(Core.Scenarios.silent_correct ~n) ~rng ()
       in
       let report =
         Chaos.Soak.run ~schedule ~adversary
@@ -115,10 +115,73 @@ let test_chaos_recovery_agrees_in_law () =
     true
     (Stats.Ks.same_distribution ~alpha:Stats.Ks.P01 agent count)
 
+(* Faults that plant never-seen counter states: Optimal-Silent's correct
+   configuration has a small live support, and a random corruption
+   injects resetcount/delaytimer states no probe has ever evaluated. The
+   count engine discovers those cells only at injection time (the
+   stale-closure regression this guards against), and the recovery law
+   must still match the agent engine's. *)
+let optimal_fault_recovery_times ~make_exec ~n ~seed =
+  Experiments.Exp_common.run_trials ~jobs:2 ~trials:150 ~seed (fun rng ->
+      let params = Core.Params.optimal_silent n in
+      let protocol = Core.Optimal_silent.protocol ~params ~n () in
+      let exec = make_exec ~protocol ~init:(Core.Scenarios.optimal_correct ~n) ~rng in
+      ignore
+        (Engine.Exec.corrupt exec ~rng ~fraction:0.25 (fun rng ->
+             Core.Scenarios.optimal_random_state rng ~params ~n));
+      let o =
+        Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+          ~max_interactions:(10_000 * n)
+          ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+          exec
+      in
+      if not o.Engine.Runner.converged then failwith "recovery did not converge";
+      o.Engine.Runner.convergence_time)
+
+let check_ks ~label a b =
+  let d = Stats.Ks.statistic a b in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (KS D=%.3f)" label d)
+    true
+    (Stats.Ks.same_distribution ~alpha:Stats.Ks.P01 a b)
+
+let test_fault_novel_states_agree_in_law () =
+  let n = 12 in
+  let agent =
+    optimal_fault_recovery_times ~n ~seed:4700 ~make_exec:(fun ~protocol ~init ~rng ->
+        Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol ~init ~rng ())
+  in
+  let count =
+    optimal_fault_recovery_times ~n ~seed:4800 ~make_exec:(fun ~protocol ~init ~rng ->
+        Engine.Exec.make ~kind:Engine.Exec.Count ~protocol ~init ~rng ())
+  in
+  check_ks ~label:"recovery from never-seen states agrees across engines" agent count
+
+let test_lazy_count_recovery_agrees_in_law () =
+  (* Same differential, but the count engine is forced fully lazy
+     (init_probe:false): no drain, every pair probed on demand, silence
+     oracle three-valued — the Runner falls back to its confirmation
+     window, and the law must still match the agent engine's. *)
+  let n = 12 in
+  let agent =
+    optimal_fault_recovery_times ~n ~seed:4900 ~make_exec:(fun ~protocol ~init ~rng ->
+        Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol ~init ~rng ())
+  in
+  let lazy_count =
+    optimal_fault_recovery_times ~n ~seed:5000 ~make_exec:(fun ~protocol ~init ~rng ->
+        Engine.Exec.of_count_sim
+          (Engine.Count_sim.make ~init_probe:false ~protocol ~init ~rng ()))
+  in
+  check_ks ~label:"lazy count engine recovery agrees with agent engine" agent lazy_count
+
 let suite =
   [
     Alcotest.test_case "engines agree in law (KS)" `Slow test_engines_agree_in_law;
     Alcotest.test_case "engine means match exact chain" `Slow test_means_match_exact_chain;
     Alcotest.test_case "chaos recovery agrees in law (KS)" `Slow
       test_chaos_recovery_agrees_in_law;
+    Alcotest.test_case "faults with never-seen states agree in law (KS)" `Slow
+      test_fault_novel_states_agree_in_law;
+    Alcotest.test_case "lazy count recovery agrees in law (KS)" `Slow
+      test_lazy_count_recovery_agrees_in_law;
   ]

@@ -104,7 +104,7 @@ let test_chain_matches_simulation () =
   let acc = ref 0.0 in
   for _ = 1 to trials do
     let rng = Prng.split root in
-    let cs = Engine.Count_sim.make ~protocol ~init ~rng in
+    let cs = Engine.Count_sim.make ~protocol ~init ~rng () in
     acc := !acc +. (Engine.Count_sim.run_to_silence cs).Engine.Count_sim.stabilization_time
   done;
   let simulated = !acc /. float_of_int trials in
@@ -141,7 +141,7 @@ let test_chain_matches_engine_across_configurations () =
         let acc = ref 0.0 in
         for _ = 1 to trials do
           let rng = Prng.split root in
-          let cs = Engine.Count_sim.make ~protocol ~init ~rng in
+          let cs = Engine.Count_sim.make ~protocol ~init ~rng () in
           acc := !acc +. (Engine.Count_sim.run_to_silence cs).Engine.Count_sim.stabilization_time
         done;
         let simulated = !acc /. float_of_int trials in

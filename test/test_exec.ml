@@ -7,7 +7,7 @@ let check_int = Alcotest.(check int)
 let silent_exec ~kind ~n ~seed ~init =
   let protocol = Core.Silent_n_state.protocol ~n in
   let rng = Prng.create ~seed in
-  Engine.Exec.make ~kind ~protocol ~init:(init rng) ~rng
+  Engine.Exec.make ~kind ~protocol ~init:(init rng) ~rng ()
 
 (* ------------------------------------------------------------------ *)
 (* Runner outcome construction (regression tests for the unconverged

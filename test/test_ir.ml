@@ -148,7 +148,7 @@ let compare_trajectories ~key ~kind ~seed ~steps (Analysis.Registry.Any e) =
   let p = e.Engine.Enumerable.protocol in
   let kernel = Ir.Kernel.compile e in
   let init = random_init ~rng:(Prng.create ~seed:(seed + 7)) e in
-  let interp = Engine.Exec.make ~kind ~protocol:p ~init ~rng:(Prng.create ~seed) in
+  let interp = Engine.Exec.make ~kind ~protocol:p ~init ~rng:(Prng.create ~seed) () in
   let compiled = Ir.Kernel.exec ~kind kernel ~init ~rng:(Prng.create ~seed) in
   let exact = Ir.Kernel.exact kernel in
   for i = 1 to steps do
@@ -221,7 +221,7 @@ let qcheck_runner_differential =
       let kernel = Ir.Kernel.compile e in
       let init = random_init ~rng:(Prng.create ~seed:(seed + 13)) e in
       let interp =
-        Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol:p ~init ~rng:(Prng.create ~seed)
+        Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol:p ~init ~rng:(Prng.create ~seed) ()
       in
       let compiled = Ir.Kernel.exec ~kind:Engine.Exec.Agent kernel ~init ~rng:(Prng.create ~seed) in
       let oi = runner_outcome ~exec:interp ~n and oc = runner_outcome ~exec:compiled ~n in
@@ -353,7 +353,7 @@ let test_synthetic_fallback () =
   let init = Core.Scenarios.silent_worst_case ~n in
   let interp =
     Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol:base.Engine.Enumerable.protocol ~init
-      ~rng:(Prng.create ~seed:5)
+      ~rng:(Prng.create ~seed:5) ()
   in
   let compiled = Ir.Kernel.exec ~kind:Engine.Exec.Agent kernel ~init ~rng:(Prng.create ~seed:5) in
   check_bool "fallback kernel matches interpreter" true

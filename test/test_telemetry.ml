@@ -403,7 +403,7 @@ let landmark_stream ~kind =
   let protocol = Core.Silent_n_state.protocol ~n in
   let rng = Prng.create ~seed:5 in
   let init = Core.Scenarios.silent_uniform (Prng.create ~seed:6) ~n in
-  let exec = Engine.Exec.make ~kind ~protocol ~init ~rng in
+  let exec = Engine.Exec.make ~kind ~protocol ~init ~rng () in
   let run = Telemetry.Events.make_run ~engine:kind ~protocol:"Silent-n-state-SSR" ~n ~seed:5 () in
   let sink = Telemetry.Sink.buffer () in
   Telemetry.Events.attach ~step_interval:8 exec ~run sink;
@@ -446,7 +446,7 @@ let test_attach_rejects_bad_interval () =
   let rng = Prng.create ~seed:1 in
   let exec =
     Engine.Exec.make ~kind:Engine.Exec.Agent ~protocol
-      ~init:(Core.Scenarios.silent_correct ~n) ~rng
+      ~init:(Core.Scenarios.silent_correct ~n) ~rng ()
   in
   let run = Telemetry.Events.make_run ~engine:Engine.Exec.Agent ~protocol:"P" ~n ~seed:1 () in
   Alcotest.check_raises "step_interval must be positive"

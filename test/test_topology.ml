@@ -110,6 +110,57 @@ let test_errors () =
     (Invalid_argument "Topology.random_regular: n must exceed the degree") (fun () ->
       ignore (Engine.Topology.random_regular (Prng.create ~seed:1) ~n:4 ~degree:4))
 
+(* ---------- degree-class lumping ---------- *)
+
+let test_degree_classes_star () =
+  let n = 9 in
+  let c = Engine.Topology.degree_classes (Engine.Topology.star ~n) in
+  check_int "two classes" 2 c.Engine.Topology.nc;
+  (* class ids ascend by degree: class 0 = leaves, class 1 = hub *)
+  check_int "leaves" (n - 1) c.Engine.Topology.sizes.(0);
+  check_int "hub" 1 c.Engine.Topology.sizes.(1);
+  check_int "hub is agent 0" 1 c.Engine.Topology.class_of.(0);
+  check_bool "star lumps exactly" true c.Engine.Topology.exact;
+  check_int "leaf-leaf pairs never scheduled" 0 c.Engine.Topology.mix.(0).(0);
+  check_int "hub-hub pairs never scheduled" 0 c.Engine.Topology.mix.(1).(1);
+  check_int "leaf->hub" (n - 1) c.Engine.Topology.mix.(0).(1);
+  check_int "hub->leaf" (n - 1) c.Engine.Topology.mix.(1).(0)
+
+let test_degree_classes_invariants () =
+  let rng = Prng.create ~seed:21 in
+  List.iter
+    (fun t ->
+      let c = Engine.Topology.degree_classes t in
+      let label suffix = Engine.Topology.name t ^ " " ^ suffix in
+      let mix_total =
+        Array.fold_left (fun acc row -> Array.fold_left ( + ) acc row) 0 c.Engine.Topology.mix
+      in
+      check_int (label "mix sums to 2E") (2 * Engine.Topology.edge_count t) mix_total;
+      check_int (label "sizes sum to n") (Engine.Topology.size t)
+        (Array.fold_left ( + ) 0 c.Engine.Topology.sizes);
+      Array.iteri
+        (fun i cl ->
+          check_bool (label "members ascending per class") true
+            (Array.exists (fun m -> m = i) c.Engine.Topology.members.(cl)))
+        c.Engine.Topology.class_of)
+    [
+      Engine.Topology.complete ~n:8;
+      Engine.Topology.ring ~n:9;
+      Engine.Topology.star ~n:7;
+      Engine.Topology.random_regular rng ~n:16 ~degree:4;
+    ]
+
+let test_degree_classes_exactness () =
+  let exact t = (Engine.Topology.degree_classes t).Engine.Topology.exact in
+  check_bool "complete exact" true (exact (Engine.Topology.complete ~n:8));
+  check_bool "ring not exact (annealed)" false (exact (Engine.Topology.ring ~n:9));
+  check_bool "random regular not exact (annealed)" false
+    (exact (Engine.Topology.random_regular (Prng.create ~seed:22) ~n:16 ~degree:4));
+  let cc = Engine.Topology.complete_classes ~n:8 in
+  check_bool "complete_classes exact" true cc.Engine.Topology.exact;
+  check_int "complete_classes single class" 1 cc.Engine.Topology.nc;
+  check_int "complete_classes mix = n(n-1)" (8 * 7) cc.Engine.Topology.mix.(0).(0)
+
 let suite =
   [
     Alcotest.test_case "complete" `Quick test_complete;
@@ -122,4 +173,7 @@ let suite =
     Alcotest.test_case "complete sampler uniform" `Quick test_complete_sampler_matches_uniform;
     Alcotest.test_case "sim on ring topology" `Quick test_sim_with_topology;
     Alcotest.test_case "topology errors" `Quick test_errors;
+    Alcotest.test_case "degree classes: star" `Quick test_degree_classes_star;
+    Alcotest.test_case "degree classes: invariants" `Quick test_degree_classes_invariants;
+    Alcotest.test_case "degree classes: exactness" `Quick test_degree_classes_exactness;
   ]
