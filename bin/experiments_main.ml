@@ -50,9 +50,10 @@ let main list_only full names seed jobs out out_dir =
       (List.map
          (fun e ->
            let name = e.Experiments.Report.name in
-           (* Install an ambient registry per experiment so the trial
-              runner and engines record into it; uninstall before writing
-              so a crash in one experiment never leaks into the next. *)
+           (* Install ambient registries (metrics + figures) per
+              experiment so the trial runner, engines, and chart emitters
+              record into them; uninstall before writing so a crash in
+              one experiment never leaks into the next. *)
            let reg =
              Option.map
                (fun _ ->
@@ -61,10 +62,20 @@ let main list_only full names seed jobs out out_dir =
                  reg)
                out_dir
            in
+           let figs =
+             Option.map
+               (fun _ ->
+                 let figs = Viz.Figures.create () in
+                 Viz.Figures.install figs;
+                 figs)
+               out_dir
+           in
            let t0 = Unix.gettimeofday () in
            let b =
              Fun.protect
-               ~finally:(fun () -> if reg <> None then Telemetry.Metrics.uninstall ())
+               ~finally:(fun () ->
+                 if reg <> None then Telemetry.Metrics.uninstall ();
+                 if figs <> None then Viz.Figures.uninstall ())
                (fun () -> e.Experiments.Report.run ~mode ~seed ~jobs)
            in
            let wall_clock_s = Unix.gettimeofday () -. t0 in
@@ -72,6 +83,20 @@ let main list_only full names seed jobs out out_dir =
              (fun dir ->
                let reg = Option.get reg in
                Telemetry.Metrics.write ~path:(Filename.concat dir (name ^ ".metrics.json")) reg;
+               (* Every figure the experiment emitted, plus its per-phase
+                  wall-time profile when any spans were recorded. *)
+               let write_svg fname chart =
+                 let oc = open_out (Filename.concat dir (fname ^ ".svg")) in
+                 output_string oc (Viz.Plot.render chart);
+                 close_out oc
+               in
+               List.iter
+                 (fun (fname, chart) -> write_svg fname chart)
+                 (Viz.Figures.charts (Option.get figs));
+               let metrics_json = Telemetry.Metrics.to_json reg in
+               let profile = Viz.Charts.phase_profile metrics_json in
+               if Viz.Charts.has_spans metrics_json then
+                 write_svg (name ^ "-phases") profile;
                let manifest =
                  Telemetry.Manifest.make ~run:name ~seed ~jobs
                    ~params:

@@ -99,11 +99,6 @@ let pp_kernel_line kernel =
    always written. *)
 let step_interval ~n = max 1 (n / 2)
 
-let scrape_engine_stats reg exec =
-  List.iter
-    (fun (name, v) -> Telemetry.Metrics.add reg ("engine." ^ name) v)
-    (Engine.Exec.stats exec)
-
 let write_manifest ~events_path ~protocol ~engine ~n ~seed ~trials ~jobs ~params ~wall_clock_s =
   let manifest =
     Telemetry.Manifest.make ~run:"ssr_sim" ~protocol
@@ -115,8 +110,18 @@ let run_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(kernel : s I
     ~(init : s array) ~seed ~verbose ~horizon_scale ~topology ~events ~metrics ~scenario =
   let n = protocol.Engine.Protocol.n in
   let t0 = Unix.gettimeofday () in
+  (* Install the metrics registry before the executor is built so the
+     timed-phase spans (init drain, advance) land in it; [record_exec]
+     publishes the engine counters at the end without per-site scraping. *)
+  let reg = if metrics = None then None else Some (Telemetry.Metrics.create ()) in
+  Option.iter Telemetry.Metrics.install reg;
+  let finish () = if reg <> None then Telemetry.Metrics.uninstall () in
+  Fun.protect ~finally:finish @@ fun () ->
   let rng = Prng.create ~seed in
-  let exec = make_exec ~engine ~protocol ~kernel ~init ~rng ~topology in
+  let exec =
+    Telemetry.Span.wrap "init_drain" (fun () ->
+        make_exec ~engine ~protocol ~kernel ~init ~rng ~topology)
+  in
   let sink = Option.map Telemetry.Sink.file events in
   Option.iter
     (fun sink ->
@@ -135,11 +140,12 @@ let run_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(kernel : s I
     Engine.Exec.on exec (Engine.Instrument.sampled collector metric)
   end;
   let outcome =
-    Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
-      ~max_interactions:
-        (Engine.Runner.default_horizon ~n ~expected_time:(horizon_scale *. float_of_int n))
-      ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-      exec
+    Telemetry.Span.wrap "advance" (fun () ->
+        Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+          ~max_interactions:
+            (Engine.Runner.default_horizon ~n ~expected_time:(horizon_scale *. float_of_int n))
+          ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+          exec)
   in
   if verbose then begin
     Printf.printf "time       leaders  ranked  status\n";
@@ -187,16 +193,15 @@ let run_single (type s) ~engine ~(protocol : s Engine.Protocol.t) ~(kernel : s I
           ]
         ~wall_clock_s)
     sink;
-  (match metrics with
-  | None -> ()
-  | Some path ->
-      let reg = Telemetry.Metrics.create () in
-      scrape_engine_stats reg exec;
+  (match (metrics, reg) with
+  | Some path, Some reg ->
+      Telemetry.Metrics.record_exec exec;
       Telemetry.Metrics.observe reg "trial_wall_s" wall_clock_s;
       Telemetry.Metrics.set reg "converged"
         (if outcome.Engine.Runner.converged then 1.0 else 0.0);
       Telemetry.Metrics.set reg "violations" (float_of_int outcome.Engine.Runner.violations);
-      Telemetry.Metrics.write ~path reg);
+      Telemetry.Metrics.write ~path reg
+  | _ -> ());
   if outcome.Engine.Runner.converged then 0 else 1
 
 let lookup_scenario ~kind catalogue scenario =
@@ -225,36 +230,46 @@ let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
     if events = None then [||] else Array.init trials (fun _ -> Telemetry.Sink.buffer ())
   in
   let reg = Telemetry.Metrics.create () in
+  if metrics <> None then Telemetry.Metrics.install reg;
   let outcomes, pool_stats =
-    Engine.Pool.with_pool ~jobs (fun pool ->
-        let outcomes =
-          Engine.Pool.init pool trials (fun i ->
-              let trial_t0 = Unix.gettimeofday () in
-              let rng = children.(i) in
-              let init = gen rng in
-              let exec = make_exec ~engine ~protocol ~kernel ~init ~rng ~topology in
-              if events <> None then begin
-                let run =
-                  Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name ~n
-                    ~seed ~trial:i ()
-                in
-                Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run buffers.(i)
-              end;
-              let outcome =
-                Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
-                  ~max_interactions:
-                    (Engine.Runner.default_horizon ~n
-                       ~expected_time:(horizon_scale *. float_of_int n))
-                  ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-                  exec
-              in
-              if metrics <> None then begin
-                scrape_engine_stats reg exec;
-                Telemetry.Metrics.observe reg "trial_wall_s" (Unix.gettimeofday () -. trial_t0)
-              end;
-              outcome)
-        in
-        (outcomes, Engine.Pool.stats pool))
+    Fun.protect
+      ~finally:(fun () -> if metrics <> None then Telemetry.Metrics.uninstall ())
+      (fun () ->
+        Engine.Pool.with_pool ~jobs (fun pool ->
+            let outcomes =
+              Engine.Pool.init pool trials (fun i ->
+                  let trial_t0 = Unix.gettimeofday () in
+                  let rng = children.(i) in
+                  let init = gen rng in
+                  let exec =
+                    Telemetry.Span.wrap "init_drain" (fun () ->
+                        make_exec ~engine ~protocol ~kernel ~init ~rng ~topology)
+                  in
+                  if events <> None then begin
+                    let run =
+                      Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name
+                        ~n ~seed ~trial:i ()
+                    in
+                    Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run
+                      buffers.(i)
+                  end;
+                  let outcome =
+                    Telemetry.Span.wrap "advance" (fun () ->
+                        Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+                          ~max_interactions:
+                            (Engine.Runner.default_horizon ~n
+                               ~expected_time:(horizon_scale *. float_of_int n))
+                          ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+                          exec)
+                  in
+                  if metrics <> None then begin
+                    Telemetry.Metrics.record_exec exec;
+                    Telemetry.Metrics.observe reg "trial_wall_s"
+                      (Unix.gettimeofday () -. trial_t0)
+                  end;
+                  outcome)
+            in
+            (outcomes, Engine.Pool.stats pool)))
   in
   let times =
     Array.to_list outcomes
@@ -351,8 +366,15 @@ let run_chaos_single (type s) ~engine ~(protocol : s Engine.Protocol.t)
     ~topology ~events ~metrics ~scenario ~spec ~schedule ~adversary ~sla_budget ~horizon =
   let n = protocol.Engine.Protocol.n in
   let t0 = Unix.gettimeofday () in
+  let reg = if metrics = None then None else Some (Telemetry.Metrics.create ()) in
+  Option.iter Telemetry.Metrics.install reg;
+  let finish () = if reg <> None then Telemetry.Metrics.uninstall () in
+  Fun.protect ~finally:finish @@ fun () ->
   let rng = Prng.create ~seed in
-  let exec = make_exec ~engine ~protocol ~kernel ~init ~rng ~topology in
+  let exec =
+    Telemetry.Span.wrap "init_drain" (fun () ->
+        make_exec ~engine ~protocol ~kernel ~init ~rng ~topology)
+  in
   let sink = Option.map Telemetry.Sink.file events in
   Option.iter
     (fun sink ->
@@ -361,12 +383,9 @@ let run_chaos_single (type s) ~engine ~(protocol : s Engine.Protocol.t)
       in
       Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run sink)
     sink;
-  let reg = if metrics = None then None else Some (Telemetry.Metrics.create ()) in
-  Option.iter Telemetry.Metrics.install reg;
   let report =
-    Fun.protect
-      ~finally:(fun () -> if reg <> None then Telemetry.Metrics.uninstall ())
-      (fun () -> Chaos.Soak.run ?sla_budget ~schedule ~adversary ~random_state ~rng ~horizon exec)
+    Telemetry.Span.wrap "soak" (fun () ->
+        Chaos.Soak.run ?sla_budget ~schedule ~adversary ~random_state ~rng ~horizon exec)
   in
   Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
   Printf.printf "engine              : %s\n" (Engine.Exec.kind_to_string engine);
@@ -387,7 +406,7 @@ let run_chaos_single (type s) ~engine ~(protocol : s Engine.Protocol.t)
     sink;
   (match (metrics, reg) with
   | Some path, Some reg ->
-      scrape_engine_stats reg exec;
+      Telemetry.Metrics.record_exec exec;
       Telemetry.Metrics.observe reg "trial_wall_s" wall_clock_s;
       Telemetry.Metrics.set reg "availability" report.Chaos.Soak.availability;
       Telemetry.Metrics.write ~path reg
@@ -417,7 +436,10 @@ let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
                   let trial_t0 = Unix.gettimeofday () in
                   let rng = children.(i) in
                   let init = gen rng in
-                  let exec = make_exec ~engine ~protocol ~kernel ~init ~rng ~topology in
+                  let exec =
+                    Telemetry.Span.wrap "init_drain" (fun () ->
+                        make_exec ~engine ~protocol ~kernel ~init ~rng ~topology)
+                  in
                   if events <> None then begin
                     let run =
                       Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name
@@ -427,11 +449,12 @@ let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
                       buffers.(i)
                   end;
                   let report =
-                    Chaos.Soak.run ?sla_budget ~schedule ~adversary ~random_state ~rng ~horizon
-                      exec
+                    Telemetry.Span.wrap "soak" (fun () ->
+                        Chaos.Soak.run ?sla_budget ~schedule ~adversary ~random_state ~rng
+                          ~horizon exec)
                   in
                   if metrics <> None then begin
-                    scrape_engine_stats reg exec;
+                    Telemetry.Metrics.record_exec exec;
                     Telemetry.Metrics.observe reg "trial_wall_s"
                       (Unix.gettimeofday () -. trial_t0)
                   end;

@@ -1,12 +1,25 @@
 (* timeline: fold a JSONL events file (ssr_sim --events, experiment runs)
-   into a per-run recovery summary. Examples:
+   into a per-run recovery summary, or serve it live. Examples:
 
      ssr_sim -p silent -n 64 -s worst-case --events run.jsonl
      timeline run.jsonl
      timeline --sla 48 run.jsonl
-     timeline - < run.jsonl *)
+     timeline - < run.jsonl
+     timeline --serve --port 8080 run.jsonl     live dashboard while
+                                                ssr_sim --chaos appends *)
 
-let main sla_budget path =
+let serve_main port path =
+  if path = "-" then begin
+    Printf.eprintf "timeline: --serve needs a file path to tail, not stdin\n";
+    exit 2
+  end;
+  let server = Viz.Serve.create ~port ~path () in
+  Printf.printf "timeline: serving %s on http://127.0.0.1:%d/ (ctrl-c to stop)\n%!" path
+    (Viz.Serve.port server);
+  Viz.Serve.run server;
+  0
+
+let summarize sla_budget path =
   (match sla_budget with
   | Some b when not (b > 0.0) ->
       Printf.eprintf "timeline: --sla budget must be > 0 (got %g)\n" b;
@@ -57,6 +70,8 @@ let main sla_budget path =
               budget misses censored);
       0
 
+let main serve sla_budget port path = if serve then serve_main port path else summarize sla_budget path
+
 open Cmdliner
 
 let path_arg =
@@ -71,9 +86,22 @@ let sla_arg =
   in
   Arg.(value & opt (some float) None & info [ "sla" ] ~docv:"BUDGET" ~doc)
 
+let serve_arg =
+  let doc =
+    "Serve a live dashboard over $(i,FILE) instead of printing a summary: a single-threaded \
+     HTTP server tails the events file (tolerating a writer mid-line) and streams incremental \
+     recovery/availability state to the browser over Server-Sent Events, so a running \
+     $(b,ssr_sim --chaos) soak is watchable as it writes."
+  in
+  Arg.(value & flag & info [ "serve" ] ~doc)
+
+let port_arg =
+  let doc = "Port for --serve (0 picks a free port and prints it)." in
+  Arg.(value & opt int 8080 & info [ "port" ] ~docv:"PORT" ~doc)
+
 let cmd =
   let doc = "summarize a telemetry events file: convergence, violations, fault recovery" in
   let info = Cmd.info "timeline" ~version:"1.0" ~doc in
-  Cmd.v info Term.(const main $ sla_arg $ path_arg)
+  Cmd.v info Term.(const main $ serve_arg $ sla_arg $ port_arg $ path_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -90,7 +90,10 @@ let run (type a) ?sla_budget ?(task = Engine.Runner.Ranking) ~schedule ~adversar
   let fire () =
     incr firings;
     let hit, new_pins =
-      Adversary.apply ~rng:adversary_rng ~random_state ~now:!clock exec adversary
+      (* Rare relative to productive steps, so a span here is cheap; the
+         per-step [advance] below is far too hot to time. *)
+      Telemetry.Span.wrap "inject" (fun () ->
+          Adversary.apply ~rng:adversary_rng ~random_state ~now:!clock exec adversary)
     in
     faults_applied := !faults_applied + hit;
     if hit > 0 then note_fault ();

@@ -57,6 +57,9 @@ let sweep (type s) table ~tier ~engine ~(protocol : s Engine.Protocol.t)
   let nf = float_of_int n in
   let horizon = max 1 (int_of_float (20.0 *. t_rec *. nf)) in
   let sla_budget = max 1 (int_of_float (2.0 *. t_rec *. nf)) in
+  let avail_points = ref [] in
+  let recovered = ref [] in
+  let censored = ref 0 in
   List.iter
     (fun load ->
       let rate = load /. t_rec in
@@ -68,15 +71,31 @@ let sweep (type s) table ~tier ~engine ~(protocol : s Engine.Protocol.t)
               ~adversary:(Chaos.Adversary.corrupt ~fraction:0.05)
               ~random_state ~rng ~horizon exec)
       in
-      Stats.Table.add_row table
-        (row ~tier ~engine ~n ~load ~rate ~trials (Array.to_list reports)))
-    loads
+      let rl = Array.to_list reports in
+      let avail =
+        List.fold_left (fun acc r -> acc +. r.Chaos.Soak.availability) 0.0 rl
+        /. float_of_int (List.length rl)
+      in
+      avail_points := (load, avail) :: !avail_points;
+      List.iter
+        (fun r ->
+          recovered := List.rev_append (Array.to_list r.Chaos.Soak.recovery_times) !recovered;
+          censored := !censored + r.Chaos.Soak.sla.Chaos.Soak.censored)
+        rl;
+      Stats.Table.add_row table (row ~tier ~engine ~n ~load ~rate ~trials rl))
+    loads;
+  ( Printf.sprintf "%s / %s" tier (Engine.Exec.kind_to_string engine),
+    List.rev !avail_points,
+    List.rev !recovered,
+    !censored )
 
 let run ~mode ~seed ~jobs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Experiment CH: availability under sustained faults ==\n\n";
   let trials = Exp_common.trials_of_mode mode ~base:12 in
   let table = Stats.Table.create ~header in
+  let combos = ref [] in
+  let record c = combos := c :: !combos in
   (* Silent-n-state-SSR: Θ(n²) recovery, both engines at the same n so the
      rows are distributionally comparable. *)
   let n_silent = match mode with Exp_common.Quick -> 24 | Exp_common.Full -> 32 in
@@ -84,10 +103,11 @@ let run ~mode ~seed ~jobs =
   let silent_t_rec = float_of_int (n_silent * n_silent) /. 2.0 in
   List.iter
     (fun engine ->
-      sweep table ~tier:"silent" ~engine ~protocol:silent_protocol
-        ~init:(fun _ -> Core.Scenarios.silent_correct ~n:n_silent)
-        ~random_state:(fun rng -> Core.Scenarios.silent_random_state rng ~n:n_silent)
-        ~t_rec:silent_t_rec ~jobs ~trials ~seed)
+      record
+        (sweep table ~tier:"silent" ~engine ~protocol:silent_protocol
+           ~init:(fun _ -> Core.Scenarios.silent_correct ~n:n_silent)
+           ~random_state:(fun rng -> Core.Scenarios.silent_random_state rng ~n:n_silent)
+           ~t_rec:silent_t_rec ~jobs ~trials ~seed))
     [ Engine.Exec.Agent; Engine.Exec.Count ];
   (* Optimal-Silent-SSR: Θ(n) recovery, both engines. Randomly corrupted
      counter states (resetcount × delaytimer) used to blow the old eager
@@ -100,11 +120,12 @@ let run ~mode ~seed ~jobs =
   let opt_t_rec = float_of_int (8 * n_opt) in
   List.iter
     (fun engine ->
-      sweep table ~tier:"optimal" ~engine ~protocol:opt_protocol
-        ~init:(fun _ -> Core.Scenarios.optimal_correct ~n:n_opt)
-        ~random_state:(fun rng ->
-          Core.Scenarios.optimal_random_state rng ~params:opt_params ~n:n_opt)
-        ~t_rec:opt_t_rec ~jobs ~trials ~seed:(seed + 1))
+      record
+        (sweep table ~tier:"optimal" ~engine ~protocol:opt_protocol
+           ~init:(fun _ -> Core.Scenarios.optimal_correct ~n:n_opt)
+           ~random_state:(fun rng ->
+             Core.Scenarios.optimal_random_state rng ~params:opt_params ~n:n_opt)
+           ~t_rec:opt_t_rec ~jobs ~trials ~seed:(seed + 1)))
     [ Engine.Exec.Agent; Engine.Exec.Count ];
   (* Sublinear-Time-SSR is randomized, so the count engine is unsupported
      by design (see Count_sim); agent engine only. *)
@@ -116,10 +137,21 @@ let run ~mode ~seed ~jobs =
     float_of_int
       (sub_params.Core.Params.d_max + (8 * sub_params.Core.Params.t_h) + (8 * n_sub))
   in
-  sweep table ~tier:"sublinear" ~engine:Engine.Exec.Agent ~protocol:sub_protocol
-    ~init:(fun rng -> Core.Scenarios.sublinear_correct rng ~params:sub_params ~n:n_sub)
-    ~random_state:(fun rng -> Core.Scenarios.sublinear_random_state rng ~params:sub_params ~n:n_sub)
-    ~t_rec:sub_t_rec ~jobs ~trials ~seed:(seed + 2);
+  record
+    (sweep table ~tier:"sublinear" ~engine:Engine.Exec.Agent ~protocol:sub_protocol
+       ~init:(fun rng -> Core.Scenarios.sublinear_correct rng ~params:sub_params ~n:n_sub)
+       ~random_state:(fun rng ->
+         Core.Scenarios.sublinear_random_state rng ~params:sub_params ~n:n_sub)
+       ~t_rec:sub_t_rec ~jobs ~trials ~seed:(seed + 2));
+  (* The availability-vs-load and recovery-CDF figures, one series per
+     tier × engine (no-ops without an installed figure registry). *)
+  let combos = List.rev !combos in
+  Viz.Figures.emit "chaos-availability"
+    (Viz.Charts.availability
+       (List.map (fun (label, points, _, _) -> (label, points)) combos));
+  Viz.Figures.emit "recovery-cdf"
+    (Viz.Charts.recovery_samples
+       (List.map (fun (label, _, times, censored) -> (label, times, censored)) combos));
   Buffer.add_string buf (Stats.Table.render table);
   Buffer.add_string buf
     "\n\

@@ -53,12 +53,16 @@ let measure ~label ~protocol ~init ~task ~expected_time ?(engine = Engine.Exec.A
   let outcomes =
     run_trials ?jobs ?pool ~trials ~seed (fun rng ->
         let config = init rng in
-        let exec = Engine.Exec.make ~kind:engine ~protocol ~init:config ~rng () in
+        let exec =
+          Telemetry.Span.wrap "init_drain" (fun () ->
+              Engine.Exec.make ~kind:engine ~protocol ~init:config ~rng ())
+        in
         let outcome =
-          Engine.Runner.run_to_stability ~task
-            ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time)
-            ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-            exec
+          Telemetry.Span.wrap "advance" (fun () ->
+              Engine.Runner.run_to_stability ~task
+                ~max_interactions:(Engine.Runner.default_horizon ~n ~expected_time)
+                ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+                exec)
         in
         let silent =
           if outcome.Engine.Runner.converged && check_silence then
@@ -71,12 +75,7 @@ let measure ~label ~protocol ~init ~task ~expected_time ?(engine = Engine.Exec.A
                   (Engine.Silence.configuration_is_silent protocol (Engine.Exec.snapshot exec))
           else None
         in
-        (match Telemetry.Metrics.ambient () with
-        | None -> ()
-        | Some reg ->
-            List.iter
-              (fun (name, v) -> Telemetry.Metrics.add reg ("engine." ^ name) v)
-              (Engine.Exec.stats exec));
+        Telemetry.Metrics.record_exec exec;
         {
           time =
             (if outcome.Engine.Runner.converged then

@@ -33,6 +33,20 @@ let sweep ~buf ~title ~expected_exponent ~ns ~measure_one =
            fit.Stats.Regression.slope fit.Stats.Regression.r2));
   points
 
+(* Aggregated (n, mean, ±95%) points for the scaling figure; sizes where
+   every trial failed contribute no point. *)
+let fit_points points =
+  List.filter_map
+    (fun (n, m) ->
+      let times = m.Exp_common.times in
+      if Array.length times = 0 then None
+      else
+        Some
+          ( float_of_int n,
+            Exp_common.mean_time m,
+            if Array.length times < 2 then 0.0 else Stats.Summary.ci95_halfwidth times ))
+    points
+
 let silence_cells points =
   List.map
     (fun (_, m) ->
@@ -93,7 +107,7 @@ let run ~mode ~seed ~jobs =
      the state space is quasi-exponential and the history trees genuinely
      reach ~n^H nodes (see DESIGN.md). *)
   let ns3 = match mode with Exp_common.Quick -> [ 4; 8; 12 ] | Exp_common.Full -> [ 4; 6; 8; 12; 16 ] in
-  let _row3 =
+  let row3 =
     sweep ~buf
       ~title:
         "Sublinear-Time-SSR, H=⌈log₂ n⌉ (hidden name collision) — paper: Θ(log n), not silent"
@@ -109,7 +123,7 @@ let run ~mode ~seed ~jobs =
   in
   (* Row 4: Sublinear-Time-SSR with fixed H = 1: Θ(n^{1/2}). *)
   let ns4 = match mode with Exp_common.Quick -> [ 8; 16; 32 ] | Exp_common.Full -> [ 8; 16; 32; 64; 128 ] in
-  let _row4 =
+  let row4 =
     sweep ~buf
       ~title:"Sublinear-Time-SSR, H=1 (hidden name collision) — paper: Θ(H·n^{1/(H+1)}) = Θ(√n)"
       ~expected_exponent:(Some 0.5) ~ns:ns4 ~measure_one:(fun n ->
@@ -122,6 +136,17 @@ let run ~mode ~seed ~jobs =
           ~expected_time:(float_of_int (params.Core.Params.d_max + (4 * params.Core.Params.t_h) + 50))
           ~jobs ~trials ~seed:(seed + 3) ())
   in
+  (* The Table-1 scaling figure: all four sweeps on one log-log chart
+     with their regression overlays (a no-op unless experiments_main
+     --out-dir installed a figure registry). *)
+  Viz.Figures.emit "table1-slope"
+    (Viz.Charts.slope_points ~title:"Table 1: convergence time vs population size"
+       [
+         ("silent-n-state", fit_points row1);
+         ("optimal-silent", fit_points row2);
+         ("sublinear-log", fit_points row3);
+         ("sublinear-h1", fit_points row4);
+       ]);
   (* States column. *)
   let table = Stats.Table.create ~header:[ "protocol"; "n"; "states"; "log2(states)" ] in
   List.iter

@@ -96,3 +96,9 @@ let install t = Atomic.set installed (Some t)
 let uninstall () = Atomic.set installed None
 
 let ambient () = Atomic.get installed
+
+let record_exec exec =
+  match ambient () with
+  | None -> ()
+  | Some t ->
+      List.iter (fun (name, v) -> add t ("engine." ^ name) v) (Engine.Exec.stats exec)

@@ -55,3 +55,12 @@ val install : t -> unit
 val uninstall : unit -> unit
 
 val ambient : unit -> t option
+
+val record_exec : 'a Engine.Exec.t -> unit
+(** Publishes [Engine.Exec.stats] of the executor into the ambient
+    registry as [engine.<name>] counters (pairs_probed, pairs_cached,
+    classes_live, null_skipped, …) — the single scrape point drivers call
+    at run end so engine internals land in metrics files and the
+    dashboard without per-caller plumbing. No-op without an ambient
+    registry; counters {e accumulate} across trials recorded into the
+    same registry. *)

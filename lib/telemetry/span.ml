@@ -1,0 +1,15 @@
+let prefix = "span."
+
+let record name seconds =
+  match Metrics.ambient () with
+  | None -> ()
+  | Some reg -> Metrics.observe reg (prefix ^ name) seconds
+
+let wrap name f =
+  match Metrics.ambient () with
+  | None -> f ()
+  | Some reg ->
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () -> Metrics.observe reg (prefix ^ name) (Unix.gettimeofday () -. t0))
+        f

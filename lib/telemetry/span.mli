@@ -1,0 +1,30 @@
+(** Timed phases recorded into the ambient {!Metrics} registry.
+
+    A span is a named wall-clock duration — "how long did the init drain
+    take", "how long did this advance window run" — observed into the
+    ambient registry's histogram [span.<name>]. Spans piggyback on the
+    existing metrics pipeline: they appear in [--metrics] dumps under
+    [histograms] and feed the per-phase profile panel
+    ({!Viz.Charts.phase_profile} and the live dashboard).
+
+    Spans are diagnostics, not results: they read the wall clock, so their
+    values vary run to run and must never influence simulation behaviour
+    or reported (deterministic) outputs. When no ambient registry is
+    installed, {!wrap} costs one atomic read and takes no timestamps, so
+    instrumented code paths stay free by default. Spans are recorded at
+    phase granularity (a trial, a drain, a soak segment), never inside
+    engine hot loops. *)
+
+val prefix : string
+(** Histogram name prefix, ["span."]. Everything under it in a metrics
+    dump is a phase-duration histogram in seconds. *)
+
+val wrap : string -> (unit -> 'a) -> 'a
+(** [wrap name f] runs [f ()] and observes its wall-clock duration (in
+    seconds) into the ambient registry as [span.<name>]. The duration is
+    recorded even when [f] raises. Without an ambient registry this is
+    just [f ()]. *)
+
+val record : string -> float -> unit
+(** [record name seconds] observes an externally measured duration into
+    [span.<name>] of the ambient registry (no-op without one). *)

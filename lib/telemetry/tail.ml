@@ -1,0 +1,66 @@
+type t = {
+  path : string;
+  chunk : Bytes.t;
+  partial : Buffer.t;  (* bytes of the current unterminated final line *)
+  mutable fd : Unix.file_descr option;
+  mutable dropped : int;
+}
+
+let create ~path =
+  { path; chunk = Bytes.create 65536; partial = Buffer.create 256; fd = None; dropped = 0 }
+
+let dropped t = t.dropped
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      t.fd <- None;
+      Unix.close fd
+
+let ensure_open t =
+  match t.fd with
+  | Some fd -> Some fd
+  | None -> (
+      match Unix.openfile t.path [ Unix.O_RDONLY ] 0 with
+      | fd ->
+          t.fd <- Some fd;
+          Some fd
+      | exception Unix.Unix_error (_, _, _) -> None)
+
+(* Consume complete lines out of [t.partial], leaving the unterminated
+   remainder in place. *)
+let drain_lines t =
+  let data = Buffer.contents t.partial in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some last_nl ->
+      Buffer.clear t.partial;
+      Buffer.add_string t.partial
+        (String.sub data (last_nl + 1) (String.length data - last_nl - 1));
+      let complete = String.sub data 0 last_nl in
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else
+            match Events.of_line line with
+            | Ok decoded -> Some decoded
+            | Error _ ->
+                t.dropped <- t.dropped + 1;
+                None)
+        (String.split_on_char '\n' complete)
+
+let poll t =
+  match ensure_open t with
+  | None -> []
+  | Some fd ->
+      let rec read_all () =
+        match Unix.read fd t.chunk 0 (Bytes.length t.chunk) with
+        | 0 -> ()
+        | k ->
+            Buffer.add_subbytes t.partial t.chunk 0 k;
+            read_all ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all ()
+      in
+      read_all ();
+      drain_lines t

@@ -1,0 +1,29 @@
+(** Incremental reader for a JSONL events file that is still being written.
+
+    [timeline --serve] tails the events file of a running soak: each
+    {!poll} picks up the bytes appended since the last one, decodes every
+    {e complete} line, and buffers a trailing partial line (a write caught
+    mid-[Sink.write_line]) until a later poll completes it. The file may
+    not exist yet when the tail is created — polls return [[]] until it
+    appears.
+
+    Undecodable complete lines are skipped and counted ({!dropped}), not
+    fatal: a live view should survive a corrupt line rather than die
+    mid-soak. Offline strict decoding is {!Timeline.load}'s job. *)
+
+type t
+
+val create : path:string -> t
+(** No I/O happens until the first {!poll}. *)
+
+val poll : t -> (Events.run * Engine.Instrument.event) list
+(** Decoded events from lines completed since the last poll, in file
+    order. [[]] when nothing new was appended (or the file does not exist
+    yet). *)
+
+val dropped : t -> int
+(** Complete lines skipped so far because they failed to decode (blank
+    lines are not counted). *)
+
+val close : t -> unit
+(** Releases the file descriptor. Later polls reopen the file. *)

@@ -17,6 +17,7 @@ type summary = {
   silent_at : float option;
   end_time : float;
   end_interactions : int;
+  correct_interactions : int;
   bursts : burst list;
 }
 
@@ -30,6 +31,8 @@ type acc = {
   mutable a_silent : float option;
   mutable a_end_time : float;
   mutable a_end_interactions : int;
+  mutable a_correct_since : int option;  (* interaction count at last Correct_entered *)
+  mutable a_correct_acc : int;  (* interactions spent correct in closed intervals *)
   mutable a_bursts : burst list;  (* reversed *)
   mutable a_open : burst option;  (* burst awaiting its Correct_entered *)
 }
@@ -47,12 +50,18 @@ let feed acc (event : Engine.Instrument.event) =
   acc.a_end_interactions <- max acc.a_end_interactions (Engine.Instrument.interactions event);
   match event with
   | Engine.Instrument.Step _ -> acc.a_steps <- acc.a_steps + 1
-  | Engine.Instrument.Correct_entered { time; _ } ->
+  | Engine.Instrument.Correct_entered { time; interactions; _ } ->
       if acc.a_first_correct = None then acc.a_first_correct <- Some time;
       acc.a_last_correct <- Some time;
+      if acc.a_correct_since = None then acc.a_correct_since <- Some interactions;
       close_burst acc (Some time)
-  | Engine.Instrument.Correct_lost _ ->
+  | Engine.Instrument.Correct_lost { interactions; _ } ->
       acc.a_violations <- acc.a_violations + 1;
+      (match acc.a_correct_since with
+      | Some since ->
+          acc.a_correct_acc <- acc.a_correct_acc + (interactions - since);
+          acc.a_correct_since <- None
+      | None -> ());
       (match acc.a_open with Some b -> acc.a_open <- Some { b with broke = true } | None -> ())
   | Engine.Instrument.Silence { time; _ } -> acc.a_silent <- Some time
   | Engine.Instrument.Fault { agents; time; _ } -> (
@@ -72,65 +81,110 @@ let feed acc (event : Engine.Instrument.event) =
                 recovered_at = None;
               })
 
-let fold events =
-  let table : (string, acc) Hashtbl.t = Hashtbl.create 16 in
-  let order = ref [] in
-  List.iter
-    (fun ((run : Events.run), event) ->
-      let acc =
-        match Hashtbl.find_opt table run.Events.id with
-        | Some acc -> acc
-        | None ->
-            let acc =
-              {
-                a_run = run;
-                a_events = 0;
-                a_steps = 0;
-                a_first_correct = None;
-                a_last_correct = None;
-                a_violations = 0;
-                a_silent = None;
-                a_end_time = 0.0;
-                a_end_interactions = 0;
-                a_bursts = [];
-                a_open = None;
-              }
-            in
-            Hashtbl.add table run.Events.id acc;
-            order := run.Events.id :: !order;
-            acc
-      in
-      feed acc event)
-    events;
-  List.rev_map
-    (fun id ->
-      let acc = Hashtbl.find table id in
-      close_burst acc None;
-      {
-        run = acc.a_run;
-        events = acc.a_events;
-        steps = acc.a_steps;
-        first_correct_at = acc.a_first_correct;
-        last_correct_at = acc.a_last_correct;
-        violations = acc.a_violations;
-        silent_at = acc.a_silent;
-        end_time = acc.a_end_time;
-        end_interactions = acc.a_end_interactions;
-        bursts = List.rev acc.a_bursts;
-      })
-    !order
+(* Non-destructive: an open burst already carries [recovered_at = None],
+   so appending it unchanged is exactly [close_burst acc None] without
+   losing the ability to keep feeding (live snapshots). *)
+let summary_of_acc acc =
+  {
+    run = acc.a_run;
+    events = acc.a_events;
+    steps = acc.a_steps;
+    first_correct_at = acc.a_first_correct;
+    last_correct_at = acc.a_last_correct;
+    violations = acc.a_violations;
+    silent_at = acc.a_silent;
+    end_time = acc.a_end_time;
+    end_interactions = acc.a_end_interactions;
+    correct_interactions =
+      (acc.a_correct_acc
+      + match acc.a_correct_since with
+        | Some since -> acc.a_end_interactions - since
+        | None -> 0);
+    bursts =
+      List.rev (match acc.a_open with Some b -> b :: acc.a_bursts | None -> acc.a_bursts);
+  }
 
+type state = {
+  table : (string, acc) Hashtbl.t;
+  mutable order : string list;  (* run ids, reversed first-appearance order *)
+}
+
+let state () = { table = Hashtbl.create 16; order = [] }
+
+let push st ((run : Events.run), event) =
+  let acc =
+    match Hashtbl.find_opt st.table run.Events.id with
+    | Some acc -> acc
+    | None ->
+        let acc =
+          {
+            a_run = run;
+            a_events = 0;
+            a_steps = 0;
+            a_first_correct = None;
+            a_last_correct = None;
+            a_violations = 0;
+            a_silent = None;
+            a_end_time = 0.0;
+            a_end_interactions = 0;
+            a_correct_since = None;
+            a_correct_acc = 0;
+            a_bursts = [];
+            a_open = None;
+          }
+        in
+        Hashtbl.add st.table run.Events.id acc;
+        st.order <- run.Events.id :: st.order;
+        acc
+  in
+  feed acc event
+
+let snapshot st =
+  List.rev_map (fun id -> summary_of_acc (Hashtbl.find st.table id)) st.order
+
+let fold events =
+  let st = state () in
+  List.iter (push st) events;
+  snapshot st
+
+let availability s =
+  if s.end_interactions = 0 then if s.last_correct_at <> None then 1.0 else 0.0
+  else float_of_int s.correct_interactions /. float_of_int s.end_interactions
+
+(* Reads the channel to EOF up front so the final line's termination is
+   known: a trailing line without '\n' is a live or crashed writer caught
+   mid-append, so if it fails to decode it is dropped rather than failing
+   the load. Complete undecodable lines still fail with their number. *)
 let load ic =
-  let rec loop lineno acc =
-    match input_line ic with
-    | exception End_of_file -> Ok (List.rev acc)
-    | line when String.trim line = "" -> loop (lineno + 1) acc
-    | line -> (
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec read_all () =
+    let k = input ic chunk 0 (Bytes.length chunk) in
+    if k > 0 then begin
+      Buffer.add_subbytes buf chunk 0 k;
+      read_all ()
+    end
+  in
+  read_all ();
+  let data = Buffer.contents buf in
+  let lines = String.split_on_char '\n' data in
+  (* After split, every element but the last was '\n'-terminated; the
+     last is "" for a terminated file, or the unterminated tail. *)
+  let rec loop lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | [ last ] ->
+        if String.trim last = "" then Ok (List.rev acc)
+        else (
+          match Events.of_line last with
+          | Ok decoded -> Ok (List.rev (decoded :: acc))
+          | Error _ -> Ok (List.rev acc) (* truncated final line: tolerate *))
+    | line :: rest when String.trim line = "" -> loop (lineno + 1) acc rest
+    | line :: rest -> (
         match Events.of_line line with
-        | Ok decoded -> loop (lineno + 1) (decoded :: acc)
+        | Ok decoded -> loop (lineno + 1) (decoded :: acc) rest
         | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
   in
-  loop 1 []
+  loop 1 [] lines
 
 let recovery_time b =
   match b.recovered_at with Some t -> Some (t -. b.last_at) | None -> None
@@ -182,6 +236,9 @@ let pp_summary ?sla_budget fmt s =
   | None -> ());
   Format.fprintf fmt "  end of stream     : t=%.2f (interaction %d)@\n" s.end_time
     s.end_interactions;
+  if s.violations > 0 || s.bursts <> [] then
+    Format.fprintf fmt "  availability      : %.3f (fraction of interactions spent correct)@\n"
+      (availability s);
   if s.bursts <> [] then begin
     Format.fprintf fmt "  fault bursts      : %d@\n" (List.length s.bursts);
     List.iteri

@@ -35,6 +35,10 @@ type summary = {
   silent_at : float option;  (** first [Silence] of the final silent stretch *)
   end_time : float;
   end_interactions : int;
+  correct_interactions : int;
+      (** interactions spent inside a correct stretch, integrated exactly
+          from the [Correct_entered]/[Correct_lost] landmarks (which are
+          never thinned); the numerator of {!availability} *)
   bursts : burst list;  (** chronological *)
 }
 
@@ -42,9 +46,33 @@ val fold : (Events.run * Engine.Instrument.event) list -> summary list
 (** Groups by run id (summaries in first-appearance order; events of
     different runs may interleave freely). *)
 
+(** {2 Incremental folding}
+
+    The live dashboard ([timeline --serve]) feeds events as they are
+    tailed from a growing file and snapshots summaries between polls.
+    {!fold} is [state]/[push]/[snapshot] run to completion. *)
+
+type state
+
+val state : unit -> state
+val push : state -> Events.run * Engine.Instrument.event -> unit
+
+val snapshot : state -> summary list
+(** Current summaries, in first-appearance order. Non-destructive: more
+    events may be pushed afterwards. A fault burst still awaiting its
+    [Correct_entered] appears with [recovered_at = None]. *)
+
+val availability : summary -> float
+(** Fraction of the stream's interactions spent correct
+    ([correct_interactions / end_interactions]). An empty stream counts
+    as 0 unless it converged ([last_correct_at] set). *)
+
 val load : in_channel -> ((Events.run * Engine.Instrument.event) list, string) result
 (** Reads a JSONL stream to EOF. Empty lines are skipped; the first
-    undecodable line fails the whole load with its line number. *)
+    undecodable {e complete} line fails the whole load with its line
+    number. A final line with no terminating newline that fails to decode
+    is dropped instead: it is a writer caught mid-append (live tailing) or
+    a crashed run's torn last write, not a corrupt file. *)
 
 val recovery_time : burst -> float option
 (** [recovered_at - last_at], the time-to-correct the recovery tables

@@ -1,0 +1,27 @@
+type t = { mutex : Mutex.t; mutable charts : (string * Plot.chart) list (* reversed *) }
+
+let create () = { mutex = Mutex.create (); charts = [] }
+
+let installed : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set installed (Some t)
+
+let uninstall () = Atomic.set installed None
+
+let ambient () = Atomic.get installed
+
+let emit name chart =
+  match ambient () with
+  | None -> ()
+  | Some t ->
+      Mutex.lock t.mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.mutex)
+        (fun () ->
+          if List.mem_assoc name t.charts then
+            t.charts <- List.map (fun (n, c) -> if n = name then (n, chart) else (n, c)) t.charts
+          else t.charts <- (name, chart) :: t.charts)
+
+let charts t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () -> List.rev t.charts)

@@ -1,0 +1,27 @@
+(** Ambient figure registry: experiments emit named charts as they run.
+
+    The mirror of {!Telemetry.Metrics}'s ambient registry for figures:
+    [experiments_main --out-dir] installs one, the experiment bodies
+    {!emit} charts at the point where the data exists (next to the text
+    table they already print), and the driver writes each chart to
+    [<name>.svg] beside the manifests. Library code stays
+    rendering-agnostic — without an installed registry {!emit} is an
+    atomic read and a dropped value. Thread-safe for the same reason
+    {!Telemetry.Metrics} is: emission happens at experiment granularity,
+    where a mutex is noise. *)
+
+type t
+
+val create : unit -> t
+
+val emit : string -> Plot.chart -> unit
+(** [emit name chart] records the chart under [name] (a filename stem,
+    e.g. ["table1-slope-silent"]) in the ambient registry, replacing any
+    previous chart with the same name. No-op without one. *)
+
+val charts : t -> (string * Plot.chart) list
+(** Charts in first-emission order. *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val ambient : unit -> t option

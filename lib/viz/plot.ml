@@ -1,0 +1,412 @@
+type mark =
+  | Line of (float * float) array
+  | Points of (float * float) array
+  | Line_points of (float * float) array
+  | Errorbar of (float * float * float) array
+  | Step of (float * float) array
+  | Bars of (float * float * float) array
+
+type series = { label : string option; color : int option; dash : bool; mark : mark }
+
+let series ?label ?color ?(dash = false) mark = { label; color; dash; mark }
+
+type chart = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_kind : Scale.kind;
+  y_kind : Scale.kind;
+  x_domain : (float * float) option;
+  y_domain : (float * float) option;
+  x_categories : string array;
+  notes : string list;
+  width : int;
+  height : int;
+  series : series list;
+}
+
+let chart ?(x_label = "") ?(y_label = "") ?(x_kind = Scale.Linear) ?(y_kind = Scale.Linear)
+    ?x_domain ?y_domain ?(x_categories = [||]) ?(notes = []) ?(width = 640) ?(height = 400)
+    ~title series =
+  {
+    title;
+    x_label;
+    y_label;
+    x_kind;
+    y_kind;
+    x_domain;
+    y_domain;
+    x_categories;
+    notes;
+    width;
+    height;
+    series;
+  }
+
+(* Categorical palette and chart chrome (light mode — standalone SVG
+   files render on the light surface). Slots are assigned in fixed order,
+   never cycled into generated hues. *)
+let palette =
+  [| "#2a78d6"; "#eb6834"; "#1baf7a"; "#eda100"; "#e87ba4"; "#008300"; "#4a3aa7"; "#e34948" |]
+
+let slot i = palette.(((i mod Array.length palette) + Array.length palette) mod Array.length palette)
+
+let ink = "#0b0b0b"
+let secondary = "#52514e"
+let muted = "#898781"
+let gridline = "#e1e0d9"
+let baseline = "#c3c2b7"
+let surface = "#fcfcfb"
+
+(* Data extent in axis space. On a log axis non-positive values are
+   excluded (they clamp to the edge at draw time). *)
+type extent = { mutable lo : float option; mutable hi : float option }
+
+let see kind ext v =
+  if Float.is_finite v && not (kind = Scale.Log && v <= 0.0) then begin
+    (match ext.lo with Some lo when lo <= v -> () | _ -> ext.lo <- Some v);
+    match ext.hi with Some hi when hi >= v -> () | _ -> ext.hi <- Some v
+  end
+
+let extents c =
+  let ex = { lo = None; hi = None } and ey = { lo = None; hi = None } in
+  let sx = see c.x_kind ex and sy = see c.y_kind ey in
+  List.iter
+    (fun s ->
+      match s.mark with
+      | Line pts | Points pts | Line_points pts | Step pts ->
+          Array.iter
+            (fun (x, y) ->
+              sx x;
+              sy y)
+            pts
+      | Errorbar pts ->
+          Array.iter
+            (fun (x, y, e) ->
+              sx x;
+              sy y;
+              sy (y -. e);
+              sy (y +. e))
+            pts
+      | Bars bars ->
+          Array.iter
+            (fun (x0, x1, y) ->
+              sx x0;
+              sx x1;
+              sy y;
+              sy 0.0)
+            bars)
+    c.series;
+  (ex, ey)
+
+(* Pad a data extent so marks clear the frame. A zero linear edge stays
+   pinned (baselines matter more than breathing room). *)
+let pad kind (lo, hi) =
+  match kind with
+  | Scale.Linear ->
+      let d = hi -. lo in
+      if d <= 0.0 then (lo, hi)
+      else
+        let p = 0.04 *. d in
+        ((if lo = 0.0 then 0.0 else lo -. p), hi +. p)
+  | Scale.Log ->
+      if lo > 0.0 && hi > lo then begin
+        let f = (hi /. lo) ** 0.04 in
+        (lo /. f, hi *. f)
+      end
+      else (lo, hi)
+
+let resolve_domain kind override (ext : extent) =
+  match override with
+  | Some d -> d
+  | None -> (
+      match (ext.lo, ext.hi) with
+      | Some lo, Some hi -> pad kind (lo, hi)
+      | _ -> ( match kind with Scale.Linear -> (0.0, 1.0) | Scale.Log -> (0.1, 10.0)))
+
+let f = Svg.fmt
+
+let line_attrs color dash =
+  [
+    ("fill", "none");
+    ("stroke", color);
+    ("stroke-width", "2");
+    ("stroke-linejoin", "round");
+    ("stroke-linecap", "round");
+  ]
+  @ if dash then [ ("stroke-dasharray", "5 4") ] else []
+
+let path_of points =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i (x, y) ->
+      Buffer.add_string buf (if i = 0 then "M" else "L");
+      Buffer.add_string buf (f x);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (f y))
+    points;
+  Buffer.contents buf
+
+let step_path_of points =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i (x, y) ->
+      if i = 0 then Buffer.add_string buf (Printf.sprintf "M%s %s" (f x) (f y))
+      else Buffer.add_string buf (Printf.sprintf "H%s V%s" (f x) (f y)))
+    points;
+  Buffer.contents buf
+
+let dot (x, y) color =
+  Svg.el "circle"
+    [
+      ("cx", f x); ("cy", f y); ("r", "2.75"); ("fill", color); ("stroke", surface);
+      ("stroke-width", "1");
+    ]
+    []
+
+let render_mark ~xs ~ys color dash mark =
+  let px (x, y) = (Scale.apply xs x, Scale.apply ys y) in
+  match mark with
+  | Line pts when Array.length pts = 0 -> []
+  | Points pts when Array.length pts = 0 -> []
+  | Line_points pts when Array.length pts = 0 -> []
+  | Errorbar pts when Array.length pts = 0 -> []
+  | Step pts when Array.length pts = 0 -> []
+  | Bars bars when Array.length bars = 0 -> []
+  | Line pts -> [ Svg.el "path" (("d", path_of (Array.map px pts)) :: line_attrs color dash) [] ]
+  | Step pts ->
+      [ Svg.el "path" (("d", step_path_of (Array.map px pts)) :: line_attrs color dash) [] ]
+  | Points pts -> Array.to_list (Array.map (fun p -> dot (px p) color) pts)
+  | Line_points pts ->
+      Svg.el "path" (("d", path_of (Array.map px pts)) :: line_attrs color dash) []
+      :: Array.to_list (Array.map (fun p -> dot (px p) color) pts)
+  | Errorbar pts ->
+      let whisker (x, y, e) =
+        let cx = Scale.apply xs x in
+        let y0 = Scale.apply ys (y -. e) and y1 = Scale.apply ys (y +. e) in
+        let seg x0 y0 x1 y1 =
+          Svg.el "line"
+            [
+              ("x1", f x0); ("y1", f y0); ("x2", f x1); ("y2", f y1); ("stroke", color);
+              ("stroke-width", "1.25");
+            ]
+            []
+        in
+        [ seg cx y0 cx y1; seg (cx -. 3.0) y0 (cx +. 3.0) y0; seg (cx -. 3.0) y1 (cx +. 3.0) y1 ]
+      in
+      let centers = Array.map (fun (x, y, _) -> (x, y)) pts in
+      List.concat_map whisker (Array.to_list pts)
+      @ (Svg.el "path" (("d", path_of (Array.map px centers)) :: line_attrs color dash) []
+         :: Array.to_list (Array.map (fun p -> dot (px p) color) centers))
+  | Bars bars ->
+      let y_base = Scale.apply ys 0.0 in
+      Array.to_list
+        (Array.map
+           (fun (x0, x1, y) ->
+             let rx0 = Scale.apply xs x0 and rx1 = Scale.apply xs x1 in
+             let ry = Scale.apply ys y in
+             let top = Float.min ry y_base and bot = Float.max ry y_base in
+             Svg.el "rect"
+               [
+                 ("x", f (rx0 +. 1.0));
+                 ("y", f top);
+                 ("width", f (Float.max 1.0 (rx1 -. rx0 -. 2.0)));
+                 ("height", f (Float.max 0.5 (bot -. top)));
+                 ("rx", "2");
+                 ("fill", color);
+               ]
+               [])
+           bars)
+
+(* Legend text advance: deterministic width estimate for the 11px UI
+   sans (no font metrics available — overestimate slightly). *)
+let text_advance s = 6.2 *. float_of_int (String.length s)
+
+let render c =
+  let labeled = List.filter (fun s -> s.label <> None) c.series in
+  let legend = List.length labeled >= 2 in
+  let ml = 60 and mr = 16 and mb = 44 in
+  let mt = 30 + if legend then 20 else 0 in
+  let pw = c.width - ml - mr and ph = c.height - mt - mb in
+  let ex, ey = extents c in
+  let no_data = ex.lo = None && c.series <> [] || c.series = [] in
+  let x_domain =
+    if Array.length c.x_categories > 0 then (-0.5, float_of_int (Array.length c.x_categories) -. 0.5)
+    else resolve_domain c.x_kind c.x_domain ex
+  in
+  let y_domain = resolve_domain c.y_kind c.y_domain ey in
+  let xs = Scale.make c.x_kind ~domain:x_domain ~range:(float_of_int ml, float_of_int (ml + pw)) in
+  let ys = Scale.make c.y_kind ~domain:y_domain ~range:(float_of_int (mt + ph), float_of_int mt) in
+  let x_ticks =
+    if Array.length c.x_categories > 0 then
+      List.init (Array.length c.x_categories) (fun i -> (float_of_int i, c.x_categories.(i)))
+    else List.map (fun v -> (v, Scale.tick_label v)) (Scale.ticks xs)
+  in
+  let y_ticks = List.map (fun v -> (v, Scale.tick_label v)) (Scale.ticks ys) in
+  let nodes = ref [] in
+  let push n = nodes := n :: !nodes in
+  (* surface *)
+  push
+    (Svg.el "rect"
+       [
+         ("width", string_of_int c.width); ("height", string_of_int c.height); ("fill", surface);
+       ]
+       []);
+  (* title *)
+  if c.title <> "" then
+    push
+      (Svg.text_el "text"
+         [
+           ("x", string_of_int ml); ("y", "19"); ("font-size", "13"); ("font-weight", "600");
+           ("fill", ink);
+         ]
+         c.title);
+  (* legend: one row under the title; swatch + label per labeled series *)
+  if legend then begin
+    let lx = ref (float_of_int ml) in
+    List.iteri
+      (fun i s ->
+        match s.label with
+        | None -> ()
+        | Some label ->
+            let color = slot (match s.color with Some k -> k | None -> i) in
+            push
+              (Svg.el "rect"
+                 [
+                   ("x", f !lx); ("y", "30"); ("width", "10"); ("height", "10"); ("rx", "2");
+                   ("fill", color);
+                 ]
+                 []);
+            push
+              (Svg.text_el "text"
+                 [ ("x", f (!lx +. 14.0)); ("y", "39"); ("font-size", "11"); ("fill", secondary) ]
+                 label);
+            lx := !lx +. 14.0 +. text_advance label +. 16.0)
+      c.series
+  end;
+  (* horizontal hairline grid at y ticks *)
+  List.iter
+    (fun (v, _) ->
+      let y = Scale.apply ys v in
+      push
+        (Svg.el "line"
+           [
+             ("x1", string_of_int ml); ("y1", f y); ("x2", string_of_int (ml + pw)); ("y2", f y);
+             ("stroke", gridline); ("stroke-width", "1");
+           ]
+           []))
+    y_ticks;
+  (* axis baselines *)
+  push
+    (Svg.el "line"
+       [
+         ("x1", string_of_int ml); ("y1", f (float_of_int (mt + ph)));
+         ("x2", string_of_int (ml + pw)); ("y2", f (float_of_int (mt + ph)));
+         ("stroke", baseline); ("stroke-width", "1");
+       ]
+       []);
+  push
+    (Svg.el "line"
+       [
+         ("x1", string_of_int ml); ("y1", f (float_of_int mt)); ("x2", string_of_int ml);
+         ("y2", f (float_of_int (mt + ph))); ("stroke", baseline); ("stroke-width", "1");
+       ]
+       []);
+  (* ticks + labels *)
+  List.iter
+    (fun (v, label) ->
+      let x = Scale.apply xs v in
+      push
+        (Svg.el "line"
+           [
+             ("x1", f x); ("y1", f (float_of_int (mt + ph))); ("x2", f x);
+             ("y2", f (float_of_int (mt + ph) +. 4.0)); ("stroke", baseline);
+             ("stroke-width", "1");
+           ]
+           []);
+      push
+        (Svg.text_el "text"
+           [
+             ("x", f x); ("y", f (float_of_int (mt + ph) +. 16.0)); ("font-size", "10");
+             ("fill", muted); ("text-anchor", "middle");
+           ]
+           label))
+    x_ticks;
+  List.iter
+    (fun (v, label) ->
+      let y = Scale.apply ys v in
+      push
+        (Svg.text_el "text"
+           [
+             ("x", f (float_of_int ml -. 8.0)); ("y", f (y +. 3.5)); ("font-size", "10");
+             ("fill", muted); ("text-anchor", "end");
+           ]
+           label))
+    y_ticks;
+  (* axis labels *)
+  if c.x_label <> "" then
+    push
+      (Svg.text_el "text"
+         [
+           ("x", f (float_of_int ml +. (float_of_int pw /. 2.0)));
+           ("y", f (float_of_int c.height -. 8.0)); ("font-size", "11"); ("fill", secondary);
+           ("text-anchor", "middle");
+         ]
+         c.x_label);
+  if c.y_label <> "" then begin
+    let cy = float_of_int mt +. (float_of_int ph /. 2.0) in
+    push
+      (Svg.text_el "text"
+         [
+           ("x", "14"); ("y", f cy); ("font-size", "11"); ("fill", secondary);
+           ("text-anchor", "middle");
+           ("transform", Printf.sprintf "rotate(-90 14 %s)" (f cy));
+         ]
+         c.y_label)
+  end;
+  (* data marks, clipped to the plot area *)
+  push
+    (Svg.el "defs" []
+       [
+         Svg.el "clipPath"
+           [ ("id", "plot") ]
+           [
+             Svg.el "rect"
+               [
+                 ("x", string_of_int (ml - 4)); ("y", string_of_int (mt - 4));
+                 ("width", string_of_int (pw + 8)); ("height", string_of_int (ph + 8));
+               ]
+               [];
+           ];
+       ]);
+  let marks =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           let color = slot (match s.color with Some k -> k | None -> i) in
+           render_mark ~xs ~ys color s.dash s.mark)
+         c.series)
+  in
+  if marks <> [] then push (Svg.el "g" [ ("clip-path", "url(#plot)") ] marks);
+  if no_data then
+    push
+      (Svg.text_el "text"
+         [
+           ("x", f (float_of_int ml +. (float_of_int pw /. 2.0)));
+           ("y", f (float_of_int mt +. (float_of_int ph /. 2.0))); ("font-size", "11");
+           ("fill", muted); ("text-anchor", "middle");
+         ]
+         "no data");
+  (* notes, top left inside the plot *)
+  List.iteri
+    (fun i note ->
+      push
+        (Svg.text_el "text"
+           [
+             ("x", f (float_of_int ml +. 8.0));
+             ("y", f (float_of_int mt +. 15.0 +. (13.0 *. float_of_int i)));
+             ("font-size", "10"); ("fill", secondary);
+           ]
+           note))
+    c.notes;
+  Svg.to_string ~width:c.width ~height:c.height (List.rev !nodes)

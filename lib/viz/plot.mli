@@ -1,0 +1,59 @@
+(** Chart assembly: series + scales + chrome → standalone SVG.
+
+    The mid-level layer between {!Svg} (element soup) and {!Charts}
+    (telemetry-aware figure builders). A {!chart} is a plain value — pure
+    data in, bytes out — and {!render} is a deterministic function of it,
+    which is what makes golden byte-identity tests possible. Styling
+    follows the repo's chart conventions (see DESIGN.md "Visualization &
+    dashboard"): fixed categorical palette assigned in slot order, thin
+    2px line marks, recessive hairline grid, a legend only when two or
+    more labeled series share the plot, one y-axis, no clock reads. *)
+
+type mark =
+  | Line of (float * float) array
+  | Points of (float * float) array
+  | Line_points of (float * float) array
+  | Errorbar of (float * float * float) array
+      (** [(x, y, e)]: point markers joined by a line, with a ±[e]
+          whisker at each point *)
+  | Step of (float * float) array
+      (** right-continuous step (CDF style): horizontal to the next x,
+          then vertical to its y *)
+  | Bars of (float * float * float) array
+      (** [(x0, x1, y)]: vertical bar over [[x0, x1]] anchored at the
+          y=0 baseline *)
+
+type series
+
+val series : ?label:string -> ?color:int -> ?dash:bool -> mark -> series
+(** [color] pins a palette slot (default: position among the chart's
+    series); overlays that annotate another series (a regression fit)
+    reuse its slot and set [dash]. Series without [label] stay out of the
+    legend. *)
+
+type chart
+
+val chart :
+  ?x_label:string ->
+  ?y_label:string ->
+  ?x_kind:Scale.kind ->
+  ?y_kind:Scale.kind ->
+  ?x_domain:float * float ->
+  ?y_domain:float * float ->
+  ?x_categories:string array ->
+  ?notes:string list ->
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  series list ->
+  chart
+(** Axis kinds default to [Linear]; domains default to the data extent
+    (padded), and on log axes non-positive values are excluded from the
+    extent and clamp to the axis edge when drawn. [x_categories] switches
+    the x axis to category positions [0 .. k-1] labeled by the array
+    (bars built by {!Charts.phase_profile}). [notes] render inside the
+    plot area, top left. Default size 640×400. *)
+
+val render : chart -> string
+(** The complete SVG document. Byte-deterministic: equal charts render
+    equal bytes, on every run and under any [--jobs]. *)

@@ -1,0 +1,108 @@
+type kind = Linear | Log
+
+type t = { kind : kind; dlo : float; dhi : float; rlo : float; rhi : float }
+
+let finite x = Float.is_finite x
+
+let repair_linear (lo, hi) =
+  if not (finite lo && finite hi) then (0.0, 1.0)
+  else if lo < hi then (lo, hi)
+  else if lo > hi then (hi, lo)
+  else (lo -. 1.0, hi +. 1.0)
+
+let repair_log (lo, hi) =
+  if not (finite lo && finite hi) || hi <= 0.0 then (0.1, 10.0)
+  else
+    let lo = if lo <= 0.0 then hi /. 1000.0 else Float.min lo hi in
+    if lo < hi then (lo, hi) else (lo /. 10.0, hi *. 10.0)
+
+let make kind ~domain ~range:(rlo, rhi) =
+  let dlo, dhi =
+    match kind with Linear -> repair_linear domain | Log -> repair_log domain
+  in
+  { kind; dlo; dhi; rlo; rhi }
+
+let kind t = t.kind
+
+let domain t = (t.dlo, t.dhi)
+
+let apply t x =
+  let frac =
+    match t.kind with
+    | Linear -> (x -. t.dlo) /. (t.dhi -. t.dlo)
+    | Log ->
+        let x = if x <= 0.0 then t.dlo else x in
+        Float.log10 (x /. t.dlo) /. Float.log10 (t.dhi /. t.dlo)
+  in
+  t.rlo +. (frac *. (t.rhi -. t.rlo))
+
+(* Smallest 1/2/5·10^k step >= raw. *)
+let nice_step raw =
+  let mag = 10.0 ** Float.floor (Float.log10 raw) in
+  let m = raw /. mag in
+  if m <= 1.0 then mag else if m <= 2.0 then 2.0 *. mag else if m <= 5.0 then 5.0 *. mag else 10.0 *. mag
+
+let linear_ticks ~target t =
+  let span = t.dhi -. t.dlo in
+  let step = nice_step (span /. float_of_int (max 1 target)) in
+  let first = Float.ceil ((t.dlo -. (1e-9 *. span)) /. step) in
+  let rec loop i acc =
+    let v = (first +. float_of_int i) *. step in
+    if v > t.dhi +. (1e-9 *. span) then List.rev acc
+    else loop (i + 1) ((if Float.abs v < 1e-12 *. span then 0.0 else v) :: acc)
+  in
+  match loop 0 [] with [] | [ _ ] -> [ t.dlo; t.dhi ] | ticks -> ticks
+
+let log_ticks ~target t =
+  let e_lo = int_of_float (Float.ceil (Float.log10 t.dlo -. 1e-9)) in
+  let e_hi = int_of_float (Float.floor (Float.log10 t.dhi +. 1e-9)) in
+  let decades = List.init (max 0 (e_hi - e_lo + 1)) (fun i -> 10.0 ** float_of_int (e_lo + i)) in
+  if List.length decades >= 2 then decades
+  else begin
+    (* fewer than two decades fit: pad with 2· and 5· mantissas *)
+    let lo_e = int_of_float (Float.floor (Float.log10 t.dlo +. 1e-9)) in
+    let candidates =
+      List.concat_map
+        (fun e ->
+          let d = 10.0 ** float_of_int e in
+          [ d; 2.0 *. d; 5.0 *. d ])
+        (List.init (e_hi - lo_e + 2) (fun i -> lo_e + i))
+    in
+    let inside =
+      List.filter (fun v -> v >= t.dlo *. (1.0 -. 1e-9) && v <= t.dhi *. (1.0 +. 1e-9)) candidates
+    in
+    match inside with
+    | [] | [ _ ] ->
+        (* sub-decade domain (e.g. n from 8 to 16): nice linear ticks
+           read far better than raw endpoint values *)
+        linear_ticks ~target t
+    | ticks -> ticks
+  end
+
+let ticks ?(target = 5) t =
+  match t.kind with Linear -> linear_ticks ~target t | Log -> log_ticks ~target t
+
+(* Short float for labels: up to three significant decimals, trailing
+   zeros stripped. Only called for |v| in [1e-4, 1e6) or for mantissas. *)
+let short v =
+  if Float.is_integer v && Float.abs v < 1e9 then string_of_int (int_of_float v)
+  else begin
+    let s = Printf.sprintf "%.4f" v in
+    let last = ref (String.length s - 1) in
+    while s.[!last] = '0' do
+      decr last
+    done;
+    if s.[!last] = '.' then decr last;
+    String.sub s 0 (!last + 1)
+  end
+
+let rec tick_label v =
+  if v < 0.0 then "-" ^ tick_label (-.v)
+  else if v = 0.0 then "0"
+  else if v >= 1e6 || v < 1e-4 then begin
+    let e = int_of_float (Float.floor (Float.log10 v +. 1e-9)) in
+    let m = v /. (10.0 ** float_of_int e) in
+    let ms = short m in
+    if ms = "1" then Printf.sprintf "1e%d" e else Printf.sprintf "%se%d" ms e
+  end
+  else short v

@@ -1,0 +1,39 @@
+(** Data-to-pixel scales and tick generation.
+
+    Linear and base-10 logarithmic scales with the degenerate inputs the
+    telemetry data actually produces handled explicitly (and golden- and
+    unit-tested): an empty extent, a single point, and log domains that
+    touch zero. All arithmetic is plain float; tick positions and labels
+    are deterministic functions of the domain. *)
+
+type kind = Linear | Log
+
+type t
+
+val make : kind -> domain:float * float -> range:float * float -> t
+(** Degenerate domains are repaired rather than rejected: an empty or
+    single-point linear domain is widened by ±1 around its value; a log
+    domain with [hi <= 0] falls back to [0.1, 10]; a log domain with
+    [lo <= 0] (a zero in the data) is clamped to [hi / 1000] so the rest
+    of the series still plots; a single-point log domain widens a decade
+    each way. Non-finite endpoints fall back to [0, 1] / [0.1, 10]. *)
+
+val kind : t -> kind
+
+val domain : t -> float * float
+(** The repaired domain actually in use. *)
+
+val apply : t -> float -> float
+(** Maps a data value into the range. On a log scale, values [<= 0] clamp
+    to the low domain edge (they sit on the axis rather than at -∞). *)
+
+val ticks : ?target:int -> t -> float list
+(** Ascending tick positions within the domain. Linear scales use the
+    1-2-5 ladder aiming for [target] (default 5) ticks; log scales use
+    powers of ten, padding with the 2· and 5· mantissas when fewer than
+    two decades fit. Always at least two ticks. *)
+
+val tick_label : float -> string
+(** Short human label: ["0"], ["250"], ["0.25"], and ["1e6"] /
+    ["2.5e-4"]-style scientific form for magnitudes outside
+    [[1e-4, 1e6)]. Deterministic (no [%g] locale/exponent quirks). *)

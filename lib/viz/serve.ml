@@ -1,0 +1,163 @@
+type client = {
+  fd : Unix.file_descr;
+  request : Buffer.t;  (* accumulated request bytes until headers end *)
+  mutable sse : bool;  (* upgraded to a text/event-stream subscriber *)
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  path : string;
+  page : string;
+  tail : Telemetry.Tail.t;
+  state : Telemetry.Timeline.state;
+  chunk : Bytes.t;
+  mutable clients : client list;
+}
+
+let create ?(host = "127.0.0.1") ~port ~path () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen listen_fd 16;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  {
+    listen_fd;
+    bound_port;
+    path;
+    page = Dashboard.page ~path;
+    tail = Telemetry.Tail.create ~path;
+    state = Telemetry.Timeline.state ();
+    chunk = Bytes.create 4096;
+    clients = [];
+  }
+
+let port t = t.bound_port
+
+let drop t client =
+  t.clients <- List.filter (fun c -> c.fd != client.fd) t.clients;
+  try Unix.close client.fd with Unix.Unix_error (_, _, _) -> ()
+
+(* Best-effort full write; false (client gone) on connection errors. *)
+let send t client s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then true
+    else
+      match Unix.write_substring client.fd s off (len - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) ->
+          drop t client;
+          false
+  in
+  go 0
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let snapshot_string t =
+  Telemetry.Json.to_string
+    (Dashboard.snapshot_json
+       ~dropped:(Telemetry.Tail.dropped t.tail)
+       ~path:t.path
+       (Telemetry.Timeline.snapshot t.state))
+
+let sse_frame json = "data: " ^ json ^ "\n\n"
+
+let sse_header =
+  "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\n\
+   Connection: keep-alive\r\n\r\nretry: 1000\n\n"
+
+let handle_request t client =
+  let first_line =
+    let s = Buffer.contents client.request in
+    match String.index_opt s '\n' with
+    | Some i -> String.trim (String.sub s 0 i)
+    | None -> String.trim s
+  in
+  let target =
+    match String.split_on_char ' ' first_line with
+    | _meth :: target :: _ -> ( match String.index_opt target '?' with
+      | Some i -> String.sub target 0 i
+      | None -> target)
+    | _ -> "/"
+  in
+  match target with
+  | "/" | "/index.html" ->
+      let _ = send t client (response ~status:"200 OK" ~content_type:"text/html; charset=utf-8" t.page) in
+      drop t client
+  | "/data.json" ->
+      let _ =
+        send t client
+          (response ~status:"200 OK" ~content_type:"application/json" (snapshot_string t ^ "\n"))
+      in
+      drop t client
+  | "/events" ->
+      if send t client sse_header then
+        if send t client (sse_frame (snapshot_string t)) then client.sse <- true
+  | _ ->
+      let _ =
+        send t client (response ~status:"404 Not Found" ~content_type:"text/plain" "not found\n")
+      in
+      drop t client
+
+let read_client t client =
+  match Unix.read client.fd t.chunk 0 (Bytes.length t.chunk) with
+  | 0 -> drop t client
+  | k ->
+      if client.sse then () (* subscribers only ever hang up *)
+      else begin
+        Buffer.add_subbytes client.request t.chunk 0 k;
+        let s = Buffer.contents client.request in
+        (* an empty line ends the headers of a GET request *)
+        let has sub =
+          let n = String.length s and m = String.length sub in
+          let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+          at 0
+        in
+        if has "\r\n\r\n" || has "\n\n" then handle_request t client
+      end
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> drop t client
+
+let broadcast t =
+  let frame = sse_frame (snapshot_string t) in
+  List.iter (fun c -> if c.sse then ignore (send t c frame)) t.clients
+
+let poll ?(timeout = 0.25) t =
+  let fds = t.listen_fd :: List.map (fun c -> c.fd) t.clients in
+  let readable =
+    match Unix.select fds [] [] timeout with
+    | readable, _, _ -> readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+  in
+  if List.memq t.listen_fd readable then begin
+    match Unix.accept t.listen_fd with
+    | fd, _ -> t.clients <- { fd; request = Buffer.create 256; sse = false } :: t.clients
+    | exception Unix.Unix_error (_, _, _) -> ()
+  end;
+  (* iterate over a snapshot of the list: handlers mutate [t.clients] *)
+  List.iter (fun client -> if List.memq client.fd readable then read_client t client) t.clients;
+  let fresh = Telemetry.Tail.poll t.tail in
+  if fresh <> [] then begin
+    List.iter (Telemetry.Timeline.push t.state) fresh;
+    broadcast t
+  end
+
+let rec run t =
+  poll t;
+  run t
+
+let close t =
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()) t.clients;
+  t.clients <- [];
+  (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+  Telemetry.Tail.close t.tail

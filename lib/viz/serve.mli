@@ -1,0 +1,43 @@
+(** Minimal single-threaded HTTP server for the live soak dashboard.
+
+    [timeline --serve] creates one of these over a JSONL events file that
+    another process ([ssr_sim --chaos]) may still be appending to. Each
+    {!poll} does one [select] round: accepts connections, answers plain
+    requests, tails the file ({!Telemetry.Tail}), folds new events into
+    the incremental {!Telemetry.Timeline} state, and pushes a fresh
+    {!Dashboard.snapshot_json} frame to every Server-Sent-Events
+    subscriber. Single-threaded by construction — no domains, no
+    threads — so tests can interleave client and server in one process
+    by calling {!poll} between client operations.
+
+    Routes: [/] (the dashboard page), [/data.json] (one snapshot),
+    [/events] ([text/event-stream]; one [data: <snapshot>] frame
+    immediately and one more whenever tailing yields new events).
+    Anything else is 404. HTTP support is the minimum GET handling the
+    dashboard needs — this is an observability sidecar, not a web
+    server.
+
+    Determinism note: the server never reads a clock; pacing comes from
+    the [select] timeout and all displayed timestamps from the event
+    stream itself ([bin/detlint] stays clean over this module). *)
+
+type t
+
+val create : ?host:string -> port:int -> path:string -> unit -> t
+(** Binds and listens on [host] (default ["127.0.0.1"]) : [port]. Pass
+    [port:0] to let the kernel pick (see {!port}). [path] is the events
+    file to tail; it need not exist yet. Ignores [SIGPIPE] process-wide
+    (client disconnects surface as [EPIPE] and drop the client). *)
+
+val port : t -> int
+(** The bound port (useful after [port:0]). *)
+
+val poll : ?timeout:float -> t -> unit
+(** One server round, blocking at most [timeout] seconds (default 0.25)
+    waiting for sockets. *)
+
+val run : t -> unit
+(** {!poll} forever. *)
+
+val close : t -> unit
+(** Closes the listening socket and every client. *)

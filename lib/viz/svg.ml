@@ -1,0 +1,80 @@
+type t =
+  | El of { tag : string; attrs : (string * string) list; children : t list }
+  | Text of string
+  | Raw of string
+
+let el tag attrs children = El { tag; attrs; children }
+let text_el tag attrs s = El { tag; attrs; children = [ Text s ] }
+let raw s = Raw s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt x =
+  (* NaN/inf never belong in a coordinate; pin them so a bug renders
+     reproducibly instead of producing locale-dependent garbage. *)
+  if Float.is_nan x then "0"
+  else if x = Float.infinity then "1e9"
+  else if x = Float.neg_infinity then "-1e9"
+  else if Float.is_integer x && Float.abs x < 1e9 then string_of_int (int_of_float x)
+  else begin
+    let s = Printf.sprintf "%.2f" x in
+    let last = ref (String.length s - 1) in
+    while s.[!last] = '0' do
+      decr last
+    done;
+    if s.[!last] = '.' then decr last;
+    String.sub s 0 (!last + 1)
+  end
+
+let is_el = function El _ -> true | Text _ | Raw _ -> false
+
+let rec add buf node =
+  match node with
+  | Text s -> Buffer.add_string buf (escape s)
+  | Raw s -> Buffer.add_string buf s
+  | El { tag; attrs; children } ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape v);
+          Buffer.add_char buf '"')
+        attrs;
+      if children = [] then Buffer.add_string buf "/>\n"
+      else begin
+        Buffer.add_char buf '>';
+        if List.exists is_el children then Buffer.add_char buf '\n';
+        List.iter (add buf) children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_string buf ">\n"
+      end
+
+let to_string ~width ~height nodes =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  add buf
+    (el "svg"
+       [
+         ("xmlns", "http://www.w3.org/2000/svg");
+         ("width", string_of_int width);
+         ("height", string_of_int height);
+         ("viewBox", Printf.sprintf "0 0 %d %d" width height);
+         ("font-family", "system-ui, -apple-system, 'Segoe UI', sans-serif");
+       ]
+       nodes);
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** Deterministic SVG emission.
+
+    The container ships no plotting or XML library, so this module
+    hand-rolls the little that charts need: an element tree, attribute
+    escaping, and byte-stable serialization. Determinism is the point —
+    rendered SVGs are golden-tested byte for byte (see DESIGN.md
+    "Visualization & dashboard"), so everything that could wobble is
+    pinned: attributes render in the order given, coordinates go through
+    {!fmt} (fixed precision, no locale), and nothing here reads a clock,
+    a counter, or anything else ambient. *)
+
+type t
+
+val el : string -> (string * string) list -> t list -> t
+(** [el tag attrs children]. Renders self-closing when [children = []]. *)
+
+val text_el : string -> (string * string) list -> string -> t
+(** [text_el tag attrs s]: element whose only child is escaped text — the
+    [<text>]/[<title>] case. *)
+
+val raw : string -> t
+(** Pre-rendered markup spliced in verbatim (no escaping). For inline
+    [<style>] blocks whose content is a fixed string. *)
+
+val escape : string -> string
+(** Escapes ampersand, angle brackets, and double quote for use in text
+    nodes and attribute values. *)
+
+val fmt : float -> string
+(** Canonical short coordinate: integral values with no decimal point
+    ([12], not [12.]), otherwise two decimals with trailing zeros
+    stripped ([0.25], [3.7]). Never scientific notation. *)
+
+val to_string : width:int -> height:int -> t list -> string
+(** Serializes a complete standalone SVG document ([xmlns], [viewBox],
+    leading XML declaration, trailing newline). *)

@@ -20,4 +20,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("ir", Test_ir.suite);
       ("certify", Test_certify.suite);
+      ("viz", Test_viz.suite);
     ]
