@@ -212,6 +212,39 @@ let lookup_scenario ~kind catalogue scenario =
       Printf.eprintf "unknown %s scenario '%s' (available: %s)\n" kind scenario names;
       exit 2
 
+(* Trials run supervised (Fleet.Supervise): a raising trial — a protocol
+   bug, a bad scenario, an injected fault — is captured as a per-trial
+   failure instead of aborting the batch, so the completed trials'
+   statistics and telemetry survive and the failure is accounted in the
+   summary (and the exit code). Failures are PRNG-driven like everything
+   else, so which trials fail is identical for every --jobs value. *)
+let pp_trial_failures errors =
+  if errors <> [] then begin
+    Printf.printf "trial failures      : %d\n" (List.length errors);
+    Format.printf "%a" Fleet.Supervise.pp_failures errors
+  end
+
+let supervised_results results =
+  let ok = ref [] and errors = ref [] in
+  Array.iteri
+    (fun i -> function
+      | Ok v -> ok := v :: !ok
+      | Error f -> errors := (Printf.sprintf "trial %d" i, f) :: !errors)
+    results;
+  (List.rev !ok, List.rev !errors)
+
+(* Flush per-trial buffer sinks into the events file in trial order
+   (identical for every --jobs value), skipping failed trials' partial
+   buffers — completed trials' telemetry is kept, half-written runs are
+   not. *)
+let flush_buffers ~results ~buffers sink =
+  Array.iteri
+    (fun i buffer ->
+      if Result.is_ok results.(i) then
+        String.split_on_char '\n' (Telemetry.Sink.contents buffer)
+        |> List.iter (fun line -> if line <> "" then Telemetry.Sink.write_line sink line))
+    buffers
+
 (* Batch mode (--trials > 1): run independent trials on a domain pool and
    print summary statistics. Each trial's PRNG child is pre-split from the
    root seed before dispatch, so the numbers are identical for every
@@ -238,43 +271,46 @@ let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
         Engine.Pool.with_pool ~jobs (fun pool ->
             let outcomes =
               Engine.Pool.init pool trials (fun i ->
-                  let trial_t0 = Unix.gettimeofday () in
-                  let rng = children.(i) in
-                  let init = gen rng in
-                  let exec =
-                    Telemetry.Span.wrap "init_drain" (fun () ->
-                        make_exec ~engine ~protocol ~kernel ~init ~rng ~topology)
-                  in
-                  if events <> None then begin
-                    let run =
-                      Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name
-                        ~n ~seed ~trial:i ()
-                    in
-                    Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run
-                      buffers.(i)
-                  end;
-                  let outcome =
-                    Telemetry.Span.wrap "advance" (fun () ->
-                        Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
-                          ~max_interactions:
-                            (Engine.Runner.default_horizon ~n
-                               ~expected_time:(horizon_scale *. float_of_int n))
-                          ~confirm_interactions:(Engine.Runner.default_confirm ~n)
-                          exec)
-                  in
-                  if metrics <> None then begin
-                    Telemetry.Metrics.record_exec exec;
-                    Telemetry.Metrics.observe reg "trial_wall_s"
-                      (Unix.gettimeofday () -. trial_t0)
-                  end;
-                  outcome)
+                  Fleet.Supervise.run (fun () ->
+                      let trial_t0 = Unix.gettimeofday () in
+                      let rng = children.(i) in
+                      let init = gen rng in
+                      let exec =
+                        Telemetry.Span.wrap "init_drain" (fun () ->
+                            make_exec ~engine ~protocol ~kernel ~init ~rng ~topology)
+                      in
+                      if events <> None then begin
+                        let run =
+                          Telemetry.Events.make_run ~engine
+                            ~protocol:protocol.Engine.Protocol.name ~n ~seed ~trial:i ()
+                        in
+                        Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run
+                          buffers.(i)
+                      end;
+                      let outcome =
+                        Telemetry.Span.wrap "advance" (fun () ->
+                            Engine.Runner.run_to_stability ~task:Engine.Runner.Ranking
+                              ~max_interactions:
+                                (Engine.Runner.default_horizon ~n
+                                   ~expected_time:(horizon_scale *. float_of_int n))
+                              ~confirm_interactions:(Engine.Runner.default_confirm ~n)
+                              exec)
+                      in
+                      if metrics <> None then begin
+                        Telemetry.Metrics.record_exec exec;
+                        Telemetry.Metrics.observe reg "trial_wall_s"
+                          (Unix.gettimeofday () -. trial_t0)
+                      end;
+                      outcome))
             in
             (outcomes, Engine.Pool.stats pool)))
   in
+  let ok, errors = supervised_results outcomes in
   let times =
-    Array.to_list outcomes
-    |> List.filter_map (fun o ->
-           if o.Engine.Runner.converged then Some o.Engine.Runner.convergence_time else None)
+    List.filter_map
+      (fun o ->
+        if o.Engine.Runner.converged then Some o.Engine.Runner.convergence_time else None)
+      ok
   in
   let failures = trials - List.length times in
   Printf.printf "protocol            : %s\n" protocol.Engine.Protocol.name;
@@ -284,6 +320,7 @@ let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
   Printf.printf "trials              : %d (on %d domain%s)\n" trials jobs
     (if jobs = 1 then "" else "s");
   Printf.printf "converged           : %d of %d\n" (List.length times) trials;
+  pp_trial_failures errors;
   if times <> [] then begin
     let s = Stats.Summary.of_list times in
     Printf.printf "stabilization time  : mean %.2f  median %.2f  p95 %.2f  max %.2f\n"
@@ -294,11 +331,7 @@ let run_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
   | None -> ()
   | Some path ->
       let sink = Telemetry.Sink.file path in
-      Array.iter
-        (fun buffer ->
-          String.split_on_char '\n' (Telemetry.Sink.contents buffer)
-          |> List.iter (fun line -> if line <> "" then Telemetry.Sink.write_line sink line))
-        buffers;
+      flush_buffers ~results:outcomes ~buffers sink;
       Telemetry.Sink.close sink;
       write_manifest ~events_path:path ~protocol:protocol.Engine.Protocol.name ~engine ~n ~seed
         ~trials ~jobs
@@ -433,38 +466,42 @@ let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
         Engine.Pool.with_pool ~jobs (fun pool ->
             let reports =
               Engine.Pool.init pool trials (fun i ->
-                  let trial_t0 = Unix.gettimeofday () in
-                  let rng = children.(i) in
-                  let init = gen rng in
-                  let exec =
-                    Telemetry.Span.wrap "init_drain" (fun () ->
-                        make_exec ~engine ~protocol ~kernel ~init ~rng ~topology)
-                  in
-                  if events <> None then begin
-                    let run =
-                      Telemetry.Events.make_run ~engine ~protocol:protocol.Engine.Protocol.name
-                        ~n ~seed ~trial:i ()
-                    in
-                    Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run
-                      buffers.(i)
-                  end;
-                  let report =
-                    Telemetry.Span.wrap "soak" (fun () ->
-                        Chaos.Soak.run ?sla_budget ~schedule ~adversary ~random_state ~rng
-                          ~horizon exec)
-                  in
-                  if metrics <> None then begin
-                    Telemetry.Metrics.record_exec exec;
-                    Telemetry.Metrics.observe reg "trial_wall_s"
-                      (Unix.gettimeofday () -. trial_t0)
-                  end;
-                  report)
+                  Fleet.Supervise.run (fun () ->
+                      let trial_t0 = Unix.gettimeofday () in
+                      let rng = children.(i) in
+                      let init = gen rng in
+                      let exec =
+                        Telemetry.Span.wrap "init_drain" (fun () ->
+                            make_exec ~engine ~protocol ~kernel ~init ~rng ~topology)
+                      in
+                      if events <> None then begin
+                        let run =
+                          Telemetry.Events.make_run ~engine
+                            ~protocol:protocol.Engine.Protocol.name ~n ~seed ~trial:i ()
+                        in
+                        Telemetry.Events.attach ~step_interval:(step_interval ~n) exec ~run
+                          buffers.(i)
+                      end;
+                      let report =
+                        Telemetry.Span.wrap "soak" (fun () ->
+                            Chaos.Soak.run ?sla_budget ~schedule ~adversary ~random_state ~rng
+                              ~horizon exec)
+                      in
+                      if metrics <> None then begin
+                        Telemetry.Metrics.record_exec exec;
+                        Telemetry.Metrics.observe reg "trial_wall_s"
+                          (Unix.gettimeofday () -. trial_t0)
+                      end;
+                      report))
             in
             (reports, Engine.Pool.stats pool)))
   in
-  let rs = Array.to_list reports in
+  let rs, errors = supervised_results reports in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 rs in
-  let avail = Stats.Summary.of_list (List.map (fun r -> r.Chaos.Soak.availability) rs) in
+  let avail_mean =
+    if rs = [] then 0.0
+    else Stats.Summary.(of_list (List.map (fun r -> r.Chaos.Soak.availability) rs)).mean
+  in
   let pooled = List.concat_map (fun r -> Array.to_list r.Chaos.Soak.recovery_times) rs in
   let met = List.length (List.filter (fun r -> r.Chaos.Soak.sla.Chaos.Soak.met) rs) in
   let misses = sum (fun r -> r.Chaos.Soak.sla.Chaos.Soak.misses) in
@@ -478,8 +515,14 @@ let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
     (if jobs = 1 then "" else "s");
   Printf.printf "horizon             : %.2f time units each (%d interactions)\n" (pt ~n horizon)
     horizon;
-  Printf.printf "availability        : mean %.4f  min %.4f  max %.4f\n" avail.Stats.Summary.mean
-    avail.Stats.Summary.min avail.Stats.Summary.max;
+  pp_trial_failures errors;
+  if rs <> [] then begin
+    let avail =
+      Stats.Summary.of_list (List.map (fun r -> r.Chaos.Soak.availability) rs)
+    in
+    Printf.printf "availability        : mean %.4f  min %.4f  max %.4f\n"
+      avail.Stats.Summary.mean avail.Stats.Summary.min avail.Stats.Summary.max
+  end;
   Printf.printf "schedule firings    : %d (%d agent states overwritten)\n"
     (sum (fun r -> r.Chaos.Soak.firings))
     (sum (fun r -> r.Chaos.Soak.faults_applied));
@@ -505,11 +548,7 @@ let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
   | None -> ()
   | Some path ->
       let sink = Telemetry.Sink.file path in
-      Array.iter
-        (fun buffer ->
-          String.split_on_char '\n' (Telemetry.Sink.contents buffer)
-          |> List.iter (fun line -> if line <> "" then Telemetry.Sink.write_line sink line))
-        buffers;
+      flush_buffers ~results:reports ~buffers sink;
       Telemetry.Sink.close sink;
       write_manifest ~events_path:path ~protocol:protocol.Engine.Protocol.name ~engine ~n ~seed
         ~trials ~jobs
@@ -530,10 +569,12 @@ let run_chaos_batch (type s) ~engine ~(protocol : s Engine.Protocol.t)
           Telemetry.Metrics.set reg (Printf.sprintf "pool.domain%d.busy_s" slot) busy_s)
         pool_stats;
       Telemetry.Metrics.set reg "trials" (float_of_int trials);
-      Telemetry.Metrics.set reg "availability_mean" avail.Stats.Summary.mean;
+      Telemetry.Metrics.set reg "availability_mean" avail_mean;
       Telemetry.Metrics.set reg "sla_trials_met" (float_of_int met);
       Telemetry.Metrics.write ~path reg);
-  0
+  (* Chaos reports are data (SLA misses don't fail the run), but a trial
+     that *raised* is a harness failure and must surface in the exit. *)
+  if errors = [] then 0 else 1
 
 let run_loose ~n ~seed ~verbose =
   let t_max = 4 * n in

@@ -1,0 +1,98 @@
+exception Killed
+exception Stalled
+
+type t = { kill_worker : float; stall_job : float; torn_journal : bool }
+
+let none = { kill_worker = 0.0; stall_job = 0.0; torn_journal = false }
+let is_none t = t = none
+
+let probability ~clause s =
+  match float_of_string_opt s with
+  | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+  | Some _ | None -> Error (Printf.sprintf "%s: probability must be in [0,1] (got %S)" clause s)
+
+let parse spec =
+  let clauses = String.split_on_char ',' (String.trim spec) in
+  let rec go acc = function
+    | [] -> if is_none acc then Error "empty fleet-fault spec" else Ok acc
+    | clause :: rest -> (
+        match String.split_on_char ':' (String.trim clause) with
+        | [ "kill-worker"; p ] -> (
+            match probability ~clause:"kill-worker" p with
+            | Ok p -> go { acc with kill_worker = p } rest
+            | Error _ as e -> e)
+        | [ "stall-job"; p ] -> (
+            match probability ~clause:"stall-job" p with
+            | Ok p -> go { acc with stall_job = p } rest
+            | Error _ as e -> e)
+        | [ "torn-journal" ] -> go { acc with torn_journal = true } rest
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "unknown fleet-fault clause %S (kill-worker:P | stall-job:P | torn-journal)"
+                 (String.trim clause)))
+  in
+  go none clauses
+
+let to_string t =
+  let parts = [] in
+  let parts = if t.torn_journal then "torn-journal" :: parts else parts in
+  let parts =
+    if t.stall_job > 0.0 then Printf.sprintf "stall-job:%g" t.stall_job :: parts else parts
+  in
+  let parts =
+    if t.kill_worker > 0.0 then Printf.sprintf "kill-worker:%g" t.kill_worker :: parts
+    else parts
+  in
+  String.concat "," parts
+
+(* FNV-1a over the job id, folded with the fleet chaos seed and the
+   attempt index. Deliberately not [Hashtbl.hash]: the decision stream
+   must be stable across OCaml versions because CI asserts journal
+   contents for a fixed seed. *)
+let mix ~seed ~job_id ~attempt =
+  let h = ref 0xcbf29ce484222325L in
+  let feed byte = h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L in
+  String.iter (fun c -> feed (Char.code c)) job_id;
+  feed (attempt land 0xff);
+  feed ((attempt lsr 8) land 0xff);
+  feed (seed land 0xff);
+  feed ((seed lsr 8) land 0xff);
+  feed ((seed lsr 16) land 0xff);
+  Int64.to_int (Int64.logand !h 0x3fffffffffffffffL)
+
+type decision = { kill_at : int option; stall : bool }
+
+let decide t ~seed ~job_id ~attempt ~n =
+  let rng = Prng.create ~seed:(mix ~seed ~job_id ~attempt) in
+  (* Draw order is fixed (kill first, then stall) so adding a clause to a
+     spec never perturbs the other clause's stream. *)
+  let kill = t.kill_worker > 0.0 && Prng.bernoulli rng ~p:t.kill_worker in
+  (* Strike inside the stability runner's confirmation window lower bound
+     (>= 8n interactions for every task), so a drawn kill always fires
+     before the attempt can finish. *)
+  let kill_at = if kill then Some (1 + Prng.int rng (8 * n)) else None in
+  let stall = t.stall_job > 0.0 && Prng.bernoulli rng ~p:t.stall_job in
+  { kill_at; stall }
+
+let tear_journal ~path =
+  match (Unix.stat path).Unix.st_size with
+  | size when size > 2 ->
+      (* chop mid-line: half of the final record, newline included *)
+      let last_line_len =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let len = in_channel_length ic in
+            let chunk = min len 4096 in
+            seek_in ic (len - chunk);
+            let s = really_input_string ic chunk in
+            (* the file ends with '\n'; find the start of the last record *)
+            match String.rindex_from_opt s (chunk - 2) '\n' with
+            | Some i -> chunk - 1 - i
+            | None -> chunk)
+      in
+      let keep = size - max 1 (last_line_len / 2) in
+      Unix.truncate path (max 0 keep)
+  | _ | (exception Unix.Unix_error (_, _, _)) -> ()

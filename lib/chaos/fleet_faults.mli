@@ -1,0 +1,59 @@
+(** Fault injection aimed at the fleet orchestrator itself.
+
+    The chaos engine's {!Adversary} corrupts protocol state {e inside} a
+    simulation; this module corrupts the {e systems layer around} the
+    simulations — the supervised workers and the journal of
+    [lib/fleet] — to verify that the orchestrator's robustness claims
+    (supervision, retries, crash-safe resume) hold under attack:
+
+    - [kill-worker:P]: with probability [P] per job attempt, the worker
+      raises {!Killed} partway through the run (at a drawn interaction
+      inside the stability runner's confirmation window, so a drawn kill
+      always fires). The orchestrator must account the failure and retry
+      the job without taking down the fleet;
+    - [stall-job:P]: with probability [P] per attempt, the worker's
+      result is withheld and the attempt reports {!Stalled} — modeling a
+      hung worker that blew its deadline;
+    - [torn-journal]: when the journal is closed at shutdown, its final
+      record is truncated mid-bytes — the torn write a real crash leaves
+      — which [--resume]'s replay must tolerate.
+
+    {b Determinism.} Decisions derive from an FNV-1a hash of
+    [(seed, job id, attempt)] — never from worker identity, scheduling
+    or wall time — so a fleet run under a fixed chaos seed draws the
+    same faults at any [--jobs], and CI can assert journal contents. *)
+
+exception Killed
+(** Raised inside a sabotaged worker attempt (via an [Exec.on] hook). *)
+
+exception Stalled
+(** Raised by a stalled attempt after its (discarded) run. *)
+
+type t = { kill_worker : float; stall_job : float; torn_journal : bool }
+
+val none : t
+val is_none : t -> bool
+
+val parse : string -> (t, string) result
+(** Comma-separated clauses: [kill-worker:P], [stall-job:P],
+    [torn-journal]. Total — returns [Error] with a message on unknown
+    clauses or out-of-range probabilities. *)
+
+val to_string : t -> string
+(** Round-trip rendering of a non-empty spec. *)
+
+val mix : seed:int -> job_id:string -> attempt:int -> int
+(** The FNV-1a fold of [(job_id, attempt, seed)] into a PRNG seed —
+    stable across OCaml versions. Also used by the orchestrator to draw
+    per-attempt backoff jitter without threading generator state through
+    crashes. *)
+
+type decision = { kill_at : int option; stall : bool }
+
+val decide : t -> seed:int -> job_id:string -> attempt:int -> n:int -> decision
+(** The faults drawn for one job attempt. [kill_at] is the interaction
+    index at which the worker's kill hook fires ([1 .. 8n]). *)
+
+val tear_journal : path:string -> unit
+(** Truncates the file's final record mid-bytes (best-effort; no-op on
+    errors or near-empty files). *)

@@ -156,6 +156,23 @@ let run pool tasks =
     Array.map (function Done v -> v | Pending | Failed _ -> assert false) slots
   end
 
+(* Detached submission for long-lived orchestrators (lib/fleet): enqueue
+   one task and return immediately. The submitter never helps drain (it
+   is an event loop, not a batch), so at least one worker domain must
+   exist. Exceptions are trapped: a raising detached task would
+   otherwise kill its worker domain and surface only at [shutdown]. *)
+let submit pool thunk =
+  if pool.jobs < 2 then
+    invalid_arg "Engine.Pool.submit: detached tasks need at least one worker domain (jobs >= 2)";
+  Mutex.lock pool.mutex;
+  let closed = pool.closed in
+  if not closed then begin
+    Queue.push (fun () -> try thunk () with _ -> ()) pool.queue;
+    Condition.signal pool.work_available
+  end;
+  Mutex.unlock pool.mutex;
+  if closed then invalid_arg "Engine.Pool.submit: pool is shut down"
+
 let map pool f xs = run pool (Array.map (fun x () -> f x) xs)
 
 let init pool k f = run pool (Array.init k (fun i () -> f i))

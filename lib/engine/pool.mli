@@ -49,6 +49,18 @@ val run : t -> (unit -> 'a) array -> 'a array
     its backtrace) after {e all} tasks have finished, so the pool remains
     usable. Raises [Invalid_argument] on a pool that was shut down. *)
 
+val submit : t -> (unit -> unit) -> unit
+(** [submit pool task] enqueues one detached task and returns immediately
+    — the long-lived-service counterpart of {!run}, used by the fleet
+    orchestrator to dispatch jobs while its own domain runs the event
+    loop. The submitter does not help drain, so the pool must have been
+    created with [jobs >= 2] (at least one worker domain); raises
+    [Invalid_argument] otherwise, and on a pool that was shut down.
+    Completion is the task's own business (signal through shared state);
+    {!shutdown} still waits for every submitted task. An exception
+    escaping the task is swallowed — wrap the body if failures must be
+    observed (see [Fleet.Supervise]). *)
+
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f xs] is [run pool] over [fun () -> f xs.(i)]. *)
 

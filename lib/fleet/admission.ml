@@ -1,0 +1,60 @@
+type t = {
+  cap : int;
+  mutable groups : (string * Job.t Queue.t) list;  (* insertion order *)
+  mutable cursor : int;  (* index into [groups] of the next group to serve *)
+  mutable count : int;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Fleet.Admission.create: cap must be >= 1";
+  { cap; groups = []; cursor = 0; count = 0 }
+
+let depth t = t.count
+let is_empty t = t.count = 0
+let has_capacity t = t.count < t.cap
+
+let group_queue t name =
+  match List.assoc_opt name t.groups with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      t.groups <- t.groups @ [ (name, q) ];
+      q
+
+let enqueue t job =
+  Queue.push job (group_queue t job.Job.group);
+  t.count <- t.count + 1
+
+let push t job =
+  if has_capacity t then begin
+    enqueue t job;
+    Ok ()
+  end
+  else Error (Printf.sprintf "queue full (cap %d)" t.cap)
+
+let push_force t job = enqueue t job
+
+(* Round-robin across groups in insertion order, FIFO within a group: a
+   burst of submissions in one group cannot starve the others. The cursor
+   survives pops so service keeps rotating rather than restarting at the
+   first group every time. *)
+let pop t =
+  if t.count = 0 then None
+  else begin
+    let groups = Array.of_list t.groups in
+    let k = Array.length groups in
+    let rec find i tries =
+      if tries = k then None
+      else
+        let _, q = groups.(i mod k) in
+        if Queue.is_empty q then find (i + 1) (tries + 1)
+        else begin
+          t.cursor <- (i + 1) mod k;
+          t.count <- t.count - 1;
+          Some (Queue.pop q)
+        end
+    in
+    find (t.cursor mod k) 0
+  end
+
+let groups t = List.map (fun (name, q) -> (name, Queue.length q)) t.groups

@@ -1,0 +1,39 @@
+(** Bounded fair admission queue.
+
+    The orchestrator's waiting room. Capacity is a hard bound: {!push}
+    refuses (the caller journals a [shed] verdict and tells the submitter)
+    rather than growing without limit — explicit backpressure instead of
+    an unbounded queue hiding overload. Scheduling is round-robin over
+    groups in first-appearance order, FIFO within a group, so one noisy
+    group (by default, one protocol) cannot starve the rest.
+
+    Single-threaded on purpose: only the orchestrator's event loop
+    touches it. Determinism: pop order is a pure function of the push
+    sequence. *)
+
+type t
+
+val create : cap:int -> t
+(** [cap >= 1] or [Invalid_argument]. *)
+
+val push : t -> Job.t -> (unit, string) result
+(** Enqueues, or [Error "queue full (cap N)"] when at capacity — the
+    shed verdict surfaced to submitters. *)
+
+val push_force : t -> Job.t -> unit
+(** Enqueues even beyond capacity. Reserved for requeueing work the
+    fleet already accepted (retries after backoff, [--resume] replay):
+    accepted jobs are never shed by their own retry. *)
+
+val pop : t -> Job.t option
+(** Next job under round-robin fairness, or [None] when empty. *)
+
+val has_capacity : t -> bool
+(** Whether {!push} would currently accept — the flow-control predicate
+    the job-file feeder polls before reading the next spec. *)
+
+val depth : t -> int
+val is_empty : t -> bool
+
+val groups : t -> (string * int) list
+(** Queued depth per group, in service order (for the status board). *)

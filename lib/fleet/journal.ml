@@ -1,0 +1,161 @@
+module J = Telemetry.Json
+
+type entry =
+  | Spec of Job.t
+  | Start of { id : string; attempt : int }
+  | Retry of { id : string; attempt : int; error : string; delay_ticks : int }
+  | Done of { id : string; attempt : int; converged : int; trials : int }
+  | Fail of { id : string; attempts : int; error : string }
+  | Shed of { id : string; reason : string }
+  | Drain of { reason : string }
+
+let base typ fields = J.Obj ((("v", J.Int 1) :: ("kind", J.String "fleet") :: ("type", J.String typ) :: fields))
+
+let entry_to_json = function
+  | Spec job -> base "spec" [ ("job", Job.to_json job) ]
+  | Start { id; attempt } -> base "start" [ ("id", J.String id); ("attempt", J.Int attempt) ]
+  | Retry { id; attempt; error; delay_ticks } ->
+      base "retry"
+        [
+          ("id", J.String id);
+          ("attempt", J.Int attempt);
+          ("error", J.String error);
+          ("delay_ticks", J.Int delay_ticks);
+        ]
+  | Done { id; attempt; converged; trials } ->
+      base "done"
+        [
+          ("id", J.String id);
+          ("attempt", J.Int attempt);
+          ("converged", J.Int converged);
+          ("trials", J.Int trials);
+        ]
+  | Fail { id; attempts; error } ->
+      base "fail" [ ("id", J.String id); ("attempts", J.Int attempts); ("error", J.String error) ]
+  | Shed { id; reason } -> base "shed" [ ("id", J.String id); ("reason", J.String reason) ]
+  | Drain { reason } -> base "drain" [ ("reason", J.String reason) ]
+
+let ( let* ) = Option.bind
+
+let entry_of_json json =
+  let str name = Option.bind (J.member name json) J.to_string_opt in
+  let int name = Option.bind (J.member name json) J.to_int in
+  match (Option.bind (J.member "kind" json) J.to_string_opt, str "type") with
+  | Some "fleet", Some typ -> (
+      match typ with
+      | "spec" -> (
+          match Option.map Job.of_json (J.member "job" json) with
+          | Some (Ok job) -> Some (Spec job)
+          | _ -> None)
+      | "start" ->
+          let* id = str "id" in
+          let* attempt = int "attempt" in
+          Some (Start { id; attempt })
+      | "retry" ->
+          let* id = str "id" in
+          let* attempt = int "attempt" in
+          let* error = str "error" in
+          let* delay_ticks = int "delay_ticks" in
+          Some (Retry { id; attempt; error; delay_ticks })
+      | "done" ->
+          let* id = str "id" in
+          let* attempt = int "attempt" in
+          let* converged = int "converged" in
+          let* trials = int "trials" in
+          Some (Done { id; attempt; converged; trials })
+      | "fail" ->
+          let* id = str "id" in
+          let* attempts = int "attempts" in
+          let* error = str "error" in
+          Some (Fail { id; attempts; error })
+      | "shed" ->
+          let* id = str "id" in
+          let* reason = str "reason" in
+          Some (Shed { id; reason })
+      | "drain" ->
+          let* reason = str "reason" in
+          Some (Drain { reason })
+      | _ -> None)
+  | _ -> None
+
+type t = { sink : Telemetry.Sink.t; path : string }
+
+(* Autoflush: every entry reaches the OS before [append] returns, so the
+   journal never lies by more than the final (possibly torn) line after a
+   crash — the durability contract replay is built around. *)
+let open_ ?(append = false) path =
+  { sink = Telemetry.Sink.file ~append ~autoflush:true path; path }
+
+let append t entry = Telemetry.Sink.write_line t.sink (J.to_string (entry_to_json entry))
+let close t = Telemetry.Sink.close t.sink
+let path t = t.path
+
+type done_record = { id : string; attempt : int; converged : int; trials : int }
+
+type replay = {
+  specs : Job.t list;
+  completed : done_record list;
+  failed : (string * string) list;
+  attempts : (string * int) list;
+  drained : bool;
+  torn : bool;
+}
+
+let replay ~path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* A crash (or injected torn-journal fault) can leave a final line
+         without its newline, or with its JSON chopped mid-bytes. Only
+         complete, parseable lines count; the tail is reported, not fatal. *)
+      let lines = String.split_on_char '\n' raw in
+      let rec complete acc = function
+        | [] | [ "" ] -> (List.rev acc, false)
+        | [ _torn ] -> (List.rev acc, true)
+        | line :: rest -> complete (line :: acc) rest
+      in
+      let complete_lines, torn = complete [] lines in
+      let specs = ref [] and completed = ref [] and failed = ref [] in
+      let attempts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      let drained = ref false in
+      let torn = ref torn in
+      List.iter
+        (fun line ->
+          match J.parse line with
+          | Error _ -> torn := true
+          | Ok json -> (
+              match entry_of_json json with
+              | None -> torn := true
+              | Some (Spec job) -> specs := job :: !specs
+              | Some (Start { id; attempt }) -> Hashtbl.replace attempts id attempt
+              | Some (Retry _) | Some (Shed _) -> ()
+              | Some (Done { id; attempt; converged; trials }) ->
+                  completed := { id; attempt; converged; trials } :: !completed
+              | Some (Fail { id; error; _ }) -> failed := (id, error) :: !failed
+              | Some (Drain _) -> drained := true))
+        complete_lines;
+      let specs = List.rev !specs in
+      (* Never iterate the table: order must follow the journal, not
+         hash buckets. *)
+      let attempts_in_order =
+        List.filter_map
+          (fun job ->
+            match Hashtbl.find_opt attempts job.Job.id with
+            | Some a -> Some (job.Job.id, a)
+            | None -> None)
+          specs
+      in
+      Ok
+        {
+          specs;
+          completed = List.rev !completed;
+          failed = List.rev !failed;
+          attempts = attempts_in_order;
+          drained = !drained;
+          torn = !torn;
+        }

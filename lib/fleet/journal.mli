@@ -1,0 +1,62 @@
+(** Crash-safe fleet journal: append-only JSONL, replayed on [--resume].
+
+    Every admission decision and job state transition is appended (and
+    flushed) {e before} the orchestrator acts on it, write-ahead style.
+    The entry grammar (all objects carry ["v":1, "kind":"fleet"]):
+
+    - [spec]   — a job was accepted; carries the full spec ({!Job.to_json})
+    - [start]  — attempt [attempt] of job [id] was dispatched
+    - [retry]  — the attempt failed; a retry was scheduled after
+                 [delay_ticks] scheduler ticks
+    - [done]   — the job completed; its events file and manifest are on
+                 disk (written strictly before this entry)
+    - [fail]   — the job exhausted its retry budget
+    - [shed]   — an admission verdict: rejected (queue full, duplicate
+                 id, draining, invalid spec)
+    - [drain]  — the fleet shut down gracefully
+
+    {b Recovery semantics.} {!replay} tolerates a torn final line (the
+    most a crash can lose, since every entry is flushed when written).
+    A job with [spec] but no [done]/[fail] is incomplete: resume requeues
+    it with its journaled attempt count. Because [done] is written after
+    the job's outputs, a crash in between re-runs the job — which
+    rewrites both files with byte-identical content (worker determinism),
+    so recovery is idempotent: completed-exactly-once {e outputs}, at
+    -least-once execution. *)
+
+type entry =
+  | Spec of Job.t
+  | Start of { id : string; attempt : int }
+  | Retry of { id : string; attempt : int; error : string; delay_ticks : int }
+  | Done of { id : string; attempt : int; converged : int; trials : int }
+  | Fail of { id : string; attempts : int; error : string }
+  | Shed of { id : string; reason : string }
+  | Drain of { reason : string }
+
+val entry_to_json : entry -> Telemetry.Json.t
+val entry_of_json : Telemetry.Json.t -> entry option
+
+type t
+
+val open_ : ?append:bool -> string -> t
+(** Opens the journal for writing, truncating unless [append] (resume
+    appends: history is evidence). Entries are flushed line-by-line. *)
+
+val append : t -> entry -> unit
+val close : t -> unit
+val path : t -> string
+
+type done_record = { id : string; attempt : int; converged : int; trials : int }
+
+type replay = {
+  specs : Job.t list;  (** accepted jobs, journal order, duplicates possible across resumes *)
+  completed : done_record list;  (** jobs with a [done] entry *)
+  failed : (string * string) list;  (** ids with a [fail] entry, and the error *)
+  attempts : (string * int) list;  (** last started attempt per id, spec order *)
+  drained : bool;  (** a [drain] entry is present (clean shutdown) *)
+  torn : bool;  (** a torn/unparseable tail was skipped *)
+}
+
+val replay : path:string -> (replay, string) result
+(** Reads the journal back. [Error] only if the file cannot be read at
+    all; torn or garbage tails degrade to [torn = true]. *)

@@ -1,0 +1,121 @@
+(** The supervised soak-fleet orchestrator.
+
+    A long-lived service multiplexing many {!Job} specs over a domain
+    pool, with the robustness properties the rest of this PR tests:
+
+    - {b Backpressure}: admission goes through a bounded fair queue
+      ({!Admission}); a full queue sheds with an explicit journaled
+      verdict instead of growing without bound.
+    - {b Supervision}: each attempt runs under {!Supervise.run} on a
+      worker domain — an exception (or an injected
+      {!Chaos.Fleet_faults} kill/stall) fails that attempt only, never
+      the fleet.
+    - {b Retries}: failed attempts retry up to [job.retries] times with
+      exponential backoff plus deterministic jitter, measured in
+      scheduler {e ticks} (wall-clock-free, so schedules replay).
+    - {b Deadlines}: per-attempt budgets live on the interaction clock
+      inside the worker ({!Job.deadline}).
+    - {b Crash safety}: every transition is journaled ({!Journal})
+      before it takes effect; [resume:true] replays the journal,
+      requeues incomplete jobs with their attempt counts, and never
+      re-runs (or rewrites the manifest of) a completed job.
+    - {b Graceful drain}: {!drain} (or [should_drain]) stops admission
+      and dispatch, lets in-flight attempts finish, journals a [drain]
+      entry and shuts the pool down; queued work is left incomplete in
+      the journal for a later [--resume].
+
+    The event loop is single-threaded: workers communicate completions
+    back through one mutex-guarded list, and everything else (queue,
+    table, journal) is touched only by the loop. *)
+
+type config = {
+  out_dir : string;  (** per-job events/manifest files land here *)
+  journal_path : string;
+  workers : int;  (** concurrent jobs; the pool gets [workers + 1] domains *)
+  queue_cap : int;  (** admission bound *)
+  backoff_base : int;  (** retry backoff unit, in ticks *)
+  chaos : Chaos.Fleet_faults.t;  (** faults aimed at the fleet itself *)
+  chaos_seed : int;
+}
+
+val default_config : out_dir:string -> config
+(** workers 2, queue cap 64, backoff base 4 ticks, no chaos; journal at
+    [<out_dir>/fleet.journal.jsonl]. *)
+
+type t
+
+type status =
+  | Queued
+  | Running of { attempt : int }
+  | Backoff of { attempt : int; until_tick : int }
+  | Completed of { attempt : int; converged : int; trials : int }
+  | Failed of { attempts : int; error : string }
+
+val create : ?resume:bool -> config -> t
+(** Creates the pool and opens the journal (truncating, unless [resume]
+    — then the existing journal is replayed, terminal jobs are kept
+    terminal, incomplete ones requeued, and new entries append).
+    Creates [out_dir] if missing. Raises [Failure] if a resume journal
+    cannot be read, [Invalid_argument] on a nonsensical config. *)
+
+val submit : t -> Job.t -> [ `Accepted | `Shed of string ]
+(** Admission verdict. Shed (with a journaled reason) when the queue is
+    full, the id duplicates a known job, or the fleet is draining. *)
+
+val reject : t -> id:string -> reason:string -> unit
+(** Journals a shed verdict for a spec that failed validation before it
+    could become a {!Job.t} (malformed JSON line, bad field). *)
+
+val has_capacity : t -> bool
+(** Flow control for job-file feeding: read the next spec only when
+    true, so a huge job file never blows the admission bound. *)
+
+val step : t -> bool
+(** One scheduler tick: fold in completions, requeue due backoffs,
+    dispatch while under the concurrency limit. Returns whether any
+    completion was processed. Exposed for tests; {!run} loops it. *)
+
+val drain : t -> unit
+(** Starts a graceful drain (idempotent). *)
+
+val run :
+  ?tick_s:float ->
+  ?on_tick:(t -> unit) ->
+  ?should_drain:(unit -> string option) ->
+  ?more_work:(unit -> bool) ->
+  t ->
+  string
+(** Runs the event loop to completion and returns the drain reason
+    (["complete"], or whatever [should_drain] gave). [on_tick] runs once
+    per tick — the CLI feeds the job file, serves HTTP and polls signal
+    flags from it. [more_work] keeps an idle fleet alive (serve mode,
+    or a feeder with specs still unread). [tick_s] is the idle sleep
+    (default 2 ms; tests pass 0 to spin). Afterwards the journal is
+    closed ([drain] entry last) and the pool shut down; with
+    [chaos.torn_journal] the journal's final record is then torn to
+    exercise resume. [t] cannot be run again. *)
+
+type stats = {
+  tick : int;
+  submitted : int;
+  completed : int;
+  failed : int;
+  shed : int;
+  retries : int;
+  queue_depth : int;  (** admission queue + backoff room *)
+  in_flight : int;
+  draining : bool;
+}
+
+val stats : t -> stats
+
+val snapshot_json : t -> Telemetry.Json.t
+(** The live status document the dashboard renders: the {!stats}
+    fields, per-group queue depths, and a per-job state table in
+    submission order. *)
+
+val all_done : t -> bool
+(** Every known job is terminal (completed or failed). *)
+
+val completed_count : t -> int
+val is_completed : t -> string -> bool

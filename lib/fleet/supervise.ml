@@ -1,0 +1,24 @@
+type failure = { error : string; backtrace : string }
+
+let failure_of_exn exn bt =
+  { error = Printexc.to_string exn; backtrace = Printexc.raw_backtrace_to_string bt }
+
+let run f =
+  match f () with
+  | v -> Ok v
+  | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      Error (failure_of_exn exn bt)
+
+let pp_failures ppf failures =
+  List.iter
+    (fun (label, f) -> Format.fprintf ppf "  %s: %s@." label f.error)
+    failures
+
+let summary ~total failures =
+  if failures = [] then Printf.sprintf "%d of %d succeeded" total total
+  else
+    Printf.sprintf "%d of %d succeeded, %d failed (%s)" (total - List.length failures) total
+      (List.length failures)
+      (String.concat "; "
+         (List.map (fun (label, f) -> Printf.sprintf "%s: %s" label f.error) failures))

@@ -1,0 +1,23 @@
+(** Failure capture shared by the fleet workers and the batch CLIs.
+
+    The paper's protocols recover from arbitrary transient faults; the
+    batch layer should recover from arbitrary {e trial} faults. One trial
+    (or one fleet job attempt) raising must never abort its siblings:
+    wrap the body in {!run}, collect [Error]s, account them in the
+    summary, and exit non-zero — the completed work (and its telemetry)
+    survives. Both [ssr_sim --trials] and [Fleet.Orchestrator] supervision
+    go through this module, so failure accounting stays uniform. *)
+
+type failure = { error : string;  (** [Printexc.to_string] of the exception *)
+                 backtrace : string }
+
+val run : (unit -> 'a) -> ('a, failure) result
+(** Runs the thunk, trapping any exception (with its backtrace) into
+    [Error]. Never raises. *)
+
+val pp_failures : Format.formatter -> (string * failure) list -> unit
+(** One indented [label: error] line per failure. *)
+
+val summary : total:int -> (string * failure) list -> string
+(** One-line accounting, e.g. ["18 of 20 succeeded, 2 failed (trial 3:
+    Failure(\"boom\"); …)"]. *)

@@ -1,4 +1,4 @@
-type backing = File of out_channel | Memory of Buffer.t
+type backing = File of { oc : out_channel; autoflush : bool } | Memory of Buffer.t
 
 type t = {
   backing : backing;
@@ -7,19 +7,92 @@ type t = {
   mutable closed : bool;
 }
 
-let file path =
-  { backing = File (open_out path); mutex = Mutex.create (); written = 0; closed = false }
+(* Registry of live file sinks, for the best-effort crash flush: a killed
+   run should lose at most the channel buffer's torn final line, not
+   whole batches of buffered lines. Guarded by its own mutex — sinks are
+   registered/unregistered at open/close granularity only. *)
+let live : t list ref = ref []
+let live_mutex = Mutex.create ()
+let exit_flush_installed = ref false
+
+let flush t =
+  Mutex.lock t.mutex;
+  if not t.closed then (match t.backing with File { oc; _ } -> flush oc | Memory _ -> ());
+  Mutex.unlock t.mutex
+
+let flush_all () =
+  Mutex.lock live_mutex;
+  let sinks = !live in
+  Mutex.unlock live_mutex;
+  List.iter (fun t -> try flush t with Sys_error _ -> ()) sinks
+
+let register t =
+  Mutex.lock live_mutex;
+  live := t :: !live;
+  if not !exit_flush_installed then begin
+    exit_flush_installed := true;
+    at_exit flush_all
+  end;
+  Mutex.unlock live_mutex
+
+let unregister t =
+  Mutex.lock live_mutex;
+  live := List.filter (fun s -> s != t) !live;
+  Mutex.unlock live_mutex
+
+let install_crash_flush () =
+  List.iter
+    (fun sg ->
+      let handler =
+        Sys.Signal_handle
+          (fun _ ->
+            flush_all ();
+            (* restore the default disposition and re-deliver, so the
+               process still dies with the conventional signal status *)
+            Sys.set_signal sg Sys.Signal_default;
+            Unix.kill (Unix.getpid ()) sg)
+      in
+      match Sys.signal sg handler with
+      | Sys.Signal_default -> ()
+      | previous ->
+          (* some other part of the program owns this signal (e.g. the
+             fleet orchestrator's drain handler) — back off *)
+          Sys.set_signal sg previous
+      | exception (Invalid_argument _ | Sys_error _) -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let file ?(append = false) ?(autoflush = false) path =
+  let oc =
+    if append then open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+    else open_out path
+  in
+  let t =
+    {
+      backing = File { oc; autoflush };
+      mutex = Mutex.create ();
+      written = 0;
+      closed = false;
+    }
+  in
+  register t;
+  t
 
 let buffer () =
-  { backing = Memory (Buffer.create 4096); mutex = Mutex.create (); written = 0; closed = false }
+  {
+    backing = Memory (Buffer.create 4096);
+    mutex = Mutex.create ();
+    written = 0;
+    closed = false;
+  }
 
 let write_line t line =
   Mutex.lock t.mutex;
   if not t.closed then begin
     (match t.backing with
-    | File oc ->
+    | File { oc; autoflush } ->
         output_string oc line;
-        output_char oc '\n'
+        output_char oc '\n';
+        if autoflush then Stdlib.flush oc
     | Memory buf ->
         Buffer.add_string buf line;
         Buffer.add_char buf '\n');
@@ -40,6 +113,11 @@ let close t =
   Mutex.lock t.mutex;
   if not t.closed then begin
     t.closed <- true;
-    match t.backing with File oc -> close_out oc | Memory _ -> ()
+    match t.backing with
+    | File { oc; _ } ->
+        (try Stdlib.flush oc with Sys_error _ -> ());
+        close_out_noerr oc
+    | Memory _ -> ()
   end;
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  match t.backing with File _ -> unregister t | Memory _ -> ()

@@ -12,13 +12,33 @@
 
     Writes are mutex-guarded, so sharing one sink between domains is safe
     (ordering is then scheduler-dependent; prefer per-trial buffers when
-    determinism matters). *)
+    determinism matters).
+
+    {2 Durability}
+
+    File sinks go through a buffered [out_channel], so a killed process
+    loses whatever the channel had not flushed — possibly ending the file
+    mid-line. Downstream readers tolerate exactly that shape ({!Tail},
+    [Timeline.load] and the fleet journal replay all drop an undecodable
+    torn {e final} line), and three layers keep the torn window small:
+
+    - {!close} always flushes before closing;
+    - every open file sink is registered for {!flush_all}, which an
+      [at_exit] hook (installed with the first file sink) runs on normal
+      termination — including [exit] after an uncaught exception;
+    - {!install_crash_flush} optionally extends that to SIGINT/SIGTERM.
+
+    Long-lived appenders whose every line must survive a crash (the fleet
+    journal) pass [~autoflush:true] and take the per-line [flush] cost. *)
 
 type t
 
-val file : string -> t
-(** Opens (truncates) [path] for writing. Raises [Sys_error] like
-    [open_out]. *)
+val file : ?append:bool -> ?autoflush:bool -> string -> t
+(** Opens [path] for writing — truncating by default, appending with
+    [~append:true] (the fleet journal reopens in append mode on
+    [--resume]). With [~autoflush:true] every line is flushed to the OS as
+    it is written, so a crash can tear at most the line being written.
+    Raises [Sys_error] like [open_out]. *)
 
 val buffer : unit -> t
 
@@ -35,6 +55,23 @@ val lines : t -> int
 val contents : t -> string
 (** Everything written so far. For a buffer sink this is the accumulated
     JSONL text; for a file sink, raises [Invalid_argument]. *)
+
+val flush : t -> unit
+(** Flushes a file sink's channel buffer to the OS. No-op on buffer
+    sinks and closed sinks. *)
+
+val flush_all : unit -> unit
+(** {!flush} every open file sink in the process (best-effort: I/O errors
+    on one sink do not prevent flushing the others). Runs automatically
+    [at_exit]; drivers call it at drain/checkpoint boundaries. *)
+
+val install_crash_flush : unit -> unit
+(** Best-effort SIGINT/SIGTERM hardening: installs handlers that
+    {!flush_all} and then re-deliver the signal with its default
+    disposition, so an interrupted run leaves at most a torn final line
+    per file. Only installs over a [Signal_default] disposition — a
+    process that already owns its signals (e.g. [bin/fleet]'s drain
+    handler, which flushes as part of graceful drain) is left alone. *)
 
 val close : t -> unit
 (** Flushes and closes a file sink; idempotent. Buffer sinks keep their

@@ -1,21 +1,47 @@
+type source = {
+  page : string;
+  snapshot : unit -> string;
+  refresh : unit -> bool;
+  submit : (string -> bool * string) option;
+  shutdown : unit -> unit;
+}
+
+let tail_source ~path =
+  let tail = Telemetry.Tail.create ~path in
+  let state = Telemetry.Timeline.state () in
+  {
+    page = Dashboard.page ~path;
+    snapshot =
+      (fun () ->
+        Telemetry.Json.to_string
+          (Dashboard.snapshot_json
+             ~dropped:(Telemetry.Tail.dropped tail)
+             ~path
+             (Telemetry.Timeline.snapshot state)));
+    refresh =
+      (fun () ->
+        let fresh = Telemetry.Tail.poll tail in
+        List.iter (Telemetry.Timeline.push state) fresh;
+        fresh <> []);
+    submit = None;
+    shutdown = (fun () -> Telemetry.Tail.close tail);
+  }
+
 type client = {
   fd : Unix.file_descr;
-  request : Buffer.t;  (* accumulated request bytes until headers end *)
+  request : Buffer.t;  (* accumulated request bytes until the request completes *)
   mutable sse : bool;  (* upgraded to a text/event-stream subscriber *)
 }
 
 type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
-  path : string;
-  page : string;
-  tail : Telemetry.Tail.t;
-  state : Telemetry.Timeline.state;
+  source : source;
   chunk : Bytes.t;
   mutable clients : client list;
 }
 
-let create ?(host = "127.0.0.1") ~port ~path () =
+let of_source ?(host = "127.0.0.1") ~port source =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -26,16 +52,9 @@ let create ?(host = "127.0.0.1") ~port ~path () =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> port
   in
-  {
-    listen_fd;
-    bound_port;
-    path;
-    page = Dashboard.page ~path;
-    tail = Telemetry.Tail.create ~path;
-    state = Telemetry.Timeline.state ();
-    chunk = Bytes.create 4096;
-    clients = [];
-  }
+  { listen_fd; bound_port; source; chunk = Bytes.create 4096; clients = [] }
+
+let create ?host ~port ~path () = of_source ?host ~port (tail_source ~path)
 
 let port t = t.bound_port
 
@@ -63,46 +82,94 @@ let response ~status ~content_type body =
     "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
     status content_type (String.length body) body
 
-let snapshot_string t =
-  Telemetry.Json.to_string
-    (Dashboard.snapshot_json
-       ~dropped:(Telemetry.Tail.dropped t.tail)
-       ~path:t.path
-       (Telemetry.Timeline.snapshot t.state))
-
 let sse_frame json = "data: " ^ json ^ "\n\n"
 
 let sse_header =
   "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\n\
    Connection: keep-alive\r\n\r\nretry: 1000\n\n"
 
-let handle_request t client =
-  let first_line =
-    let s = Buffer.contents client.request in
-    match String.index_opt s '\n' with
-    | Some i -> String.trim (String.sub s 0 i)
-    | None -> String.trim s
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = if i + m > n then None else if String.sub s i m = sub then Some i else at (i + 1) in
+  at 0
+
+(* (method, target, body) of a complete request; None while bytes are
+   still missing (headers unfinished, or a POST body shorter than its
+   Content-Length). *)
+let parse_request s =
+  let headers_body =
+    match find_sub s "\r\n\r\n" with
+    | Some i -> Some (String.sub s 0 i, String.sub s (i + 4) (String.length s - i - 4))
+    | None -> (
+        match find_sub s "\n\n" with
+        | Some i -> Some (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 2))
+        | None -> None)
   in
-  let target =
-    match String.split_on_char ' ' first_line with
-    | _meth :: target :: _ -> ( match String.index_opt target '?' with
-      | Some i -> String.sub target 0 i
-      | None -> target)
-    | _ -> "/"
-  in
-  match target with
-  | "/" | "/index.html" ->
-      let _ = send t client (response ~status:"200 OK" ~content_type:"text/html; charset=utf-8" t.page) in
-      drop t client
-  | "/data.json" ->
+  match headers_body with
+  | None -> None
+  | Some (headers, body) -> (
+      let first_line =
+        match String.index_opt headers '\n' with
+        | Some i -> String.trim (String.sub headers 0 i)
+        | None -> String.trim headers
+      in
+      let meth, target =
+        match String.split_on_char ' ' first_line with
+        | meth :: target :: _ -> (
+            ( meth,
+              match String.index_opt target '?' with
+              | Some i -> String.sub target 0 i
+              | None -> target ))
+        | _ -> ("GET", "/")
+      in
+      let content_length =
+        String.split_on_char '\n' headers
+        |> List.fold_left
+             (fun acc line ->
+               match String.index_opt line ':' with
+               | Some i when String.lowercase_ascii (String.trim (String.sub line 0 i)) = "content-length" ->
+                   int_of_string_opt
+                     (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+               | _ -> acc)
+             None
+      in
+      match content_length with
+      | Some len when String.length body < len -> None
+      | Some len -> Some (meth, target, String.sub body 0 len)
+      | None -> Some (meth, target, body))
+
+let handle_request t client (meth, target, body) =
+  match (meth, target) with
+  | "GET", ("/" | "/index.html") ->
       let _ =
         send t client
-          (response ~status:"200 OK" ~content_type:"application/json" (snapshot_string t ^ "\n"))
+          (response ~status:"200 OK" ~content_type:"text/html; charset=utf-8" t.source.page)
       in
       drop t client
-  | "/events" ->
+  | "GET", "/data.json" ->
+      let _ =
+        send t client
+          (response ~status:"200 OK" ~content_type:"application/json"
+             (t.source.snapshot () ^ "\n"))
+      in
+      drop t client
+  | "GET", "/events" ->
       if send t client sse_header then
-        if send t client (sse_frame (snapshot_string t)) then client.sse <- true
+        if send t client (sse_frame (t.source.snapshot ())) then client.sse <- true
+  | "POST", "/submit" -> (
+      match t.source.submit with
+      | None ->
+          let _ =
+            send t client
+              (response ~status:"404 Not Found" ~content_type:"text/plain"
+                 "this server takes no submissions\n")
+          in
+          drop t client
+      | Some submit ->
+          let accepted, reply = submit body in
+          let status = if accepted then "202 Accepted" else "409 Conflict" in
+          let _ = send t client (response ~status ~content_type:"application/json" (reply ^ "\n")) in
+          drop t client)
   | _ ->
       let _ =
         send t client (response ~status:"404 Not Found" ~content_type:"text/plain" "not found\n")
@@ -116,21 +183,18 @@ let read_client t client =
       if client.sse then () (* subscribers only ever hang up *)
       else begin
         Buffer.add_subbytes client.request t.chunk 0 k;
-        let s = Buffer.contents client.request in
-        (* an empty line ends the headers of a GET request *)
-        let has sub =
-          let n = String.length s and m = String.length sub in
-          let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
-          at 0
-        in
-        if has "\r\n\r\n" || has "\n\n" then handle_request t client
+        match parse_request (Buffer.contents client.request) with
+        | Some req -> handle_request t client req
+        | None -> ()
       end
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   | exception Unix.Unix_error (_, _, _) -> drop t client
 
 let broadcast t =
-  let frame = sse_frame (snapshot_string t) in
+  let frame = sse_frame (t.source.snapshot ()) in
   List.iter (fun c -> if c.sse then ignore (send t c frame)) t.clients
+
+let notify t = broadcast t
 
 let poll ?(timeout = 0.25) t =
   let fds = t.listen_fd :: List.map (fun c -> c.fd) t.clients in
@@ -146,11 +210,7 @@ let poll ?(timeout = 0.25) t =
   end;
   (* iterate over a snapshot of the list: handlers mutate [t.clients] *)
   List.iter (fun client -> if List.memq client.fd readable then read_client t client) t.clients;
-  let fresh = Telemetry.Tail.poll t.tail in
-  if fresh <> [] then begin
-    List.iter (Telemetry.Timeline.push t.state) fresh;
-    broadcast t
-  end
+  if t.source.refresh () then broadcast t
 
 let rec run t =
   poll t;
@@ -160,4 +220,4 @@ let close t =
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()) t.clients;
   t.clients <- [];
   (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
-  Telemetry.Tail.close t.tail
+  t.source.shutdown ()

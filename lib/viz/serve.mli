@@ -1,33 +1,53 @@
-(** Minimal single-threaded HTTP server for the live soak dashboard.
+(** Minimal single-threaded HTTP server for live dashboards.
 
-    [timeline --serve] creates one of these over a JSONL events file that
-    another process ([ssr_sim --chaos]) may still be appending to. Each
-    {!poll} does one [select] round: accepts connections, answers plain
-    requests, tails the file ({!Telemetry.Tail}), folds new events into
-    the incremental {!Telemetry.Timeline} state, and pushes a fresh
-    {!Dashboard.snapshot_json} frame to every Server-Sent-Events
-    subscriber. Single-threaded by construction — no domains, no
-    threads — so tests can interleave client and server in one process
-    by calling {!poll} between client operations.
+    Originally the soak-dashboard sidecar ([timeline --serve], over a
+    JSONL events file another process is appending to); now generalized
+    over a {!source} so the fleet orchestrator can serve its own status
+    board ({!Fleet_board}) and accept job submissions from the same
+    loop. Each {!poll} does one [select] round: accepts connections,
+    answers complete requests, pumps the source, and pushes a fresh
+    snapshot frame to every Server-Sent-Events subscriber. Single-
+    threaded by construction — no domains, no threads — so tests can
+    interleave client and server in one process by calling {!poll}
+    between client operations, and an embedding event loop (the fleet's)
+    can call [poll ~timeout:0.] once per tick.
 
-    Routes: [/] (the dashboard page), [/data.json] (one snapshot),
-    [/events] ([text/event-stream]; one [data: <snapshot>] frame
-    immediately and one more whenever tailing yields new events).
-    Anything else is 404. HTTP support is the minimum GET handling the
-    dashboard needs — this is an observability sidecar, not a web
-    server.
+    Routes: [/] (the page), [/data.json] (one snapshot), [/events]
+    ([text/event-stream]; one [data: <snapshot>] frame immediately, one
+    more per {!notify} or fresh source data), and — when the source
+    accepts submissions — [POST /submit] (body handed to the source,
+    [202]/[409] with a JSON reply). Anything else is 404. HTTP support
+    is the minimum the dashboards need — an observability sidecar, not a
+    web server. A subscriber hanging up surfaces as [EPIPE] on the next
+    frame and drops only that client; the loop and the other
+    subscribers are untouched.
 
     Determinism note: the server never reads a clock; pacing comes from
-    the [select] timeout and all displayed timestamps from the event
-    stream itself ([bin/detlint] stays clean over this module). *)
+    the [select] timeout and all displayed timestamps from the data
+    itself ([bin/detlint] stays clean over this module). *)
+
+type source = {
+  page : string;  (** the HTML served at [/] *)
+  snapshot : unit -> string;  (** current status as one-line JSON *)
+  refresh : unit -> bool;
+      (** pump underlying data once per poll; [true] = broadcast a frame *)
+  submit : (string -> bool * string) option;
+      (** [POST /submit] handler: body to (accepted, JSON reply) *)
+  shutdown : unit -> unit;  (** called by {!close} *)
+}
 
 type t
 
-val create : ?host:string -> port:int -> path:string -> unit -> t
+val of_source : ?host:string -> port:int -> source -> t
 (** Binds and listens on [host] (default ["127.0.0.1"]) : [port]. Pass
-    [port:0] to let the kernel pick (see {!port}). [path] is the events
-    file to tail; it need not exist yet. Ignores [SIGPIPE] process-wide
-    (client disconnects surface as [EPIPE] and drop the client). *)
+    [port:0] to let the kernel pick (see {!port}). Ignores [SIGPIPE]
+    process-wide (client disconnects surface as [EPIPE] and drop the
+    client). *)
+
+val create : ?host:string -> port:int -> path:string -> unit -> t
+(** {!of_source} with the classic soak source: tail the events file at
+    [path] (need not exist yet) through {!Telemetry.Tail} into a
+    {!Telemetry.Timeline}, serving {!Dashboard.page}. *)
 
 val port : t -> int
 (** The bound port (useful after [port:0]). *)
@@ -36,8 +56,13 @@ val poll : ?timeout:float -> t -> unit
 (** One server round, blocking at most [timeout] seconds (default 0.25)
     waiting for sockets. *)
 
+val notify : t -> unit
+(** Pushes a fresh snapshot frame to every SSE subscriber now — for
+    sources whose state changes outside {!poll} (the fleet calls this
+    on status transitions). *)
+
 val run : t -> unit
 (** {!poll} forever. *)
 
 val close : t -> unit
-(** Closes the listening socket and every client. *)
+(** Closes the listening socket, every client, and the source. *)

@@ -21,4 +21,5 @@ let () =
       ("ir", Test_ir.suite);
       ("certify", Test_certify.suite);
       ("viz", Test_viz.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -1,0 +1,42 @@
+(* Child process for the sink durability tests (test_telemetry.ml).
+   Forking the test binary is off the table once domains exist (the pool
+   suites run first), so the mid-write-kill scenarios run here in a
+   fresh process spawned with create_process.
+
+   Modes:
+     kill PATH — journal-style autoflush writes, then a raw partial
+                 record and SIGKILL to self: every complete line must
+                 already be durable, the tail torn mid-bytes.
+     term PATH — buffered (non-autoflush) writes with only
+                 install_crash_flush armed; prints "ready" then sleeps
+                 until the parent's SIGTERM, whose handler must flush
+                 before re-delivering the default disposition. *)
+
+let write_records sink =
+  for i = 1 to 50 do
+    Telemetry.Sink.write sink (Telemetry.Json.Obj [ ("i", Telemetry.Json.Int i) ])
+  done
+
+let () =
+  match Sys.argv with
+  | [| _; "kill"; path |] ->
+      let sink = Telemetry.Sink.file ~autoflush:true path in
+      write_records sink;
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+      let torn = "{\"i\":51,\"to" in
+      ignore (Unix.write_substring fd torn 0 (String.length torn));
+      Unix.close fd;
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      assert false
+  | [| _; "term"; path |] ->
+      Telemetry.Sink.install_crash_flush ();
+      let sink = Telemetry.Sink.file path in
+      write_records sink;
+      print_string "ready";
+      flush stdout;
+      while true do
+        Unix.sleepf 3600.0
+      done
+  | _ ->
+      prerr_endline "usage: sink_crash_child (kill|term) PATH";
+      exit 2

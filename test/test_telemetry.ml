@@ -206,6 +206,113 @@ let test_sink_file () =
       check_string "line 2" "{\"a\":2}" l2;
       check_bool "exactly two lines" true eof)
 
+let test_sink_flush_visibility () =
+  let path = Filename.temp_file "telemetry_flush" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let read () =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let sink = Telemetry.Sink.file path in
+      Telemetry.Sink.write_line sink "{\"a\":1}";
+      Telemetry.Sink.flush sink;
+      check_string "flush makes the line durable before close" "{\"a\":1}\n" (read ());
+      Telemetry.Sink.write_line sink "{\"a\":2}";
+      Telemetry.Sink.flush_all ();
+      check_string "flush_all reaches open sinks" "{\"a\":1}\n{\"a\":2}\n" (read ());
+      Telemetry.Sink.close sink;
+      (* append mode continues an existing file instead of truncating *)
+      let sink = Telemetry.Sink.file ~append:true ~autoflush:true path in
+      Telemetry.Sink.write_line sink "{\"a\":3}";
+      check_string "autoflush append" "{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n" (read ());
+      Telemetry.Sink.close sink)
+
+(* The mid-write kill scenarios run in a helper process
+   (sink_crash_child.ml) spawned with create_process: Unix.fork is
+   unavailable once the pool suites have created domains. *)
+let crash_child_exe () =
+  let candidates = [ "sink_crash_child.exe"; Filename.concat "test" "sink_crash_child.exe" ] in
+  match List.find_opt Sys.file_exists candidates with
+  (* absolute: create_process does a PATH search on bare names *)
+  | Some exe -> Filename.concat (Sys.getcwd ()) exe
+  | None -> Alcotest.fail "sink_crash_child.exe not found (dune deps)"
+
+(* A child writes journal-style through an autoflush sink, then SIGKILLs
+   itself mid-record. Every complete line must be durable; the torn tail
+   must be undecodable-but-tolerable (the shape Tail/Timeline/
+   Journal.replay all drop). *)
+let test_sink_midwrite_kill () =
+  let path = Filename.temp_file "telemetry_kill" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let exe = crash_child_exe () in
+      let pid =
+        Unix.create_process exe [| exe; "kill"; path |] Unix.stdin Unix.stdout Unix.stderr
+      in
+      let _, status = Unix.waitpid [] pid in
+      check_bool "child died by SIGKILL" true (status = Unix.WSIGNALED Sys.sigkill);
+      let ic = open_in_bin path in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match String.split_on_char '\n' contents with
+      | lines when List.length lines = 51 ->
+          (* 50 complete lines + the torn unterminated tail *)
+          List.iteri
+            (fun i line ->
+              if i < 50 then
+                match Telemetry.Json.parse line with
+                | Ok j ->
+                    check_bool
+                      (Printf.sprintf "line %d durable and ordered" (i + 1))
+                      true
+                      (Telemetry.Json.member "i" j = Some (Telemetry.Json.Int (i + 1)))
+                | Error msg -> Alcotest.failf "complete line %d lost/corrupt: %s" (i + 1) msg
+              else
+                check_bool "torn tail undecodable" true
+                  (Result.is_error (Telemetry.Json.parse line)))
+            lines
+      | lines ->
+          Alcotest.failf "expected 50 durable lines + torn tail, got %d segments"
+            (List.length lines))
+
+(* SIGTERM with only the crash-flush hardening installed: buffered
+   (non-autoflush) lines must still reach disk before the process dies
+   with the signal's default disposition. *)
+let test_sink_crash_flush_on_sigterm () =
+  let path = Filename.temp_file "telemetry_crash" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let exe = crash_child_exe () in
+      let r, w = Unix.pipe () in
+      let pid = Unix.create_process exe [| exe; "term"; path |] Unix.stdin w Unix.stderr in
+      Unix.close w;
+      (* the child prints "ready" once its lines sit in the channel
+         buffer and it is waiting to be shot *)
+      ignore (Unix.read r (Bytes.create 5) 0 5);
+      Unix.close r;
+      Unix.kill pid Sys.sigterm;
+      let _, status = Unix.waitpid [] pid in
+      check_bool "child died by SIGTERM (default disposition re-delivered)" true
+        (status = Unix.WSIGNALED Sys.sigterm);
+      let ic = open_in path in
+      let count = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr count
+         done
+       with End_of_file -> close_in ic);
+      check_int "buffered lines flushed by the signal handler" 50 !count)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry *)
 
@@ -466,6 +573,12 @@ let suite =
       test_event_decode_rejects;
     Alcotest.test_case "sink: buffer semantics" `Quick test_sink_buffer;
     Alcotest.test_case "sink: file writes JSONL" `Quick test_sink_file;
+    Alcotest.test_case "sink: flush and flush_all make lines durable" `Quick
+      test_sink_flush_visibility;
+    Alcotest.test_case "sink: mid-write SIGKILL loses at most the torn tail" `Quick
+      test_sink_midwrite_kill;
+    Alcotest.test_case "sink: crash flush drains buffers on SIGTERM" `Quick
+      test_sink_crash_flush_on_sigterm;
     Alcotest.test_case "metrics: counters, gauges, histograms" `Quick test_metrics_registry;
     Alcotest.test_case "metrics: dump parses back, sorted" `Quick test_metrics_json_parses_back;
     Alcotest.test_case "metrics: ambient install/uninstall" `Quick test_metrics_ambient;

@@ -408,6 +408,59 @@ let test_serve_smoke () =
           Unix.close fd;
           close_out oc))
 
+(* A subscriber hanging up mid-stream surfaces as EPIPE on the server's
+   next frame; that must drop only the dead client — the loop and the
+   other subscribers keep going (the fleet board depends on this). *)
+let test_sse_client_disconnect () =
+  let frames = ref 0 in
+  let source =
+    {
+      Viz.Serve.page = "<html>stub</html>";
+      snapshot =
+        (fun () ->
+          incr frames;
+          Printf.sprintf "{\"frame\":%d}" !frames);
+      refresh = (fun () -> false);
+      submit = None;
+      shutdown = (fun () -> ());
+    }
+  in
+  let server = Viz.Serve.of_source ~port:0 source in
+  Fun.protect
+    ~finally:(fun () -> Viz.Serve.close server)
+    (fun () ->
+      let port = Viz.Serve.port server in
+      let poll () = Viz.Serve.poll ~timeout:0.05 server in
+      let subscribe () =
+        let fd = http_get ~port ~target:"/events" in
+        poll ();
+        poll ();
+        let first = read_available fd in
+        check_bool "subscribed" true (contains ~sub:"data: {" first);
+        fd
+      in
+      let doomed = subscribe () in
+      let survivor = subscribe () in
+      (* the doomed client hangs up without a word *)
+      Unix.close doomed;
+      (* two frames: the first write into the dead socket may land in
+         the kernel buffer; the second gets EPIPE/ECONNRESET, which must
+         drop only that client *)
+      Viz.Serve.notify server;
+      poll ();
+      Viz.Serve.notify server;
+      poll ();
+      let got = read_available survivor in
+      check_bool "survivor keeps receiving after peer EPIPE" true (contains ~sub:"data: {" got);
+      (* and the server still serves new requests *)
+      let fd = http_get ~port ~target:"/data.json" in
+      poll ();
+      poll ();
+      let body = read_available fd in
+      Unix.close fd;
+      Unix.close survivor;
+      check_bool "server alive after disconnect" true (contains ~sub:"frame" body))
+
 let suite =
   [
     Alcotest.test_case "scale: linear apply and ticks" `Quick test_scale_linear;
@@ -429,4 +482,6 @@ let suite =
       test_record_exec;
     Alcotest.test_case "dashboard: snapshot json shape" `Quick test_snapshot_json;
     Alcotest.test_case "serve: http routes and live sse updates" `Quick test_serve_smoke;
+    Alcotest.test_case "serve: sse client disconnect drops only that client" `Quick
+      test_sse_client_disconnect;
   ]
